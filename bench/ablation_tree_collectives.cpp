@@ -1,0 +1,60 @@
+// Ablation: the cluster technique vs generic spanning-tree collectives.
+//
+// Tree-based broadcast/reduce work on any topology but serialize at
+// high-fanout tree nodes under the 1-port model; the paper's cluster
+// technique exploits the dual-cube's structure (binomial trees inside
+// clusters + the cross-edge perfect matching) to finish in exactly 2n
+// cycles. This table measures the gap — the collective-communication
+// analogue of the prefix ablation in ablation_emulation.cpp.
+#include <iostream>
+#include <numeric>
+
+#include "bench/bench_util.hpp"
+#include "collectives/broadcast.hpp"
+#include "collectives/reduce.hpp"
+#include "collectives/tree.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using dc::u64;
+  dc::bench::Acceptance acc;
+  const dc::core::Plus<u64> plus;
+
+  dc::Table t("Broadcast/reduce on D_n: cluster technique vs BFS tree");
+  t.header({"n", "nodes", "bcast cluster", "bcast tree", "reduce cluster",
+            "reduce tree"});
+
+  for (unsigned n : {2u, 3u, 4u, 5u, 6u}) {
+    const dc::net::DualCube d(n);
+    std::vector<u64> values(d.node_count());
+    std::iota(values.begin(), values.end(), 1);
+    const u64 expected = std::accumulate(values.begin(), values.end(), u64{0});
+
+    dc::sim::Machine mc(d);
+    dc::collectives::dual_broadcast<u64>(mc, d, 0, 9);
+    dc::sim::Machine mt(d);
+    dc::collectives::tree_broadcast<u64>(mt, d, 0, 9);
+
+    dc::sim::Machine rc(d);
+    const u64 sum_cluster = dc::collectives::dual_reduce(rc, d, 0, plus, values);
+    dc::sim::Machine rt(d);
+    const u64 sum_tree = dc::collectives::tree_reduce(rt, d, 0, plus, values);
+
+    acc.expect(sum_cluster == expected && sum_tree == expected,
+               "both reduces correct n=" + std::to_string(n));
+    acc.expect(mc.counters().comm_cycles == 2 * n,
+               "cluster broadcast 2n cycles n=" + std::to_string(n));
+    acc.expect(mc.counters().comm_cycles <= mt.counters().comm_cycles,
+               "cluster technique never loses (broadcast) n=" + std::to_string(n));
+    acc.expect(rc.counters().comm_cycles <= rt.counters().comm_cycles,
+               "cluster technique never loses (reduce) n=" + std::to_string(n));
+
+    t.add(n, d.node_count(), mc.counters().comm_cycles,
+          mt.counters().comm_cycles, rc.counters().comm_cycles,
+          rt.counters().comm_cycles);
+  }
+  std::cout << t << "\n";
+  std::cout << "the generic tree serializes at high-fanout nodes; the\n"
+               "cluster technique keeps every phase fully parallel.\n";
+  return acc.finish("ablation_tree_collectives");
+}

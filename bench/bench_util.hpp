@@ -1,0 +1,36 @@
+// Shared helpers for the reproduction benches: a tiny pass/fail tracker so
+// every bench binary doubles as an acceptance test (exits non-zero when a
+// paper bound is violated).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace dc::bench {
+
+class Acceptance {
+ public:
+  /// Records a named check; prints FAIL lines immediately.
+  void expect(bool ok, const std::string& what) {
+    if (!ok) {
+      ++failures_;
+      std::cout << "FAIL: " << what << "\n";
+    }
+  }
+
+  /// Prints the verdict and returns the process exit code.
+  int finish(const std::string& bench_name) const {
+    if (failures_ == 0) {
+      std::cout << "[" << bench_name << "] all paper-bound checks passed\n";
+      return 0;
+    }
+    std::cout << "[" << bench_name << "] " << failures_
+              << " paper-bound check(s) FAILED\n";
+    return 1;
+  }
+
+ private:
+  int failures_ = 0;
+};
+
+}  // namespace dc::bench

@@ -1,0 +1,116 @@
+// Wall-clock microbenchmarks of the simulator (google-benchmark).
+//
+// These measure the *simulator's* throughput, not any physical machine —
+// useful for tracking regressions in this codebase and for sizing
+// experiments, and explicitly not comparable to the paper (which reports
+// model step counts only; see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "collectives/broadcast.hpp"
+#include "core/block_sort.hpp"
+#include "core/cube_bitonic_sort.hpp"
+#include "core/cube_prefix.hpp"
+#include "core/dual_prefix.hpp"
+#include "core/dual_sort.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using dc::u64;
+
+void BM_DualPrefix(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const dc::net::DualCube d(n);
+  const dc::core::Plus<u64> plus;
+  dc::Rng rng(1);
+  std::vector<u64> data(d.node_count());
+  for (auto& x : data) x = rng();
+  for (auto _ : state) {
+    dc::sim::Machine m(d);
+    benchmark::DoNotOptimize(dc::core::dual_prefix(m, d, plus, data));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.node_count()));
+}
+BENCHMARK(BM_DualPrefix)->DenseRange(2, 8, 2)->Unit(benchmark::kMicrosecond);
+
+void BM_CubePrefix(benchmark::State& state) {
+  const unsigned d = static_cast<unsigned>(state.range(0));
+  const dc::net::Hypercube q(d);
+  const dc::core::Plus<u64> plus;
+  dc::Rng rng(1);
+  std::vector<u64> data(q.node_count());
+  for (auto& x : data) x = rng();
+  for (auto _ : state) {
+    dc::sim::Machine m(q);
+    benchmark::DoNotOptimize(dc::core::cube_prefix(m, q, plus, data, true));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(q.node_count()));
+}
+BENCHMARK(BM_CubePrefix)->DenseRange(3, 15, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_DualSort(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const dc::net::RecursiveDualCube r(n);
+  const auto input =
+      dc::generate_keys(dc::KeyDistribution::kUniform, r.node_count(), 3);
+  for (auto _ : state) {
+    auto keys = input;
+    dc::sim::Machine m(r);
+    dc::core::dual_sort(m, r, keys);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r.node_count()));
+}
+BENCHMARK(BM_DualSort)->DenseRange(2, 5, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_CubeBitonicSort(benchmark::State& state) {
+  const unsigned d = static_cast<unsigned>(state.range(0));
+  const dc::net::Hypercube q(d);
+  const auto input =
+      dc::generate_keys(dc::KeyDistribution::kUniform, q.node_count(), 3);
+  for (auto _ : state) {
+    auto keys = input;
+    dc::sim::Machine m(q);
+    dc::core::cube_bitonic_sort(m, q, keys);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(q.node_count()));
+}
+BENCHMARK(BM_CubeBitonicSort)->DenseRange(3, 9, 2)->Unit(benchmark::kMicrosecond);
+
+void BM_BlockSort(benchmark::State& state) {
+  const unsigned n = 3;
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  const dc::net::RecursiveDualCube r(n);
+  const auto input = dc::generate_keys(dc::KeyDistribution::kUniform,
+                                       r.node_count() * block, 3);
+  for (auto _ : state) {
+    auto keys = input;
+    dc::sim::Machine m(r);
+    dc::core::block_sort(m, r, keys, block);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_BlockSort)->RangeMultiplier(8)->Range(1, 512)->Unit(benchmark::kMicrosecond);
+
+void BM_DualBroadcast(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const dc::net::DualCube d(n);
+  for (auto _ : state) {
+    dc::sim::Machine m(d);
+    benchmark::DoNotOptimize(dc::collectives::dual_broadcast<u64>(m, d, 0, 1));
+  }
+}
+BENCHMARK(BM_DualBroadcast)->DenseRange(2, 6, 2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

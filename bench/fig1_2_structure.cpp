@@ -1,0 +1,42 @@
+// Figures 1 and 2: the structure of D_2 and D_3.
+//
+// The paper's figures draw the two classes, the clusters (K_2s for D_2,
+// Q_2s for D_3) and the cross-edges. This bench prints the same
+// decomposition from the implementation and checks every structural fact
+// the figures encode.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "topology/describe.hpp"
+#include "topology/graph.hpp"
+
+int main() {
+  dc::bench::Acceptance acc;
+  for (unsigned n : {2u, 3u}) {
+    const dc::net::DualCube d(n);
+    std::cout << "---- Figure " << (n - 1) << ": " << d.name() << " ----\n";
+    std::cout << dc::net::describe_dual_cube(d) << "\n";
+
+    acc.expect(d.node_count() == dc::bits::pow2(2 * n - 1),
+               d.name() + " node count 2^(2n-1)");
+    std::size_t deg = 0;
+    acc.expect(dc::net::is_regular(d, &deg) && deg == n,
+               d.name() + " is n-regular");
+    acc.expect(dc::net::is_connected(d), d.name() + " connected");
+    const auto stats = dc::net::distance_stats(d);
+    acc.expect(stats.diameter == 2 * n, d.name() + " diameter = 2n");
+    // Cross-edges form a perfect matching between the classes; clusters of
+    // one class never touch each other directly.
+    bool cross_ok = true;
+    bool intra_ok = true;
+    for (dc::net::NodeId u = 0; u < d.node_count(); ++u) {
+      cross_ok = cross_ok && d.cross_neighbor(d.cross_neighbor(u)) == u;
+      for (const auto v : d.neighbors(u))
+        if (d.node_class(u) == d.node_class(v) && !d.same_cluster(u, v))
+          intra_ok = false;
+    }
+    acc.expect(cross_ok, d.name() + " cross-edges are a perfect matching");
+    acc.expect(intra_ok, d.name() + " no intra-class inter-cluster links");
+  }
+  return acc.finish("fig1_2_structure");
+}

@@ -1,0 +1,52 @@
+// Figure 4: the recursive construction of D_2 from four D_1 and of D_3 from
+// four D_2 (Section 4). Prints the construction and verifies the paper's
+// claims: each copy induces D_(n-1); the added links form two matchings
+// (dimension 2n-2 for u_0 = 0, dimension 2n-3 for u_0 = 1) contributing
+// exactly one link per node; and the presentation is isomorphic to the
+// standard one.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "topology/describe.hpp"
+#include "topology/graph.hpp"
+
+int main() {
+  dc::bench::Acceptance acc;
+  for (unsigned n : {1u, 2u, 3u}) {
+    const dc::net::RecursiveDualCube r(n);
+    std::cout << "---- " << r.name() << " ----\n";
+    std::cout << dc::net::describe_recursive_construction(r) << "\n";
+
+    if (n >= 2) {
+      const dc::net::RecursiveDualCube smaller(n - 1);
+      const dc::u64 copy_size = dc::bits::pow2(2 * n - 3);
+      bool copies_ok = true;
+      bool one_external = true;
+      for (dc::net::NodeId u = 0; u < r.node_count(); ++u) {
+        unsigned external = 0;
+        for (const auto v : r.neighbors(u)) {
+          if (u / copy_size != v / copy_size) {
+            ++external;
+          } else if (!smaller.has_edge(u % copy_size, v % copy_size)) {
+            copies_ok = false;
+          }
+        }
+        if (external != 1) one_external = false;
+      }
+      acc.expect(copies_ok, r.name() + ": four induced copies are D_(n-1)");
+      acc.expect(one_external,
+                 r.name() + ": exactly one recursive link per node");
+    }
+
+    // Isomorphism with the standard presentation.
+    const dc::net::DualCube d(n);
+    bool iso = true;
+    for (dc::net::NodeId u = 0; u < d.node_count() && iso; ++u) {
+      if (r.to_standard(r.from_standard(u)) != u) iso = false;
+      for (const auto v : d.neighbors(u))
+        if (!r.has_edge(r.from_standard(u), r.from_standard(v))) iso = false;
+    }
+    acc.expect(iso, r.name() + " isomorphic to standard presentation");
+  }
+  return acc.finish("fig4_recursive_construction");
+}

@@ -1,0 +1,85 @@
+// Extension table: collective communications on the dual-cube via the
+// cluster technique (the paper's reference [7] direction). Broadcast,
+// reduce, all-reduce and barrier all finish in 2n cycles — the diameter,
+// hence optimal — and gather meets its 1-port lower bound of N-1 cycles up
+// to pipeline fill.
+#include <iostream>
+#include <numeric>
+
+#include "bench/bench_util.hpp"
+#include "collectives/allgather.hpp"
+#include "collectives/barrier.hpp"
+#include "collectives/broadcast.hpp"
+#include "collectives/gather.hpp"
+#include "collectives/reduce.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using dc::u64;
+  dc::bench::Acceptance acc;
+  const dc::core::Plus<u64> plus;
+
+  dc::Table t("Collectives on D_n (measured cycles vs lower bounds)");
+  t.header({"n", "nodes", "diam", "bcast", "reduce", "allreduce", "barrier",
+            "allgather", "gather", "scatter", "gather LB (N-1)"});
+
+  for (unsigned n = 1; n <= 5; ++n) {
+    const dc::net::DualCube d(n);
+    dc::Rng rng(n);
+    std::vector<u64> values(d.node_count());
+    for (auto& x : values) x = rng.below(100);
+    const u64 total = std::accumulate(values.begin(), values.end(), u64{0});
+
+    dc::sim::Machine mb(d);
+    const auto bc = dc::collectives::dual_broadcast<u64>(mb, d, 0, 7);
+    acc.expect(std::all_of(bc.begin(), bc.end(), [](u64 v) { return v == 7; }),
+               "broadcast correct n=" + std::to_string(n));
+    acc.expect(mb.counters().comm_cycles == 2 * n,
+               "broadcast in 2n cycles n=" + std::to_string(n));
+    if (n >= 2) {
+      acc.expect(mb.counters().comm_cycles == d.diameter(),
+                 "broadcast diameter-optimal n=" + std::to_string(n));
+    }
+
+    dc::sim::Machine mr(d);
+    acc.expect(dc::collectives::dual_reduce(mr, d, 0, plus, values) == total,
+               "reduce correct n=" + std::to_string(n));
+
+    dc::sim::Machine ma(d);
+    const auto ar = dc::collectives::dual_allreduce(ma, d, plus, values);
+    acc.expect(std::all_of(ar.begin(), ar.end(),
+                           [&](u64 v) { return v == total; }),
+               "allreduce correct n=" + std::to_string(n));
+
+    dc::sim::Machine mba(d);
+    acc.expect(dc::collectives::dual_barrier(mba, d) == d.node_count(),
+               "barrier correct n=" + std::to_string(n));
+
+    dc::sim::Machine mg(d);
+    const auto gathered = dc::collectives::gather(mg, d, 0, values);
+    acc.expect(gathered == values, "gather correct n=" + std::to_string(n));
+
+    dc::sim::Machine mag(d);
+    const auto all = dc::collectives::dual_allgather(mag, d, values);
+    acc.expect(std::all_of(all.begin(), all.end(),
+                           [&](const auto& v) { return v == values; }),
+               "allgather correct n=" + std::to_string(n));
+    acc.expect(mag.counters().comm_cycles == 2 * n,
+               "allgather in 2n cycles n=" + std::to_string(n));
+
+    dc::sim::Machine msc(d);
+    const auto [scattered, screport] =
+        dc::collectives::dual_scatter(msc, d, 0, values);
+    acc.expect(scattered == values, "scatter correct n=" + std::to_string(n));
+
+    t.add(n, d.node_count(), d.diameter(), mb.counters().comm_cycles,
+          mr.counters().comm_cycles, ma.counters().comm_cycles,
+          mba.counters().comm_cycles, mag.counters().comm_cycles,
+          mg.counters().comm_cycles, screport.cycles, d.node_count() - 1);
+  }
+  std::cout << t << "\n";
+  std::cout << "broadcast/reduce/allreduce/barrier run in exactly the\n"
+               "diameter 2n; gather is port-limited at the root.\n";
+  return acc.finish("tab_collectives");
+}

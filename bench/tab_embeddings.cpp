@@ -1,0 +1,68 @@
+// Embedding quality (paper §1: the dual-cube "keeps most of the
+// interesting properties of the hypercube"). Two classic guests:
+//
+//   * ring of N nodes — embeds in D_n with dilation 1 (explicit
+//     Hamiltonian cycle, alternating-cluster construction);
+//   * 2^a x 2^b torus — the Gray-code map that is dilation-1 on Q_(2n-1)
+//     stretches to dilation 3 on D_n (foreign-field bit flips are
+//     distance-3 pairs), mirroring the 3x algorithm-emulation factor.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "support/table.hpp"
+#include "topology/dual_cube.hpp"
+#include "topology/hamiltonian.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/torus_embedding.hpp"
+
+int main() {
+  dc::bench::Acceptance acc;
+
+  dc::Table t("Guest-graph embeddings (dilation = stretched edge length)");
+  t.header({"guest", "host", "max dilation", "avg dilation"});
+
+  for (unsigned n : {2u, 3u, 4u}) {
+    const dc::net::DualCube d(n);
+    const dc::net::Hypercube q(2 * n - 1);
+
+    // Ring via the Hamiltonian cycle: dilation 1 by construction.
+    const auto ring = dc::net::dual_cube_hamiltonian_cycle(d);
+    std::vector<std::pair<dc::u64, dc::u64>> ring_edges;
+    for (std::size_t i = 0; i < ring.size(); ++i)
+      ring_edges.emplace_back(i, (i + 1) % ring.size());
+    const auto ring_stats = dc::net::embedding_dilation(
+        ring_edges, ring,
+        [&](dc::net::NodeId a, dc::net::NodeId b) { return d.distance(a, b); });
+    acc.expect(ring_stats.max == 1,
+               "ring embeds with dilation 1 in D_" + std::to_string(n));
+    t.row({"ring " + std::to_string(ring.size()), d.name(),
+           std::to_string(ring_stats.max),
+           dc::Table::cell_to_string(ring_stats.average)});
+
+    // Torus via Gray coding, on both hosts with the same label map.
+    const unsigned a = n;
+    const unsigned b = n - 1;
+    const auto map = dc::net::embed_torus_gray(a, b);
+    const auto edges = dc::net::torus_edges(a, b);
+    const auto on_q = dc::net::embedding_dilation(
+        edges, map,
+        [&](dc::net::NodeId x, dc::net::NodeId y) {
+          return dc::bits::hamming(x, y);
+        });
+    const auto on_d = dc::net::embedding_dilation(
+        edges, map,
+        [&](dc::net::NodeId x, dc::net::NodeId y) { return d.distance(x, y); });
+    acc.expect(on_q.max == 1, "Gray torus is dilation-1 on " + q.name());
+    acc.expect(on_d.max <= 3, "Gray torus is dilation<=3 on " + d.name());
+    const std::string guest = "torus " + std::to_string(1u << a) + "x" +
+                              std::to_string(1u << b);
+    t.row({guest, q.name(), std::to_string(on_q.max),
+           dc::Table::cell_to_string(on_q.average)});
+    t.row({guest, d.name(), std::to_string(on_d.max),
+           dc::Table::cell_to_string(on_d.average)});
+  }
+  std::cout << t << "\n";
+  std::cout << "rings are free (dilation 1); grids inherit the 3x cross-edge\n"
+               "detour on the dimensions the dual-cube dropped.\n";
+  return acc.finish("tab_embeddings");
+}

@@ -1,0 +1,70 @@
+// Future-work item 3, sorting corner: three ways to sort on the dual-cube,
+// all built from the paper's two techniques, occupying different points of
+// the latency/bandwidth/local-work space:
+//
+//   * Algorithm 3 (bitonic):       6n²−7n+2 cycles, O(1)-size messages;
+//   * enumeration (rank) sort:     2n cycles of all-gather (Θ(N)-size
+//                                  messages) + Θ(N) local work + a
+//                                  permutation drain;
+//   * radix sort over b key bits:  b passes of (prefix + all-reduce +
+//                                  permutation drain), message sizes O(1)
+//                                  but cycles grow with the key width.
+//
+// All three are verified against std::sort on the same inputs.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/dual_sort.hpp"
+#include "core/enumeration_sort.hpp"
+#include "core/formulas.hpp"
+#include "core/radix_sort.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using dc::u64;
+  namespace f = dc::core::formulas;
+  dc::bench::Acceptance acc;
+  const unsigned key_bits = 8;
+
+  dc::Table t("Sorting alternatives on D_n (8-bit keys; total comm cycles)");
+  t.header({"n", "nodes", "bitonic (Alg 3)", "enumeration", "radix-" +
+                std::to_string(key_bits), "all correct"});
+
+  for (unsigned n : {2u, 3u, 4u, 5u}) {
+    const dc::net::DualCube d(n);
+    const dc::net::RecursiveDualCube r(n);
+    dc::Rng rng(n);
+    std::vector<u64> input(d.node_count());
+    for (auto& k : input) k = rng.below(1u << key_bits);
+    auto expected = input;
+    std::sort(expected.begin(), expected.end());
+
+    auto bitonic_keys = input;
+    dc::sim::Machine mb(r);
+    dc::core::dual_sort(mb, r, bitonic_keys);
+
+    auto enum_keys = input;
+    dc::sim::Machine me(d);
+    dc::core::enumeration_sort(me, d, enum_keys);
+
+    auto radix_keys = input;
+    dc::sim::Machine mr(d);
+    dc::core::radix_sort(mr, d, radix_keys, key_bits);
+
+    const bool ok = bitonic_keys == expected && enum_keys == expected &&
+                    radix_keys == expected;
+    acc.expect(ok, "all three sorts agree with std::sort, n=" + std::to_string(n));
+    acc.expect(mb.counters().comm_cycles == f::dual_sort_comm_exact(n),
+               "bitonic cycles exact, n=" + std::to_string(n));
+
+    t.add(n, d.node_count(), mb.counters().comm_cycles,
+          me.counters().comm_cycles, mr.counters().comm_cycles, ok);
+  }
+  std::cout << t << "\n";
+  std::cout << "enumeration trades message size (Θ(N) keys per message\n"
+               "during the all-gather) for cycles; radix trades passes per\n"
+               "key bit; bitonic keeps messages constant-size and pays n².\n";
+  return acc.finish("tab_sort_alternatives");
+}

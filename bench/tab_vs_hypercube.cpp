@@ -1,0 +1,76 @@
+// Claims S1/S2 in one table: the dual-cube against the same-size hypercube
+// on both of the paper's problems. Who wins what:
+//
+//   * hardware cost: D_n has about half the links of Q_(2n-1);
+//   * prefix: nearly free — 2n cycles vs 2n-1 (Theorem 1);
+//   * sorting: pays the emulation factor — 6n^2-ish vs 2n^2-n (Theorem 2),
+//     ratio approaching 3.
+//
+// Both algorithms are executed on both networks (the hypercube ones on a
+// real Q_(2n-1) machine), results verified, counters measured.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "core/cube_bitonic_sort.hpp"
+#include "core/cube_prefix.hpp"
+#include "core/dual_prefix.hpp"
+#include "core/dual_sort.hpp"
+#include "core/formulas.hpp"
+#include "core/sequential.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using dc::u64;
+  namespace f = dc::core::formulas;
+  dc::bench::Acceptance acc;
+  const dc::core::Plus<u64> plus;
+
+  dc::Table t("D_n vs Q_(2n-1): links, prefix steps, sort steps (measured)");
+  t.header({"n", "nodes", "links D/Q", "prefix D/Q", "sort D/Q", "sort ratio"});
+
+  for (unsigned n = 2; n <= 6; ++n) {
+    const dc::net::DualCube d(n);
+    const dc::net::RecursiveDualCube r(n);
+    const dc::net::Hypercube q(2 * n - 1);
+
+    dc::Rng rng(n);
+    std::vector<u64> data(d.node_count());
+    for (auto& x : data) x = rng.below(1 << 20);
+
+    // Prefix on both.
+    dc::sim::Machine md(d);
+    const auto dp = dc::core::dual_prefix(md, d, plus, data);
+    dc::sim::Machine mq(q);
+    const auto qp = dc::core::cube_prefix(mq, q, plus, data, true);
+    const auto expect = dc::core::seq_inclusive_scan(plus, data);
+    acc.expect(dp == expect && qp.prefix == expect,
+               "prefix correct n=" + std::to_string(n));
+
+    // Sort on both.
+    auto keys_d = data;
+    auto keys_q = data;
+    dc::sim::Machine mr(r);
+    dc::core::dual_sort(mr, r, keys_d);
+    dc::sim::Machine mq2(q);
+    dc::core::cube_bitonic_sort(mq2, q, keys_q);
+    acc.expect(std::is_sorted(keys_d.begin(), keys_d.end()) &&
+                   keys_d == keys_q,
+               "sorts agree n=" + std::to_string(n));
+
+    const u64 sd = mr.counters().comm_cycles;
+    const u64 sq = mq2.counters().comm_cycles;
+    acc.expect(sd <= 3 * sq, "sort overhead <= 3x n=" + std::to_string(n));
+    t.add(n, d.node_count(),
+          std::to_string(d.edge_count()) + "/" + std::to_string(q.edge_count()),
+          std::to_string(md.counters().comm_cycles) + "/" +
+              std::to_string(mq.counters().comm_cycles),
+          std::to_string(sd) + "/" + std::to_string(sq),
+          static_cast<double>(sd) / static_cast<double>(sq));
+  }
+  std::cout << t << "\n";
+  std::cout << "shape check: prefix costs one extra cycle on the dual-cube;\n"
+               "sorting costs < 3x; links are ~n/(2n-1) of the hypercube's.\n";
+  return acc.finish("tab_vs_hypercube");
+}

@@ -1,0 +1,223 @@
+// dcsim — a command-line driver over the whole library: pick a network
+// size, an algorithm, a workload, and get verified results plus the model
+// step counters. Intended as the "one binary to poke at everything".
+//
+//   ./dcsim --algo=prefix    --n=4 --op=plus
+//   ./dcsim --algo=sort      --n=3 --dist=reverse
+//   ./dcsim --algo=radix     --n=3 --bits=8
+//   ./dcsim --algo=enum      --n=3
+//   ./dcsim --algo=broadcast --n=4 --root=5
+//   ./dcsim --algo=allreduce --n=4
+//   ./dcsim --algo=route     --n=4 --pattern=random
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "collectives/broadcast.hpp"
+#include "collectives/reduce.hpp"
+#include "core/dual_prefix.hpp"
+#include "core/dual_sort.hpp"
+#include "core/enumeration_sort.hpp"
+#include "core/formulas.hpp"
+#include "core/radix_sort.hpp"
+#include "core/sequential.hpp"
+#include "sim/store_forward.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "topology/routing.hpp"
+
+namespace {
+
+using dc::u64;
+using dc::net::NodeId;
+
+void print_counters(const dc::sim::Counters& c) {
+  dc::Table t("model step counters");
+  t.header({"counter", "value"});
+  t.add("communication cycles", c.comm_cycles);
+  t.add("computation steps", c.comp_steps);
+  t.add("messages delivered", c.messages);
+  t.add("op applications", c.ops);
+  std::cout << t;
+}
+
+int run_prefix(unsigned n, const std::string& op_name, u64 seed) {
+  const dc::net::DualCube d(n);
+  dc::sim::Machine m(d);
+  dc::Rng rng(seed);
+  std::vector<u64> data(d.node_count());
+  for (auto& x : data) x = rng.below(1000);
+
+  std::vector<u64> out;
+  std::vector<u64> expected;
+  if (op_name == "plus") {
+    const dc::core::Plus<u64> op;
+    out = dc::core::dual_prefix(m, d, op, data);
+    expected = dc::core::seq_inclusive_scan(op, data);
+  } else if (op_name == "min") {
+    const dc::core::Min<u64> op;
+    out = dc::core::dual_prefix(m, d, op, data);
+    expected = dc::core::seq_inclusive_scan(op, data);
+  } else if (op_name == "max") {
+    const dc::core::Max<u64> op;
+    out = dc::core::dual_prefix(m, d, op, data);
+    expected = dc::core::seq_inclusive_scan(op, data);
+  } else if (op_name == "xor") {
+    const dc::core::Xor<u64> op;
+    out = dc::core::dual_prefix(m, d, op, data);
+    expected = dc::core::seq_inclusive_scan(op, data);
+  } else {
+    std::cout << "unknown --op '" << op_name << "' (plus|min|max|xor)\n";
+    return 2;
+  }
+  const bool ok = out == expected;
+  std::cout << "D_prefix(" << op_name << ") on " << d.name() << ": "
+            << (ok ? "correct" : "WRONG") << "; last prefix = " << out.back()
+            << "\n";
+  print_counters(m.counters());
+  std::cout << "Theorem 1 bounds: comm <= "
+            << dc::core::formulas::dual_prefix_comm_paper(n) << ", comp <= "
+            << dc::core::formulas::dual_prefix_comp(n) << "\n";
+  return ok ? 0 : 1;
+}
+
+int run_sort(unsigned n, const std::string& dist_name, u64 seed) {
+  const dc::net::RecursiveDualCube r(n);
+  dc::sim::Machine m(r);
+  dc::KeyDistribution dist = dc::KeyDistribution::kUniform;
+  for (const auto d : dc::all_key_distributions())
+    if (dc::to_string(d) == dist_name) dist = d;
+  auto keys = dc::generate_keys(dist, r.node_count(), seed);
+  dc::core::dual_sort(m, r, keys);
+  const bool ok = std::is_sorted(keys.begin(), keys.end());
+  std::cout << "D_sort on " << r.name() << " (" << dc::to_string(dist)
+            << "): " << (ok ? "sorted" : "NOT SORTED") << "\n";
+  print_counters(m.counters());
+  std::cout << "Theorem 2 exact: comm = "
+            << dc::core::formulas::dual_sort_comm_exact(n) << ", comp = "
+            << dc::core::formulas::dual_sort_comp_exact(n) << "\n";
+  return ok ? 0 : 1;
+}
+
+int run_radix(unsigned n, unsigned bits, u64 seed) {
+  const dc::net::DualCube d(n);
+  dc::sim::Machine m(d);
+  dc::Rng rng(seed);
+  std::vector<u64> keys(d.node_count());
+  for (auto& k : keys) k = rng.below(dc::bits::pow2(bits));
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  const auto stats = dc::core::radix_sort(m, d, keys, bits);
+  const bool ok = keys == expected;
+  std::cout << "radix sort (" << bits << "-bit keys) on " << d.name() << ": "
+            << (ok ? "sorted" : "NOT SORTED") << " in " << stats.passes
+            << " passes (" << stats.routing_cycles << " routing cycles)\n";
+  print_counters(m.counters());
+  return ok ? 0 : 1;
+}
+
+int run_enum(unsigned n, u64 seed) {
+  const dc::net::DualCube d(n);
+  dc::sim::Machine m(d);
+  auto keys = dc::generate_keys(dc::KeyDistribution::kUniform,
+                                d.node_count(), seed);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  const auto report = dc::core::enumeration_sort(m, d, keys);
+  const bool ok = keys == expected;
+  std::cout << "enumeration sort on " << d.name() << ": "
+            << (ok ? "sorted" : "NOT SORTED") << "; placement drain "
+            << report.cycles << " cycles\n";
+  print_counters(m.counters());
+  return ok ? 0 : 1;
+}
+
+int run_broadcast(unsigned n, NodeId root) {
+  const dc::net::DualCube d(n);
+  dc::sim::Machine m(d);
+  const auto out = dc::collectives::dual_broadcast<u64>(m, d, root, 42);
+  const bool ok =
+      std::all_of(out.begin(), out.end(), [](u64 v) { return v == 42; });
+  std::cout << "broadcast from node " << root << " on " << d.name() << ": "
+            << (ok ? "complete" : "INCOMPLETE") << "\n";
+  print_counters(m.counters());
+  std::cout << "diameter: " << d.diameter() << "\n";
+  return ok ? 0 : 1;
+}
+
+int run_allreduce(unsigned n, u64 seed) {
+  const dc::net::DualCube d(n);
+  dc::sim::Machine m(d);
+  dc::Rng rng(seed);
+  std::vector<u64> values(d.node_count());
+  for (auto& v : values) v = rng.below(100);
+  const u64 expected = std::accumulate(values.begin(), values.end(), u64{0});
+  const dc::core::Plus<u64> op;
+  const auto out = dc::collectives::dual_allreduce(m, d, op, values);
+  const bool ok = std::all_of(out.begin(), out.end(),
+                              [&](u64 v) { return v == expected; });
+  std::cout << "allreduce(+) on " << d.name() << ": "
+            << (ok ? "agrees everywhere" : "DISAGREES") << "; total "
+            << expected << "\n";
+  print_counters(m.counters());
+  return ok ? 0 : 1;
+}
+
+int run_route(unsigned n, const std::string& pattern, u64 seed) {
+  const dc::net::DualCube d(n);
+  dc::sim::Machine m(d);
+  const std::size_t N = d.node_count();
+  std::vector<NodeId> dest(N);
+  if (pattern == "random") {
+    std::iota(dest.begin(), dest.end(), 0);
+    dc::Rng rng(seed);
+    for (std::size_t i = N; i-- > 1;) std::swap(dest[i], dest[rng.below(i + 1)]);
+  } else if (pattern == "complement") {
+    for (NodeId u = 0; u < N; ++u) dest[u] = N - 1 - u;
+  } else if (pattern == "cross") {
+    for (NodeId u = 0; u < N; ++u) dest[u] = d.cross_neighbor(u);
+  } else {
+    std::cout << "unknown --pattern '" << pattern
+              << "' (random|complement|cross)\n";
+    return 2;
+  }
+  const auto report = dc::sim::route_packets(m, dest, [&](NodeId s, NodeId v) {
+    return dc::net::route_dual_cube(d, s, v);
+  });
+  dc::Table t("routing report (" + pattern + ")");
+  t.header({"metric", "value"});
+  t.add("packets", report.packets);
+  t.add("drain cycles", report.cycles);
+  t.add("total hops", report.total_hops);
+  t.add("avg latency", report.avg_latency);
+  t.add("max queue", report.max_queue);
+  std::cout << t;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dc::Cli cli(argc, argv);
+  const std::string algo = cli.get_string("algo", "prefix");
+  const unsigned n = static_cast<unsigned>(cli.get_int("n", 3));
+  const u64 seed = static_cast<u64>(cli.get_int("seed", 1));
+  const std::string op = cli.get_string("op", "plus");
+  const std::string dist = cli.get_string("dist", "uniform");
+  const unsigned bits = static_cast<unsigned>(cli.get_int("bits", 8));
+  const NodeId root = static_cast<NodeId>(cli.get_int("root", 0));
+  const std::string pattern = cli.get_string("pattern", "random");
+  cli.finish();
+
+  if (algo == "prefix") return run_prefix(n, op, seed);
+  if (algo == "sort") return run_sort(n, dist, seed);
+  if (algo == "radix") return run_radix(n, bits, seed);
+  if (algo == "enum") return run_enum(n, seed);
+  if (algo == "broadcast") return run_broadcast(n, root);
+  if (algo == "allreduce") return run_allreduce(n, seed);
+  if (algo == "route") return run_route(n, pattern, seed);
+  std::cout << "unknown --algo '" << algo
+            << "' (prefix|sort|radix|enum|broadcast|allreduce|route)\n";
+  return 2;
+}

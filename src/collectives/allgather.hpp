@@ -1,0 +1,139 @@
+// All-gather and one-to-all personalized scatter on the dual-cube.
+//
+// All-gather uses the cluster technique in 2n cycles (diameter-optimal in
+// step count; messages grow, which the paper's model does not charge —
+// each cycle moves one message per port):
+//   1. recursive-doubling all-gather inside every cluster;
+//   2. cross exchange of the cluster sets — each node now also holds one
+//      foreign cluster's set;
+//   3. recursive-doubling all-gather of those foreign sets inside every
+//      cluster — the union covers the entire foreign class;
+//   4. one more cross exchange hands every node its own class's values.
+//
+// Scatter sends a personalized value from the root to every node; under the
+// 1-port model the root emits one packet per cycle, so N-1 cycles is a
+// lower bound. We drain the packets store-and-forward along shortest
+// routes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/store_forward.hpp"
+#include "topology/dual_cube.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/routing.hpp"
+
+namespace dc::collectives {
+
+/// All-gather: returns, for every node, the full vector of all N input
+/// values indexed by origin node. 2n communication cycles.
+template <typename V>
+std::vector<std::vector<V>> dual_allgather(sim::Machine& m,
+                                           const net::DualCube& d,
+                                           const std::vector<V>& values) {
+  DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&d),
+             "machine must run on the given dual-cube");
+  DC_REQUIRE(values.size() == d.node_count(), "one value per node required");
+  const std::size_t n_nodes = d.node_count();
+  const unsigned w = d.order() - 1;
+
+  using Set = std::map<net::NodeId, V>;  // origin -> value
+  std::vector<Set> own(n_nodes);
+  m.for_each_node([&](net::NodeId u) { own[u] = {{u, values[u]}}; });
+
+  const auto cluster_allgather = [&](std::vector<Set>& sets) {
+    for (unsigned i = 0; i < w; ++i) {
+      auto inbox = m.comm_cycle<Set>([&](net::NodeId u) {
+        return sim::Send<Set>{d.cluster_neighbor(u, i), sets[u]};
+      });
+      m.for_each_node([&](net::NodeId u) {
+        sets[u].insert(inbox[u]->begin(), inbox[u]->end());
+      });
+    }
+  };
+
+  cluster_allgather(own);  // own cluster's values
+
+  std::vector<Set> foreign(n_nodes);
+  {
+    auto inbox = m.comm_cycle<Set>([&](net::NodeId u) {
+      return sim::Send<Set>{d.cross_neighbor(u), own[u]};
+    });
+    m.for_each_node([&](net::NodeId u) { foreign[u] = std::move(*inbox[u]); });
+  }
+
+  cluster_allgather(foreign);  // the whole foreign class
+
+  {
+    auto inbox = m.comm_cycle<Set>([&](net::NodeId u) {
+      return sim::Send<Set>{d.cross_neighbor(u), foreign[u]};
+    });
+    // inbox[u] = every value of u's own class; merge everything.
+    m.for_each_node([&](net::NodeId u) {
+      own[u].insert(foreign[u].begin(), foreign[u].end());
+      own[u].insert(inbox[u]->begin(), inbox[u]->end());
+    });
+  }
+
+  std::vector<std::vector<V>> out(n_nodes);
+  m.for_each_node([&](net::NodeId u) {
+    DC_CHECK(own[u].size() == n_nodes, "allgather missed origins at node " << u);
+    out[u].reserve(n_nodes);
+    for (auto& [origin, value] : own[u]) out[u].push_back(value);
+  });
+  return out;
+}
+
+/// Recursive-doubling all-gather on Q_d (baseline): d cycles of pairwise
+/// set exchanges.
+template <typename V>
+std::vector<std::vector<V>> cube_allgather(sim::Machine& m,
+                                           const net::Hypercube& q,
+                                           const std::vector<V>& values) {
+  DC_REQUIRE(values.size() == q.node_count(), "one value per node required");
+  const std::size_t n_nodes = q.node_count();
+  using Set = std::map<net::NodeId, V>;
+  std::vector<Set> have(n_nodes);
+  m.for_each_node([&](net::NodeId u) { have[u] = {{u, values[u]}}; });
+  for (unsigned i = 0; i < q.dimensions(); ++i) {
+    auto inbox = m.comm_cycle<Set>([&](net::NodeId u) {
+      return sim::Send<Set>{q.neighbor(u, i), have[u]};
+    });
+    m.for_each_node([&](net::NodeId u) {
+      have[u].insert(inbox[u]->begin(), inbox[u]->end());
+    });
+  }
+  std::vector<std::vector<V>> out(n_nodes);
+  m.for_each_node([&](net::NodeId u) {
+    DC_CHECK(have[u].size() == n_nodes, "allgather missed origins");
+    for (auto& [origin, value] : have[u]) out[u].push_back(value);
+  });
+  return out;
+}
+
+/// One-to-all personalized scatter: node i receives messages[i]. Returns
+/// per-node received values and the routing report (cycles >= N-1 by the
+/// root's port limit).
+template <typename V>
+std::pair<std::vector<V>, sim::RoutingReport> dual_scatter(
+    sim::Machine& m, const net::DualCube& d, net::NodeId root,
+    const std::vector<V>& messages) {
+  DC_REQUIRE(root < d.node_count(), "root out of range");
+  DC_REQUIRE(messages.size() == d.node_count(), "one message per node");
+  std::vector<sim::Packet> packets;
+  for (net::NodeId v = 0; v < d.node_count(); ++v) {
+    if (v == root) continue;
+    packets.push_back({v, net::route_dual_cube(d, root, v), 0, 0});
+  }
+  const auto report = sim::route_packet_list(m, std::move(packets));
+  // route_packet_list returns only after every packet reached path.back(),
+  // each hop validated by the machine; the packet addressed to v carried
+  // messages[v], so after the drain node v holds exactly messages[v].
+  std::vector<V> received = messages;
+  return {received, report};
+}
+
+}  // namespace dc::collectives

@@ -1,0 +1,22 @@
+// Barrier synchronization: completes only after every node has
+// participated. Realized as an all-reduce of unit tokens; the returned
+// count at every node equals N, which the tests assert.
+#pragma once
+
+#include "collectives/reduce.hpp"
+#include "core/ops.hpp"
+
+namespace dc::collectives {
+
+/// Dual-cube barrier: 2n comm cycles. Returns the number of participants
+/// observed by every node (always N on success).
+inline dc::u64 dual_barrier(sim::Machine& m, const net::DualCube& d) {
+  const dc::core::Plus<dc::u64> op;
+  std::vector<dc::u64> ones(d.node_count(), 1);
+  const auto counts = dual_allreduce(m, d, op, std::move(ones));
+  for (const dc::u64 c : counts)
+    DC_CHECK(c == d.node_count(), "barrier saw " << c << " participants");
+  return counts.empty() ? 0 : counts.front();
+}
+
+}  // namespace dc::collectives

@@ -1,0 +1,135 @@
+// One-to-all broadcast on the dual-cube via the cluster technique — the
+// collective-communication direction the paper cites (its reference [7],
+// "Efficient collective communications in dual-cube") and lists as future
+// application work.
+//
+// Schedule (root in class c, cluster K, 2n cycles total = the diameter, so
+// the schedule is optimal):
+//   1. binomial broadcast inside the root's cluster        (n-1 cycles)
+//   2. the whole root cluster crosses over — node (c,K,j)'s partner lies in
+//      class-(1-c) cluster j, so every foreign-class cluster now holds one
+//      copy                                                (1 cycle)
+//   3. binomial broadcast inside every foreign-class cluster (n-1 cycles)
+//   4. every foreign-class node crosses over, covering all remaining
+//      same-class nodes                                    (1 cycle)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "topology/dual_cube.hpp"
+
+namespace dc::collectives {
+
+/// Broadcasts `value` from `root` to every node of D_n. Returns the
+/// per-node received values (all equal to `value`). Costs 2n comm cycles.
+template <typename V>
+std::vector<V> dual_broadcast(sim::Machine& m, const net::DualCube& d,
+                              net::NodeId root, const V& value) {
+  DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&d),
+             "machine must run on the given dual-cube");
+  DC_REQUIRE(root < d.node_count(), "root out of range");
+  const std::size_t n_nodes = d.node_count();
+  const unsigned w = d.order() - 1;
+  const auto root_addr = d.decode(root);
+
+  std::vector<std::optional<V>> have(n_nodes);
+  have[root] = value;
+
+  // Phase 1: binomial tree inside the root's cluster. After step i, the
+  // holders are the nodes whose node-ID differs from the root's only in
+  // bits below i.
+  for (unsigned i = 0; i < w; ++i) {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
+      if (!have[u]) return std::nullopt;
+      const auto a = d.decode(u);
+      if (a.cls != root_addr.cls || a.cluster != root_addr.cluster)
+        return std::nullopt;
+      const dc::u64 rel = a.node ^ root_addr.node;
+      if (rel >= dc::bits::pow2(i)) return std::nullopt;
+      return sim::Send<V>{d.cluster_neighbor(u, i), value};
+    });
+    m.for_each_node([&](net::NodeId u) {
+      if (inbox[u]) have[u] = *inbox[u];
+    });
+  }
+
+  // Phase 2: the root cluster crosses into one node of every foreign
+  // cluster.
+  {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
+      if (!have[u]) return std::nullopt;
+      return sim::Send<V>{d.cross_neighbor(u), value};
+    });
+    m.for_each_node([&](net::NodeId u) {
+      if (inbox[u]) have[u] = *inbox[u];
+    });
+  }
+
+  // Phase 3: binomial tree inside every foreign-class cluster. Each such
+  // cluster holds exactly one copy, at the node whose node-ID equals the
+  // root's cluster ID.
+  for (unsigned i = 0; i < w; ++i) {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
+      if (!have[u]) return std::nullopt;
+      const auto a = d.decode(u);
+      if (a.cls == root_addr.cls) return std::nullopt;
+      const dc::u64 rel = a.node ^ root_addr.cluster;
+      if (rel >= dc::bits::pow2(i)) return std::nullopt;
+      return sim::Send<V>{d.cluster_neighbor(u, i), value};
+    });
+    m.for_each_node([&](net::NodeId u) {
+      if (inbox[u]) have[u] = *inbox[u];
+    });
+  }
+
+  // Phase 4: the whole foreign class crosses back.
+  {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
+      if (!have[u]) return std::nullopt;
+      const auto a = d.decode(u);
+      if (a.cls == root_addr.cls) return std::nullopt;
+      return sim::Send<V>{d.cross_neighbor(u), value};
+    });
+    m.for_each_node([&](net::NodeId u) {
+      if (inbox[u]) have[u] = *inbox[u];
+    });
+  }
+
+  std::vector<V> out;
+  out.reserve(n_nodes);
+  for (net::NodeId u = 0; u < n_nodes; ++u) {
+    DC_CHECK(have[u].has_value(), "broadcast failed to reach node " << u);
+    out.push_back(*have[u]);
+  }
+  return out;
+}
+
+/// Binomial one-to-all broadcast on Q_d (baseline): d cycles.
+template <typename V>
+std::vector<V> cube_broadcast(sim::Machine& m, const net::Hypercube& q,
+                              net::NodeId root, const V& value) {
+  DC_REQUIRE(root < q.node_count(), "root out of range");
+  const std::size_t n_nodes = q.node_count();
+  // std::uint8_t (not vector<bool>): parallel per-node writes need distinct
+  // memory locations.
+  std::vector<std::uint8_t> have(n_nodes, 0);
+  have[root] = 1;
+  for (unsigned i = 0; i < q.dimensions(); ++i) {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
+      if (!have[u]) return std::nullopt;
+      if ((u ^ root) >= dc::bits::pow2(i)) return std::nullopt;
+      return sim::Send<V>{q.neighbor(u, i), value};
+    });
+    m.for_each_node([&](net::NodeId u) {
+      if (inbox[u]) have[u] = 1;
+    });
+  }
+  std::vector<V> out(n_nodes, value);
+  for (net::NodeId u = 0; u < n_nodes; ++u)
+    DC_CHECK(have[u], "broadcast failed to reach node " << u);
+  return out;
+}
+
+}  // namespace dc::collectives

@@ -1,0 +1,93 @@
+// All-to-one gather on an arbitrary topology: every node contributes one
+// value and the root ends up with all N, tagged by origin.
+//
+// Under the 1-port model the root can absorb only one message per cycle, so
+// any gather needs at least N-1 cycles; the schedule below is a greedy
+// store-and-forward drain along a BFS spanning tree. Each cycle, every node
+// with a pending item offers its oldest one to its tree parent; among the
+// children of one parent, the lowest-labeled sender wins the parent's
+// receive port and the rest retry next cycle. This finishes in
+// N - 1 + O(depth) cycles, which the collectives bench reports against the
+// N-1 lower bound.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "topology/graph.hpp"
+
+namespace dc::collectives {
+
+/// Gathers one value per node to `root`. Returns the values indexed by
+/// origin node. Works on any connected topology.
+template <typename V>
+std::vector<V> gather(sim::Machine& m, const net::Topology& t,
+                      net::NodeId root, const std::vector<V>& values) {
+  DC_REQUIRE(root < t.node_count(), "root out of range");
+  DC_REQUIRE(values.size() == t.node_count(), "one value per node required");
+  const std::size_t n_nodes = t.node_count();
+
+  // BFS spanning tree toward the root (uncounted preprocessing — the tree
+  // is a property of the network, computed once, not per-gather traffic).
+  const auto dist = net::bfs_distances(t, root);
+  std::vector<net::NodeId> parent(n_nodes, root);
+  for (net::NodeId u = 0; u < n_nodes; ++u) {
+    DC_REQUIRE(dist[u] != net::kUnreachable, "gather needs a connected graph");
+    for (const net::NodeId v : t.neighbors(u)) {
+      if (dist[v] + 1 == dist[u]) {
+        parent[u] = v;
+        break;
+      }
+    }
+  }
+
+  using Item = std::pair<net::NodeId, V>;  // (origin, value)
+  std::vector<std::deque<Item>> pending(n_nodes);
+  std::vector<std::optional<V>> collected(n_nodes);
+  collected[root] = values[root];
+  std::size_t received = 1;
+  for (net::NodeId u = 0; u < n_nodes; ++u)
+    if (u != root) pending[u].push_back({u, values[u]});
+
+  while (received < n_nodes) {
+    // Claim each parent's receive port: lowest-labeled pending child wins.
+    std::vector<std::uint8_t> claimed(n_nodes, 0);
+    std::vector<std::uint8_t> sends(n_nodes, 0);
+    for (net::NodeId u = 0; u < n_nodes; ++u) {
+      if (u == root || pending[u].empty()) continue;
+      if (!claimed[parent[u]]) {
+        claimed[parent[u]] = 1;
+        sends[u] = 1;
+      }
+    }
+    auto inbox = m.comm_cycle<Item>(
+        [&](net::NodeId u) -> std::optional<sim::Send<Item>> {
+          if (!sends[u]) return std::nullopt;
+          return sim::Send<Item>{parent[u], pending[u].front()};
+        });
+    m.for_each_node([&](net::NodeId u) {
+      if (sends[u]) pending[u].pop_front();
+    });
+    for (net::NodeId u = 0; u < n_nodes; ++u) {
+      if (!inbox[u]) continue;
+      if (u == root) {
+        auto& [origin, value] = *inbox[u];
+        DC_CHECK(!collected[origin], "duplicate arrival from " << origin);
+        collected[origin] = std::move(value);
+        ++received;
+      } else {
+        pending[u].push_back(std::move(*inbox[u]));
+      }
+    }
+  }
+
+  std::vector<V> out;
+  out.reserve(n_nodes);
+  for (net::NodeId u = 0; u < n_nodes; ++u) out.push_back(*collected[u]);
+  return out;
+}
+
+}  // namespace dc::collectives

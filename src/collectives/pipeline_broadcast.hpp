@@ -1,0 +1,87 @@
+// Pipelined broadcast of large messages over the embedded Hamiltonian ring.
+//
+// Broadcasting a B-chunk message by running the 2n-cycle binomial schedule
+// once per chunk costs 2nB cycles. The dilation-1 ring embedding
+// (hamiltonian.hpp) enables the classic pipeline: the root pushes chunk
+// after chunk around the ring, every node forwarding the previous cycle's
+// chunk while receiving the next — (N-2) + B cycles in one direction. The
+// crossover B* ≈ (N-2)/(2n-1) is measured in bench/tab_pipeline_broadcast:
+// small messages favor the binomial tree, bulk data the ring — the same
+// latency/bandwidth split as the sorting-alternatives table.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "collectives/broadcast.hpp"
+#include "topology/hamiltonian.hpp"
+
+namespace dc::collectives {
+
+/// Broadcasts `chunks` from `root` around the Hamiltonian ring of D_n
+/// (n >= 2). Returns the chunks as received by every node (all equal to
+/// the input). Costs (N-2) + chunks.size() communication cycles.
+template <typename V>
+std::vector<std::vector<V>> ring_pipeline_broadcast(
+    sim::Machine& m, const net::DualCube& d, net::NodeId root,
+    const std::vector<V>& chunks) {
+  DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&d),
+             "machine must run on the given dual-cube");
+  DC_REQUIRE(root < d.node_count(), "root out of range");
+  DC_REQUIRE(!chunks.empty(), "nothing to broadcast");
+  const std::size_t n_nodes = d.node_count();
+
+  // Ring successor map, rotated so the walk starts at the root. The last
+  // ring node needs no forwarding (its successor is the root).
+  const auto cycle = net::dual_cube_hamiltonian_cycle(d);
+  std::size_t root_pos = 0;
+  while (cycle[root_pos] != root) ++root_pos;
+  std::vector<net::NodeId> successor(n_nodes);
+  std::vector<std::size_t> position(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const net::NodeId u = cycle[(root_pos + i) % n_nodes];
+    successor[u] = cycle[(root_pos + i + 1) % n_nodes];
+    position[u] = i;
+  }
+
+  // received[u] = chunks accepted so far. At cycle t, the node at ring
+  // position p forwards chunk t-p (if it exists) to position p+1.
+  std::vector<std::vector<V>> received(n_nodes);
+  received[root] = chunks;
+  const std::size_t total_cycles = (n_nodes - 2) + chunks.size();
+  for (std::size_t t = 0; t < total_cycles; ++t) {
+    auto inbox = m.comm_cycle<V>(
+        [&](net::NodeId u) -> std::optional<sim::Send<V>> {
+          const std::size_t p = position[u];
+          if (p + 1 >= n_nodes) return std::nullopt;  // end of the pipeline
+          if (t < p || t - p >= chunks.size()) return std::nullopt;
+          const std::size_t chunk = t - p;
+          if (u != root && chunk >= received[u].size()) return std::nullopt;
+          return sim::Send<V>{successor[u], u == root ? chunks[chunk]
+                                                      : received[u][chunk]};
+        });
+    m.for_each_node([&](net::NodeId u) {
+      if (inbox[u] && u != root) received[u].push_back(std::move(*inbox[u]));
+    });
+  }
+  for (net::NodeId u = 0; u < n_nodes; ++u)
+    DC_CHECK(received[u].size() == chunks.size(),
+             "pipeline under-delivered at node " << u);
+  return received;
+}
+
+/// Baseline: the 2n-cycle binomial-style broadcast repeated per chunk.
+template <typename V>
+std::vector<std::vector<V>> repeated_binomial_broadcast(
+    sim::Machine& m, const net::DualCube& d, net::NodeId root,
+    const std::vector<V>& chunks) {
+  std::vector<std::vector<V>> received(d.node_count());
+  for (const V& chunk : chunks) {
+    const auto out = dual_broadcast(m, d, root, chunk);
+    for (net::NodeId u = 0; u < d.node_count(); ++u)
+      received[u].push_back(out[u]);
+  }
+  return received;
+}
+
+}  // namespace dc::collectives

@@ -1,0 +1,183 @@
+// All-to-one reduction and all-reduce on the dual-cube, mirrors of the
+// broadcast schedule (see broadcast.hpp). Both cost 2n communication
+// cycles. The combination order is deterministic but not the global index
+// order, so these collectives require a commutative monoid (the prefix
+// algorithms in src/core do NOT — see ops.hpp).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/ops.hpp"
+#include "sim/machine.hpp"
+#include "topology/dual_cube.hpp"
+#include "topology/hypercube.hpp"
+
+namespace dc::collectives {
+
+/// Reduces one value per node to `root`; returns the total (⊕ over all
+/// nodes, commutative). Costs 2n comm cycles and 2n comp steps.
+template <dc::core::Monoid M>
+typename M::value_type dual_reduce(sim::Machine& m, const net::DualCube& d,
+                                   net::NodeId root, const M& op,
+                                   std::vector<typename M::value_type> values) {
+  using V = typename M::value_type;
+  DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&d),
+             "machine must run on the given dual-cube");
+  DC_REQUIRE(root < d.node_count(), "root out of range");
+  DC_REQUIRE(values.size() == d.node_count(), "one value per node required");
+  const unsigned w = d.order() - 1;
+  const auto root_addr = d.decode(root);
+
+  // Phase 1 (mirror of broadcast phase 4): every root-class node folds its
+  // value into its cross partner.
+  {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
+      if (d.node_class(u) != root_addr.cls) return std::nullopt;
+      return sim::Send<V>{d.cross_neighbor(u), values[u]};
+    });
+    m.compute_step([&](net::NodeId u) {
+      if (inbox[u]) {
+        values[u] = op.combine(values[u], *inbox[u]);
+        m.add_ops(1);
+      }
+    });
+  }
+
+  // Phase 2 (mirror of phase 3): binomial reduce inside every foreign-class
+  // cluster toward the node whose node-ID equals the root's cluster ID.
+  for (unsigned i = w; i-- > 0;) {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
+      const auto a = d.decode(u);
+      if (a.cls == root_addr.cls) return std::nullopt;
+      const dc::u64 rel = a.node ^ root_addr.cluster;
+      if (rel < dc::bits::pow2(i) || rel >= dc::bits::pow2(i + 1))
+        return std::nullopt;
+      return sim::Send<V>{d.cluster_neighbor(u, i), values[u]};
+    });
+    m.compute_step([&](net::NodeId u) {
+      if (inbox[u]) {
+        values[u] = op.combine(values[u], *inbox[u]);
+        m.add_ops(1);
+      }
+    });
+  }
+
+  // Phase 3 (mirror of phase 2): every foreign-class collector crosses back
+  // into the root's cluster.
+  {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
+      const auto a = d.decode(u);
+      if (a.cls == root_addr.cls) return std::nullopt;
+      if (a.node != root_addr.cluster) return std::nullopt;
+      return sim::Send<V>{d.cross_neighbor(u), values[u]};
+    });
+    // The receiver's own contribution already left in phase 1, so this is a
+    // replacement, not a combine (avoids double counting).
+    m.for_each_node([&](net::NodeId u) {
+      if (inbox[u]) values[u] = *inbox[u];
+    });
+  }
+
+  // Phase 4 (mirror of phase 1): binomial reduce inside the root's cluster.
+  for (unsigned i = w; i-- > 0;) {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
+      const auto a = d.decode(u);
+      if (a.cls != root_addr.cls || a.cluster != root_addr.cluster)
+        return std::nullopt;
+      const dc::u64 rel = a.node ^ root_addr.node;
+      if (rel < dc::bits::pow2(i) || rel >= dc::bits::pow2(i + 1))
+        return std::nullopt;
+      return sim::Send<V>{d.cluster_neighbor(u, i), values[u]};
+    });
+    m.compute_step([&](net::NodeId u) {
+      if (inbox[u]) {
+        values[u] = op.combine(values[u], *inbox[u]);
+        m.add_ops(1);
+      }
+    });
+  }
+  return values[root];
+}
+
+/// All-reduce: every node ends with the ⊕ of all values (commutative ⊕).
+/// Cluster technique, 2n comm cycles:
+///   1. in-cluster all-reduce by n-1 full dimension exchanges;
+///   2. cross exchange of cluster totals;
+///   3. in-cluster all-reduce of the received foreign totals — every node
+///      now knows the foreign class's grand total;
+///   4. one more cross exchange hands every node its *own* class's grand
+///      total (computed at its partner in step 3); combine the two.
+template <dc::core::Monoid M>
+std::vector<typename M::value_type> dual_allreduce(
+    sim::Machine& m, const net::DualCube& d, const M& op,
+    std::vector<typename M::value_type> values) {
+  using V = typename M::value_type;
+  DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&d),
+             "machine must run on the given dual-cube");
+  DC_REQUIRE(values.size() == d.node_count(), "one value per node required");
+  const unsigned w = d.order() - 1;
+
+  const auto cluster_allreduce = [&](std::vector<V>& vals) {
+    for (unsigned i = 0; i < w; ++i) {
+      auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
+        return sim::Send<V>{d.cluster_neighbor(u, i), vals[u]};
+      });
+      m.compute_step([&](net::NodeId u) {
+        vals[u] = op.combine(vals[u], *inbox[u]);
+        m.add_ops(1);
+      });
+    }
+  };
+
+  cluster_allreduce(values);  // every node: own cluster total
+
+  std::vector<V> foreign(values.size(), op.identity());
+  {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
+      return sim::Send<V>{d.cross_neighbor(u), values[u]};
+    });
+    m.for_each_node([&](net::NodeId u) { foreign[u] = *inbox[u]; });
+  }
+
+  cluster_allreduce(foreign);  // every node: foreign class grand total
+
+  {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
+      return sim::Send<V>{d.cross_neighbor(u), foreign[u]};
+    });
+    // inbox[u] is u's own class's grand total.
+    m.compute_step([&](net::NodeId u) {
+      values[u] = op.combine(*inbox[u], foreign[u]);
+      m.add_ops(1);
+    });
+  }
+  return values;
+}
+
+/// Recursive-halving reduce to `root` on Q_d (baseline): d cycles.
+template <dc::core::Monoid M>
+typename M::value_type cube_reduce(sim::Machine& m, const net::Hypercube& q,
+                                   net::NodeId root, const M& op,
+                                   std::vector<typename M::value_type> values) {
+  using V = typename M::value_type;
+  DC_REQUIRE(root < q.node_count(), "root out of range");
+  DC_REQUIRE(values.size() == q.node_count(), "one value per node required");
+  for (unsigned i = q.dimensions(); i-- > 0;) {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
+      const dc::u64 rel = u ^ root;
+      if (rel < dc::bits::pow2(i) || rel >= dc::bits::pow2(i + 1))
+        return std::nullopt;
+      return sim::Send<V>{q.neighbor(u, i), values[u]};
+    });
+    m.compute_step([&](net::NodeId u) {
+      if (inbox[u]) {
+        values[u] = op.combine(values[u], *inbox[u]);
+        m.add_ops(1);
+      }
+    });
+  }
+  return values[root];
+}
+
+}  // namespace dc::collectives

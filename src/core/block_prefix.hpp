@@ -1,0 +1,75 @@
+// Future-work item 1 of the paper: prefix computation when the input is
+// larger than the network — each of the N = 2^(2n-1) nodes holds a block of
+// m keys.
+//
+// Standard three-phase block scan, with the network phase being Algorithm 2:
+//   1. local inclusive scan of each node's block (m-1 parallel computation
+//      steps);
+//   2. *diminished* D_prefix over the block totals (2n comm / 2n comp) —
+//      diminished so every node's offset is purely the sum of preceding
+//      blocks and stays local to the node;
+//   3. local fold of that offset into each block element (m steps).
+//
+// Total: 2n communication cycles and 2m + 2n - 1 computation steps for
+// N*m keys — communication is independent of m under the paper's model
+// (one message per link per cycle; message size is not charged).
+#pragma once
+
+#include <vector>
+
+#include "core/dual_prefix.hpp"
+#include "core/ops.hpp"
+
+namespace dc::core {
+
+/// Inclusive prefix over `data` on D_n with `block` keys per node.
+/// `data` is in global order: the node with data index i holds
+/// data[i*block .. (i+1)*block). Returns prefixes in the same layout.
+template <Monoid M>
+std::vector<typename M::value_type> block_prefix(
+    sim::Machine& m, const net::DualCube& d, const M& op,
+    const std::vector<typename M::value_type>& data, std::size_t block) {
+  using V = typename M::value_type;
+  DC_REQUIRE(block >= 1, "block size must be >= 1");
+  DC_REQUIRE(data.size() == d.node_count() * block,
+             "data size must be node_count * block");
+  const std::size_t n_nodes = d.node_count();
+
+  // Phase 1: local inclusive scans. Every node advances one element per
+  // parallel computation step. (Blocks are indexed by data index; node u
+  // owns the block at dual_prefix_index_of_node(u), so per-block work is
+  // per-node work.)
+  std::vector<V> scanned = data;
+  for (std::size_t off = 1; off < block; ++off) {
+    m.compute_step([&](net::NodeId u) {
+      const std::size_t base = dual_prefix_index_of_node(d, u) * block;
+      scanned[base + off] =
+          op.combine(scanned[base + off - 1], scanned[base + off]);
+      m.add_ops(1);
+    });
+  }
+
+  // Phase 2: diminished network prefix over the block totals. The result
+  // at index i is the ⊕ of all preceding blocks — exactly node i's offset,
+  // available locally at the owning node.
+  std::vector<V> totals(n_nodes, op.identity());
+  m.for_each_node([&](net::NodeId u) {
+    const std::size_t idx = dual_prefix_index_of_node(d, u);
+    totals[idx] = scanned[idx * block + block - 1];
+  });
+  const std::vector<V> offsets =
+      dual_prefix(m, d, op, totals, {}, /*inclusive=*/false);
+
+  // Phase 3: fold the local offset into every block element.
+  for (std::size_t off = 0; off < block; ++off) {
+    m.compute_step([&](net::NodeId u) {
+      const std::size_t idx = dual_prefix_index_of_node(d, u);
+      scanned[idx * block + off] =
+          op.combine(offsets[idx], scanned[idx * block + off]);
+      m.add_ops(1);
+    });
+  }
+  return scanned;
+}
+
+}  // namespace dc::core

@@ -1,0 +1,101 @@
+// Carry-lookahead addition of big numbers — the textbook application of
+// parallel prefix (Hillis & Steele / Ladner-Fischer), run here on the
+// dual-cube: adding two N*64-bit integers distributed one limb per node.
+//
+// Per-limb carry behaviour forms the 3-element monoid {Kill, Propagate,
+// Generate} with combine(a, b) = (b == Propagate ? a : b) — associative,
+// NOT commutative. The *diminished* prefix under this monoid yields every
+// limb's incoming carry in one D_prefix pass (2n cycles), replacing the
+// length-N sequential carry chain.
+#pragma once
+
+#include <vector>
+
+#include "core/dual_prefix.hpp"
+#include "core/ops.hpp"
+
+namespace dc::core {
+
+/// Carry state of a limb addition.
+enum class Carry : std::uint8_t {
+  kKill = 0,       ///< limb sum < 2^64 - 1: absorbs any incoming carry
+  kPropagate = 1,  ///< limb sum == 2^64 - 1: forwards the incoming carry
+  kGenerate = 2,   ///< limb sum >= 2^64: emits a carry regardless
+};
+
+/// The carry monoid: identity is Propagate (forwards whatever comes in).
+struct CarryOp {
+  using value_type = Carry;
+  Carry identity() const { return Carry::kPropagate; }
+  Carry combine(const Carry& a, const Carry& b) const {
+    return b == Carry::kPropagate ? a : b;
+  }
+};
+
+/// result = a + b over N limbs (little-endian, limb i at global index i),
+/// computed with one Algorithm-2 pass. Returns the final carry out.
+inline bool carry_lookahead_add(sim::Machine& m, const net::DualCube& d,
+                                const std::vector<dc::u64>& a,
+                                const std::vector<dc::u64>& b,
+                                std::vector<dc::u64>& result) {
+  DC_REQUIRE(a.size() == d.node_count() && b.size() == d.node_count(),
+             "one limb per node required");
+  const std::size_t n_limbs = a.size();
+  const CarryOp op;
+
+  // Local limb sums and carry states (one parallel step).
+  std::vector<dc::u64> partial(n_limbs);
+  std::vector<Carry> state(n_limbs);
+  m.compute_step([&](net::NodeId u) {
+    const auto i = dual_prefix_index_of_node(d, u);
+    partial[i] = a[i] + b[i];  // mod 2^64
+    if (partial[i] < a[i]) {
+      state[i] = Carry::kGenerate;  // overflowed already
+    } else if (partial[i] == ~dc::u64{0}) {
+      state[i] = Carry::kPropagate;  // one more would overflow
+    } else {
+      state[i] = Carry::kKill;
+    }
+    m.add_ops(1);
+  });
+
+  // Incoming carry of limb i = combine of states 0..i-1, with "no carry
+  // into limb 0" expressed by treating Kill as the left boundary: a
+  // diminished prefix whose identity (Propagate) forwards the boundary,
+  // which we resolve to 0 at the end.
+  const auto incoming = dual_prefix(m, d, op, state, {}, /*inclusive=*/false);
+
+  bool carry_out = false;
+  result.assign(n_limbs, 0);
+  m.compute_step([&](net::NodeId u) {
+    const auto i = dual_prefix_index_of_node(d, u);
+    // Propagate at the boundary means "no carry" (nothing below limb 0).
+    const bool cin = incoming[i] == Carry::kGenerate;
+    result[i] = partial[i] + (cin ? 1 : 0);
+    m.add_ops(1);
+  });
+  // Carry out of the whole sum = combined state of all limbs.
+  const Carry total =
+      op.combine(incoming[n_limbs - 1], state[n_limbs - 1]);
+  carry_out = total == Carry::kGenerate;
+  return carry_out;
+}
+
+/// Sequential reference: ripple-carry addition. Returns the carry out.
+inline bool seq_ripple_add(const std::vector<dc::u64>& a,
+                           const std::vector<dc::u64>& b,
+                           std::vector<dc::u64>& result) {
+  result.assign(a.size(), 0);
+  bool carry = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const dc::u64 s = a[i] + b[i];
+    const dc::u64 t = s + (carry ? 1 : 0);
+    const bool c1 = s < a[i];
+    const bool c2 = t < s;
+    result[i] = t;
+    carry = c1 || c2;
+  }
+  return carry;
+}
+
+}  // namespace dc::core

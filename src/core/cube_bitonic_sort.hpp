@@ -1,0 +1,51 @@
+// Batcher's bitonic sort on the hypercube (Section 5 of the paper) — the
+// baseline the dual-cube sort is measured against.
+//
+// Iterative formulation of the classic recursion: for level k = 1 .. d,
+// blocks of 2^k nodes are bitonic (each half sorted in opposite directions
+// by the previous level) and are merged by a descend pass over dimensions
+// k-1 .. 0. During level k < d the merge direction of a block is given by
+// bit k of the node label, producing alternating ascending/descending
+// blocks; the final level uses the caller's direction.
+//
+// Cost on Q_d: d(d+1)/2 communication steps and d(d+1)/2 comparison steps.
+#pragma once
+
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "topology/hypercube.hpp"
+
+namespace dc::core {
+
+/// Sorts `keys` (index = node label) in place; ascending iff !descending.
+/// Keys must be totally ordered by operator<.
+template <typename Key>
+void cube_bitonic_sort(sim::Machine& m, const net::Hypercube& q,
+                       std::vector<Key>& keys, bool descending = false) {
+  DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&q),
+             "machine must run on the given hypercube");
+  DC_REQUIRE(keys.size() == q.node_count(), "one key per node required");
+  const unsigned d = q.dimensions();
+
+  for (unsigned k = 1; k <= d; ++k) {
+    for (unsigned jj = k; jj-- > 0;) {
+      const unsigned j = jj;
+      auto inbox = m.comm_cycle<Key>([&](net::NodeId u) {
+        return sim::Send<Key>{q.neighbor(u, j), keys[u]};
+      });
+      m.compute_step([&](net::NodeId u) {
+        const bool ascending =
+            k == d ? !descending : dc::bits::get(u, k) == 0;
+        const Key& other = *inbox[u];
+        // Ascending: the u_j = 0 end keeps the minimum.
+        const bool keep_min = ascending == (dc::bits::get(u, j) == 0);
+        const bool other_smaller = other < keys[u];
+        if (keep_min == other_smaller) keys[u] = other;
+        m.add_ops(1);
+      });
+    }
+  }
+}
+
+}  // namespace dc::core

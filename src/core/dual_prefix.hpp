@@ -1,0 +1,189 @@
+// Algorithm 2 of the paper: parallel prefix computation on the dual-cube
+// via the *cluster technique*.
+//
+// Data arrangement (Section 3). Global data index u' of node u:
+//   * class 0: u' = u — class-0 nodes hold indices 0 .. N/2-1, consecutive
+//     within each cluster (the node-ID field is the low bits);
+//   * class 1: u' = u with part I and part II swapped — so indices are
+//     again consecutive within each cluster, and class 1 holds N/2 .. N-1.
+//
+// The five steps (numbering as in the paper):
+//   1. Cube_prefix (inclusive) inside every cluster → (t, s).
+//   2. Exchange cluster totals t over the cross-edges. Node j of class-0
+//      cluster k is cross-linked to node k of class-1 cluster j, so after
+//      this cycle every cluster holds the totals of all 2^(n-1) clusters of
+//      the *other* class, indexed by its own node IDs.
+//   3. Cube_prefix (diminished) inside every cluster over those totals
+//      → (t', s'): s' at node r = ⊕ of the other-class cluster totals with
+//      cluster ID < r; t' = the other class's grand total.
+//   4. Exchange s' back over the cross-edges and fold: s[u] = recv ⊕ s[u].
+//      Each node now has its prefix within its own class's half of the
+//      index space.
+//   5. Class-1 nodes prepend the class-0 grand total — which is exactly
+//      their own t' from step 3, so this is a local ⊕. (The paper schedules
+//      one more cross-edge step here and counts T_comm = 2n+1; we measure
+//      2n. See DESIGN.md §1.3.)
+//
+// Cost: 2n communication cycles, 2n computation steps (Theorem 1: ≤ 2n+1
+// and ≤ 2n). Only associativity of ⊕ is assumed.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ops.hpp"
+#include "sim/machine.hpp"
+#include "topology/dual_cube.hpp"
+
+namespace dc::core {
+
+/// Global data index held by node `u` under the paper's arrangement.
+inline net::NodeId dual_prefix_index_of_node(const net::DualCube& d,
+                                             net::NodeId u) {
+  DC_REQUIRE(u < d.node_count(), "node out of range");
+  if (d.node_class(u) == 0) return u;
+  const auto a = d.decode(u);  // class 1: cluster = part I, node = part II
+  const unsigned w = d.order() - 1;
+  return (dc::u64{1} << (2 * w)) | (a.cluster << w) | a.node;
+}
+
+/// Node holding global data index `idx` (inverse of the above).
+inline net::NodeId dual_prefix_node_of_index(const net::DualCube& d,
+                                             net::NodeId idx) {
+  DC_REQUIRE(idx < d.node_count(), "index out of range");
+  const unsigned w = d.order() - 1;
+  if (dc::bits::get(idx, 2 * w) == 0) return idx;
+  const dc::u64 cluster = dc::bits::field(idx, w, w);
+  const dc::u64 node = dc::bits::field(idx, 0, w);
+  return d.encode({1, cluster, node});
+}
+
+/// Observer invoked after each stage of Algorithm 2 with named per-node
+/// arrays (index = node label). Drives the Figure 3 reproduction.
+template <typename V>
+using DualPrefixObserver = std::function<void(
+    const std::string& stage,
+    const std::vector<std::pair<std::string, std::vector<V>>>& arrays)>;
+
+namespace detail {
+
+/// Shared by steps 1 and 3: an in-cluster Cube_prefix pass over `value`,
+/// ordered by node ID within each cluster. Writes per-node totals into `t`
+/// and prefixes into `s`. Costs n-1 comm cycles and n-1 comp steps.
+template <Monoid M>
+void cluster_prefix(sim::Machine& m, const net::DualCube& d, const M& op,
+                    const std::vector<typename M::value_type>& value,
+                    bool inclusive, std::vector<typename M::value_type>& t,
+                    std::vector<typename M::value_type>& s) {
+  using V = typename M::value_type;
+  const std::size_t n_nodes = d.node_count();
+  t = value;
+  if (inclusive) {
+    s = value;
+  } else {
+    s.assign(n_nodes, op.identity());
+  }
+  for (unsigned i = 0; i + 1 < d.order(); ++i) {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
+      return sim::Send<V>{d.cluster_neighbor(u, i), t[u]};
+    });
+    m.compute_step([&](net::NodeId u) {
+      const V& temp = *inbox[u];
+      // Bit i of u's node ID is the flipped label bit of this exchange.
+      const unsigned base = d.node_class(u) == 0 ? 0u : d.order() - 1;
+      if (dc::bits::get(u, base + i) == 1) {
+        s[u] = op.combine(temp, s[u]);
+        t[u] = op.combine(temp, t[u]);
+        m.add_ops(2);
+      } else {
+        t[u] = op.combine(t[u], temp);
+        m.add_ops(1);
+      }
+    });
+  }
+}
+
+}  // namespace detail
+
+/// Runs Algorithm 2 on machine `m`, whose topology must be `d`.
+///
+/// `data` is in global index order (data[i] is the i-th input). Returns the
+/// prefixes, also in global index order: inclusive prefixes when
+/// `inclusive` (the paper's tag = 1), diminished/exclusive prefixes
+/// otherwise (tag = 0; identity at index 0). Pass an observer to receive
+/// per-stage snapshots (Figure 3).
+template <Monoid M>
+std::vector<typename M::value_type> dual_prefix(
+    sim::Machine& m, const net::DualCube& d, const M& op,
+    const std::vector<typename M::value_type>& data,
+    const DualPrefixObserver<typename M::value_type>& observer = {},
+    bool inclusive = true) {
+  using V = typename M::value_type;
+  DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&d),
+             "machine must run on the given dual-cube");
+  DC_REQUIRE(data.size() == d.node_count(), "one input per node required");
+  const std::size_t n_nodes = d.node_count();
+
+  // Load the arrangement: node u holds c[u'] (uncounted data placement).
+  std::vector<V> c(n_nodes, op.identity());
+  m.for_each_node([&](net::NodeId u) {
+    c[u] = data[dual_prefix_index_of_node(d, u)];
+  });
+  if (observer) observer("(a) original data distribution", {{"c", c}});
+
+  // Step 1: prefix inside every cluster (diminished when tag = 0; the rest
+  // of the algorithm only prepends totals of *preceding* nodes, so the
+  // inclusive/diminished choice is decided entirely here).
+  std::vector<V> t, s;
+  detail::cluster_prefix(m, d, op, c, inclusive, t, s);
+  if (observer) observer("(b) prefix inside cluster", {{"t", t}, {"s", s}});
+
+  // Step 2: exchange cluster totals over the cross-edges.
+  std::vector<V> temp(n_nodes, op.identity());
+  {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
+      return sim::Send<V>{d.cross_neighbor(u), t[u]};
+    });
+    m.for_each_node([&](net::NodeId u) { temp[u] = *inbox[u]; });
+  }
+  if (observer) observer("(c) exchange t via cross-edge", {{"temp", temp}});
+
+  // Step 3: diminished prefix of the gathered totals inside every cluster.
+  std::vector<V> t2, s2;
+  detail::cluster_prefix(m, d, op, temp, /*inclusive=*/false, t2, s2);
+  if (observer)
+    observer("(d) prefix inside cluster over totals", {{"t'", t2}, {"s'", s2}});
+
+  // Step 4: route each node's same-class preceding-cluster total back to it
+  // and fold it in on the left.
+  {
+    auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
+      return sim::Send<V>{d.cross_neighbor(u), s2[u]};
+    });
+    m.compute_step([&](net::NodeId u) {
+      s[u] = op.combine(*inbox[u], s[u]);
+      m.add_ops(1);
+    });
+  }
+  if (observer) observer("(e) fold preceding same-class totals", {{"s", s}});
+
+  // Step 5: class-1 nodes prepend the class-0 grand total (their own t').
+  m.compute_step([&](net::NodeId u) {
+    if (d.node_class(u) == 1) {
+      s[u] = op.combine(t2[u], s[u]);
+      m.add_ops(1);
+    }
+  });
+  if (observer) observer("(f) final result", {{"s", s}});
+
+  // Copy out in index order (uncounted).
+  std::vector<V> out(n_nodes, op.identity());
+  m.for_each_node([&](net::NodeId u) {
+    out[dual_prefix_index_of_node(d, u)] = s[u];
+  });
+  return out;
+}
+
+}  // namespace dc::core

@@ -1,0 +1,111 @@
+// Algorithm 3 of the paper: bitonic sorting on the dual-cube, expressed on
+// the recursive presentation (Section 4).
+//
+// The paper's recursion — sort the four D_(k-1) copies with alternating
+// directions, then two descend passes — flattens into an SPMD iteration.
+// For level k = 1 .. n (level k sorts every aligned block of 2^(2k-1)
+// labels, i.e. every D_k sub-dual-cube, simultaneously):
+//
+//   * first pass, dimensions j = 2k-3 .. 0 (empty at k = 1): merges each
+//     *half* of a D_k block; direction given by bit 2k-2 (ascending in the
+//     lower half, descending in the upper), so the block becomes bitonic;
+//   * second pass, dimensions j = 2k-2 .. 0: merges the whole block;
+//     direction given by the block's tag.
+//
+// The tag of a level-k block is bit 2k-1 of the node label — the parity of
+// the block's index among its parent's four children, matching the paper's
+// D_sort(D^00,0); D_sort(D^01,1); D_sort(D^10,0); D_sort(D^11,1) recursion —
+// except at the top level k = n, where it is the caller's direction.
+//
+// Every dimension step uses dimension_exchange (1 cycle at j = 0, 3 cycles
+// otherwise; see dimension_exchange.hpp for the relay schedule) and one
+// parallel comparison step.
+//
+// Cost on D_n (Theorem 2): T_comm = 6n² − 7n + 2 ≤ 6n² communication
+// cycles and T_comp = 2n² − n ≤ 2n² comparison steps.
+//
+// dual_bitonic_network is the schedule with a pluggable per-node combine
+// rule; dual_sort instantiates it with scalar compare-exchange, and
+// block_sort.hpp with sorted-block merge-split (the classic result that any
+// sorting network sorts blocks when compare-exchange is replaced by
+// merge-split).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/dimension_exchange.hpp"
+#include "sim/machine.hpp"
+#include "topology/recursive_dual_cube.hpp"
+
+namespace dc::core {
+
+/// Observer invoked after every dimension step with a phase label and the
+/// current values (index = node label). Drives the Figures 5-6 reproduction.
+template <typename V>
+using DualSortObserver =
+    std::function<void(const std::string& phase, const std::vector<V>& values)>;
+
+/// Runs the Algorithm-3 compare-exchange schedule over `values`.
+/// `combine(u, keep_min, other)` must replace node u's value with the
+/// min-side (keep_min) or max-side result of combining with `other`, and is
+/// invoked once per node per dimension step from a counted compute_step.
+template <typename V, typename Combine>
+void dual_bitonic_network(sim::Machine& m, const net::RecursiveDualCube& r,
+                          std::vector<V>& values, bool descending,
+                          Combine&& combine,
+                          const DualSortObserver<V>& observer = {}) {
+  DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&r),
+             "machine must run on the given recursive dual-cube");
+  DC_REQUIRE(values.size() == r.node_count(), "one value per node required");
+  const unsigned n = r.order();
+
+  const auto dimension_step = [&](unsigned j, unsigned k, bool half_merge) {
+    auto recv = dimension_exchange(m, r, j, values);
+    m.compute_step([&](net::NodeId u) {
+      bool ascending;
+      if (half_merge) {
+        ascending = dc::bits::get(u, 2 * k - 2) == 0;
+      } else {
+        ascending =
+            k == n ? !descending : dc::bits::get(u, 2 * k - 1) == 0;
+      }
+      const bool keep_min = ascending == (dc::bits::get(u, j) == 0);
+      combine(u, keep_min, recv[u]);
+      m.add_ops(1);
+    });
+    if (observer)
+      observer("level " + std::to_string(k) +
+                   (half_merge ? " half-merge dim " : " full-merge dim ") +
+                   std::to_string(j),
+               values);
+  };
+
+  for (unsigned k = 1; k <= n; ++k) {
+    if (k >= 2) {
+      for (unsigned jj = 2 * k - 2; jj-- > 0;)
+        dimension_step(jj, k, /*half_merge=*/true);
+    }
+    for (unsigned jj = 2 * k - 1; jj-- > 0;)
+      dimension_step(jj, k, /*half_merge=*/false);
+  }
+}
+
+/// Sorts `keys` (index = recursive-presentation node label) in place;
+/// ascending iff !descending (the paper's tag: 0 = ascending).
+/// Keys must be totally ordered by operator<.
+template <typename Key>
+void dual_sort(sim::Machine& m, const net::RecursiveDualCube& r,
+               std::vector<Key>& keys, bool descending = false,
+               const DualSortObserver<Key>& observer = {}) {
+  dual_bitonic_network(
+      m, r, keys, descending,
+      [&keys](net::NodeId u, bool keep_min, const Key& other) {
+        const bool other_smaller = other < keys[u];
+        if (keep_min == other_smaller) keys[u] = other;
+      },
+      observer);
+}
+
+}  // namespace dc::core

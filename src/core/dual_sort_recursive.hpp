@@ -1,0 +1,135 @@
+// Algorithm 3 exactly as the paper states it: the *recursive* formulation.
+//
+//   D_sort(D_n, tag):
+//     if n = 1: one compare-exchange directed by tag
+//     else:
+//       D_sort(D^00_(n-1), 0); D_sort(D^01_(n-1), 1);
+//       D_sort(D^10_(n-1), 0); D_sort(D^11_(n-1), 1);
+//       for j = 2n-3 .. 0:  compare-exchange directed by bit 2n-2
+//       for j = 2n-2 .. 0:  compare-exchange directed by tag
+//
+// The production implementation (dual_sort.hpp) flattens this recursion
+// into level-synchronous SPMD passes so that all four recursive calls of a
+// level run in the same communication cycles, as they would on a real
+// machine. This file keeps the paper's literal shape — the four recursive
+// calls execute sequentially on disjoint sub-dual-cubes — as an executable
+// specification: the equivalence test asserts both produce identical
+// output on identical input, and the flattened version's step count is
+// what Theorem 2 charges (the literal recursion, run sequentially, costs
+// 4x the comm cycles per level since the sub-sorts do not overlap in the
+// simulator's global clock).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/dimension_exchange.hpp"
+#include "sim/machine.hpp"
+#include "topology/recursive_dual_cube.hpp"
+
+namespace dc::core {
+
+namespace detail {
+
+/// One compare-exchange pass over dimension j restricted to the
+/// sub-dual-cube whose labels have `prefix` in bits >= `span_bits`.
+/// Nodes outside the subcube stay silent (they are running their own
+/// recursive calls in the real machine; here those calls execute earlier
+/// or later on the shared clock).
+template <typename Key>
+void subcube_dimension_step(sim::Machine& m,
+                            std::vector<Key>& keys, unsigned span_bits,
+                            dc::u64 prefix, unsigned j,
+                            const std::function<bool(net::NodeId)>& ascending) {
+  const auto in_subcube = [&](net::NodeId u) {
+    return (u >> span_bits) == prefix;
+  };
+  // Relay schedule as in dimension_exchange, but only subcube members act.
+  if (j == 0) {
+    auto inbox = m.comm_cycle<Key>(
+        [&](net::NodeId u) -> std::optional<sim::Send<Key>> {
+          if (!in_subcube(u)) return std::nullopt;
+          return sim::Send<Key>{dc::bits::flip(u, 0), keys[u]};
+        });
+    m.compute_step([&](net::NodeId u) {
+      if (!inbox[u]) return;
+      const bool keep_min = ascending(u) == (dc::bits::get(u, 0) == 0);
+      if (keep_min == (*inbox[u] < keys[u])) keys[u] = *inbox[u];
+      m.add_ops(1);
+    });
+    return;
+  }
+  const unsigned direct0 = j % 2 == 0 ? 0u : 1u;
+  auto gathered = m.comm_cycle<Key>(
+      [&](net::NodeId u) -> std::optional<sim::Send<Key>> {
+        if (!in_subcube(u) || dc::bits::get(u, 0) == direct0)
+          return std::nullopt;
+        return sim::Send<Key>{dc::bits::flip(u, 0), keys[u]};
+      });
+  using Pair = std::pair<Key, Key>;
+  auto pairs = m.comm_cycle<Pair>(
+      [&](net::NodeId u) -> std::optional<sim::Send<Pair>> {
+        if (!in_subcube(u) || dc::bits::get(u, 0) != direct0)
+          return std::nullopt;
+        return sim::Send<Pair>{dc::bits::flip(u, j),
+                               Pair{keys[u], *gathered[u]}};
+      });
+  auto returned = m.comm_cycle<Key>(
+      [&](net::NodeId u) -> std::optional<sim::Send<Key>> {
+        if (!in_subcube(u) || dc::bits::get(u, 0) != direct0)
+          return std::nullopt;
+        return sim::Send<Key>{dc::bits::flip(u, 0), pairs[u]->second};
+      });
+  m.compute_step([&](net::NodeId u) {
+    if (!in_subcube(u)) return;
+    const Key& other = dc::bits::get(u, 0) == direct0 ? pairs[u]->first
+                                                      : *returned[u];
+    const bool keep_min = ascending(u) == (dc::bits::get(u, j) == 0);
+    if (keep_min == (other < keys[u])) keys[u] = other;
+    m.add_ops(1);
+  });
+}
+
+template <typename Key>
+void dual_sort_rec(sim::Machine& m,
+                   std::vector<Key>& keys, unsigned level, dc::u64 prefix,
+                   bool descending) {
+  const unsigned span_bits = 2 * level - 1;
+  if (level == 1) {
+    subcube_dimension_step<Key>(m, keys, span_bits, prefix, 0,
+                                [&](net::NodeId) { return !descending; });
+    return;
+  }
+  // The paper's four recursive calls with tags (0, 1, 0, 1).
+  for (dc::u64 child = 0; child < 4; ++child) {
+    dual_sort_rec(m, keys, level - 1, (prefix << 2) | child,
+                  (child & 1) != 0);
+  }
+  // Half-merge pass directed by bit 2k-2, then full merge by tag.
+  for (unsigned jj = span_bits - 1; jj-- > 0;) {
+    subcube_dimension_step<Key>(m, keys, span_bits, prefix, jj,
+                                [&](net::NodeId u) {
+                                  return dc::bits::get(u, span_bits - 1) == 0;
+                                });
+  }
+  for (unsigned jj = span_bits; jj-- > 0;) {
+    subcube_dimension_step<Key>(m, keys, span_bits, prefix, jj,
+                                [&](net::NodeId) { return !descending; });
+  }
+}
+
+}  // namespace detail
+
+/// The paper's recursive D_sort, executed call by call (an executable
+/// specification; see header comment). Sorts `keys` ascending iff
+/// !descending.
+template <typename Key>
+void dual_sort_recursive(sim::Machine& m, const net::RecursiveDualCube& r,
+                         std::vector<Key>& keys, bool descending = false) {
+  DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&r),
+             "machine must run on the given recursive dual-cube");
+  DC_REQUIRE(keys.size() == r.node_count(), "one key per node required");
+  detail::dual_sort_rec(m, keys, r.order(), 0, descending);
+}
+
+}  // namespace dc::core

@@ -1,0 +1,93 @@
+// Radix sort on the dual-cube — the paper's "first technique" (Algorithm 2)
+// driving a non-comparison sort: every pass is a stable split by one key
+// bit, computed as a diminished prefix of 0/1 flags plus an all-reduce for
+// the zero count, followed by a permutation routing.
+//
+// For b-bit keys: b passes, each costing 2n cycles of prefix + 2n cycles
+// of all-reduce + a permutation drain. Stability of each split makes the
+// whole sort correct (classic LSD radix argument). Communication grows
+// with the key width instead of quadratically with n — another point in
+// the design space quantified by bench/tab_sort_alternatives.
+#pragma once
+
+#include <vector>
+
+#include "collectives/reduce.hpp"
+#include "core/dual_prefix.hpp"
+#include "sim/store_forward.hpp"
+#include "topology/routing.hpp"
+
+namespace dc::core {
+
+struct RadixSortStats {
+  dc::u64 passes = 0;
+  dc::u64 routing_cycles = 0;  ///< permutation drains, summed over passes
+};
+
+/// Sorts `keys` (index = global data index) ascending by the low
+/// `key_bits` bits (keys must fit; checked). Stable within each pass.
+inline RadixSortStats radix_sort(sim::Machine& m, const net::DualCube& d,
+                                 std::vector<dc::u64>& keys,
+                                 unsigned key_bits) {
+  DC_REQUIRE(keys.size() == d.node_count(), "one key per node required");
+  DC_REQUIRE(key_bits >= 1 && key_bits <= 64, "key width out of range");
+  const std::size_t n_nodes = d.node_count();
+  if (key_bits < 64) {
+    for (const dc::u64 k : keys)
+      DC_REQUIRE(k < dc::bits::pow2(key_bits), "key exceeds declared width");
+  }
+  const Plus<dc::u64> plus;
+  RadixSortStats stats;
+
+  for (unsigned bit = 0; bit < key_bits; ++bit) {
+    ++stats.passes;
+    // flag = 1 for keys whose current bit is 0 (they go to the front).
+    std::vector<dc::u64> flag(n_nodes);
+    m.compute_step([&](net::NodeId u) {
+      const auto idx = dual_prefix_index_of_node(d, u);
+      flag[idx] = dc::bits::get(keys[idx], bit) == 0 ? 1 : 0;
+      m.add_ops(1);
+    });
+
+    // z[i] = zeros before index i (diminished prefix, 2n cycles).
+    const auto zeros_before =
+        dual_prefix(m, d, plus, flag, {}, /*inclusive=*/false);
+    // Z = total zeros, known to every node via all-reduce (2n cycles).
+    const dc::u64 total_zeros =
+        collectives::dual_allreduce(m, d, plus, flag).front();
+
+    // Stable destination: zeros keep order at the front, ones at the back.
+    std::vector<net::NodeId> dest(n_nodes);
+    m.compute_step([&](net::NodeId u) {
+      const auto idx = dual_prefix_index_of_node(d, u);
+      if (flag[idx]) {
+        dest[idx] = zeros_before[idx];
+      } else {
+        dest[idx] = total_zeros + (idx - zeros_before[idx]);
+      }
+      m.add_ops(1);
+    });
+
+    // Permutation routing of data indices (map through the arrangement to
+    // physical nodes for the actual paths).
+    std::vector<net::NodeId> node_dest(n_nodes);
+    for (net::NodeId u = 0; u < n_nodes; ++u) {
+      node_dest[u] = dual_prefix_node_of_index(
+          d, dest[dual_prefix_index_of_node(d, u)]);
+    }
+    const auto report = sim::route_packets(
+        m, node_dest,
+        [&](net::NodeId s, net::NodeId v) { return net::route_dual_cube(d, s, v); });
+    stats.routing_cycles += report.cycles;
+
+    std::vector<dc::u64> next(n_nodes);
+    m.for_each_node([&](net::NodeId u) {
+      const auto idx = dual_prefix_index_of_node(d, u);
+      next[dest[idx]] = keys[idx];
+    });
+    keys = std::move(next);
+  }
+  return stats;
+}
+
+}  // namespace dc::core

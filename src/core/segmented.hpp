@@ -1,0 +1,87 @@
+// Segmented prefix computation — the classic generalization of scan
+// (Blelloch) expressed as a *monoid transformer*, so it runs unchanged on
+// every prefix algorithm in this library (Algorithm 1, Algorithm 2, the
+// block variants): a segmented scan is just an ordinary scan under the
+// derived monoid below.
+//
+// An element carries a value and a `head` flag marking the start of a
+// segment. Combination is
+//
+//   (a, fa) ⊕ (b, fb) = (fb ? b : a ⊕ b,  fa | fb)
+//
+// which is associative whenever the underlying ⊕ is (and is NOT
+// commutative even for commutative ⊕ — exercising exactly the property the
+// paper's algorithms must preserve; see ops.hpp).
+#pragma once
+
+#include <vector>
+
+#include "core/ops.hpp"
+
+namespace dc::core {
+
+/// Value+flag pair for segmented scans.
+template <typename V>
+struct Segmented {
+  V value{};
+  bool head = false;
+
+  friend bool operator==(const Segmented&, const Segmented&) = default;
+};
+
+/// The derived monoid: Seg<M> is a Monoid whenever M is.
+template <Monoid M>
+struct Seg {
+  using value_type = Segmented<typename M::value_type>;
+
+  explicit Seg(M inner = M{}) : inner_(std::move(inner)) {}
+
+  value_type identity() const { return {inner_.identity(), false}; }
+
+  value_type combine(const value_type& a, const value_type& b) const {
+    if (b.head) return b;
+    return {inner_.combine(a.value, b.value), a.head};
+  }
+
+ private:
+  M inner_;
+};
+
+/// Packs values and segment-head flags into Segmented elements.
+template <typename V>
+std::vector<Segmented<V>> make_segmented(const std::vector<V>& values,
+                                         const std::vector<bool>& heads) {
+  std::vector<Segmented<V>> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out[i] = {values[i], i < heads.size() && heads[i]};
+  return out;
+}
+
+/// Extracts the per-element scan results.
+template <typename V>
+std::vector<V> segmented_values(const std::vector<Segmented<V>>& s) {
+  std::vector<V> out;
+  out.reserve(s.size());
+  for (const auto& e : s) out.push_back(e.value);
+  return out;
+}
+
+/// Sequential reference: inclusive scan restarting at every head flag.
+template <Monoid M>
+std::vector<typename M::value_type> seq_segmented_scan(
+    const M& op, const std::vector<typename M::value_type>& values,
+    const std::vector<bool>& heads) {
+  std::vector<typename M::value_type> out(values.size(), op.identity());
+  typename M::value_type acc = op.identity();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i == 0 || (i < heads.size() && heads[i])) {
+      acc = values[i];
+    } else {
+      acc = op.combine(acc, values[i]);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace dc::core

@@ -1,0 +1,47 @@
+// Sequential reference implementations the parallel algorithms are tested
+// and benchmarked against.
+#pragma once
+
+#include <vector>
+
+#include "core/ops.hpp"
+
+namespace dc::core {
+
+/// Inclusive scan: out[i] = c[0] ⊕ ... ⊕ c[i], combined left to right.
+template <Monoid M>
+std::vector<typename M::value_type> seq_inclusive_scan(
+    const M& op, const std::vector<typename M::value_type>& c) {
+  std::vector<typename M::value_type> out(c.size(), op.identity());
+  typename M::value_type acc = op.identity();
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    acc = op.combine(acc, c[i]);
+    out[i] = acc;
+  }
+  return out;
+}
+
+/// Exclusive (diminished) scan: out[i] = c[0] ⊕ ... ⊕ c[i-1];
+/// out[0] = identity.
+template <Monoid M>
+std::vector<typename M::value_type> seq_exclusive_scan(
+    const M& op, const std::vector<typename M::value_type>& c) {
+  std::vector<typename M::value_type> out(c.size(), op.identity());
+  typename M::value_type acc = op.identity();
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    out[i] = acc;
+    acc = op.combine(acc, c[i]);
+  }
+  return out;
+}
+
+/// Total: c[0] ⊕ ... ⊕ c[n-1].
+template <Monoid M>
+typename M::value_type seq_reduce(
+    const M& op, const std::vector<typename M::value_type>& c) {
+  typename M::value_type acc = op.identity();
+  for (const auto& x : c) acc = op.combine(acc, x);
+  return acc;
+}
+
+}  // namespace dc::core

@@ -1,0 +1,26 @@
+// Step counters matching the paper's cost model.
+//
+// The paper's theorems bound two quantities under a synchronous, 1-port,
+// bidirectional-channel model:
+//   * communication steps — synchronous cycles in which every node sends at
+//     most one message and receives at most one message, each over a real
+//     link;
+//   * computation steps — parallel rounds in which every node applies O(1)
+//     binary operations (a ⊕ in prefix computation, a compare in sorting).
+// The machine counts both, plus raw totals useful for sanity checks.
+#pragma once
+
+#include <cstdint>
+
+namespace dc::sim {
+
+struct Counters {
+  std::uint64_t comm_cycles = 0;  ///< T_comm: synchronous communication steps
+  std::uint64_t comp_steps = 0;   ///< T_comp: parallel computation steps
+  std::uint64_t messages = 0;     ///< total messages delivered
+  std::uint64_t ops = 0;          ///< total binary-op / compare applications
+
+  friend bool operator==(const Counters&, const Counters&) = default;
+};
+
+}  // namespace dc::sim

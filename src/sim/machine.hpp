@@ -1,0 +1,167 @@
+// Synchronous message-passing machine.
+//
+// One Machine simulates a multicomputer whose processors are the vertices of
+// a Topology and whose links are its edges, executing SPMD algorithms as a
+// sequence of synchronous steps:
+//
+//   * comm_cycle<P>(plan)  — every node may submit at most one outgoing
+//     message (1-port); the machine validates that each message travels
+//     along a real link and that no node receives more than one message,
+//     then delivers all messages simultaneously and bumps T_comm.
+//   * compute_step(f)      — every node performs O(1) local work; bumps
+//     T_comp.
+//   * for_each_node(f)     — uncounted local bookkeeping (initialization,
+//     result copy-out). Never use this to hide real work: tests assert the
+//     counted totals against the paper's formulas.
+//
+// Violating the port or link discipline throws SimError, so the test suite
+// can prove the algorithms really fit the paper's model rather than just
+// trusting the step arithmetic.
+//
+// Node state lives in plain std::vector arrays owned by the algorithms
+// (index = node label); the machine owns only the topology reference, the
+// counters, and the per-cycle validation scratch. Planning callbacks run in
+// parallel over nodes (they must only read shared state and write their own
+// slots); delivery and validation are sequential and deterministic.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/counters.hpp"
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+#include "topology/topology.hpp"
+
+namespace dc::sim {
+
+/// Thrown when an algorithm breaks the communication model (sends along a
+/// non-edge, or some node would receive two messages in one cycle).
+class SimError : public dc::CheckError {
+ public:
+  explicit SimError(const std::string& what) : dc::CheckError(what) {}
+};
+
+/// A single outgoing message.
+template <typename P>
+struct Send {
+  net::NodeId to;
+  P payload;
+};
+
+class Machine {
+ public:
+  /// `validate`: check link existence per message (O(1) for the topologies
+  /// in this library). Port discipline is always enforced.
+  explicit Machine(const net::Topology& topo, bool validate = true)
+      : topo_(topo), validate_(validate) {}
+
+  const net::Topology& topology() const { return topo_; }
+  net::NodeId node_count() const { return topo_.node_count(); }
+
+  /// Snapshot of the step counters.
+  Counters counters() const {
+    Counters c = counters_;
+    c.ops = ops_.load(std::memory_order_relaxed);
+    return c;
+  }
+  void reset_counters() {
+    counters_ = Counters{};
+    ops_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Record `k` binary-op applications (prefix ⊕ or sort compares) without
+  /// advancing any step counter; compute_step advances T_comp. Thread-safe:
+  /// callable from inside compute_step callbacks.
+  void add_ops(std::uint64_t k) {
+    ops_.fetch_add(k, std::memory_order_relaxed);
+  }
+
+  /// One synchronous communication cycle carrying payloads of type P.
+  ///
+  /// `plan(u)` -> std::optional<Send<P>>; at most one outgoing message per
+  /// node per cycle (enforced by the signature). Returns the inbox: for
+  /// each node, the payload it received this cycle, if any.
+  template <typename P, typename Plan>
+  std::vector<std::optional<P>> comm_cycle(Plan&& plan) {
+    const std::size_t n = node_count();
+    std::vector<std::optional<Send<P>>> outbox(n);
+    dc::parallel_for(0, n, [&](std::size_t u) {
+      outbox[u] = plan(static_cast<net::NodeId>(u));
+    });
+
+    std::vector<std::optional<P>> inbox(n);
+    std::uint64_t delivered = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (!outbox[u]) continue;
+      auto& msg = *outbox[u];
+      if (msg.to >= n) {
+        throw SimError("node " + std::to_string(u) +
+                       " sent to out-of-range node " + std::to_string(msg.to));
+      }
+      if (validate_ && !topo_.has_edge(static_cast<net::NodeId>(u), msg.to)) {
+        throw SimError("node " + std::to_string(u) + " sent to " +
+                       std::to_string(msg.to) + " but " + topo_.name() +
+                       " has no such link");
+      }
+      if (inbox[msg.to]) {
+        throw SimError("1-port violation: node " + std::to_string(msg.to) +
+                       " would receive two messages in one cycle");
+      }
+      if (edge_load_enabled_) {
+        ++edge_load_[static_cast<net::NodeId>(u) * n + msg.to];
+      }
+      inbox[msg.to] = std::move(msg.payload);
+      ++delivered;
+    }
+    ++counters_.comm_cycles;
+    counters_.messages += delivered;
+    if (tracing_) messages_per_cycle_.push_back(delivered);
+    return inbox;
+  }
+
+  /// One parallel computation step: f(u) for every node. f must only write
+  /// state owned by node u.
+  template <typename F>
+  void compute_step(F&& f) {
+    const std::size_t n = node_count();
+    dc::parallel_for(0, n, [&](std::size_t u) { f(static_cast<net::NodeId>(u)); });
+    ++counters_.comp_steps;
+  }
+
+  /// Uncounted per-node bookkeeping (initialization, copy-out).
+  template <typename F>
+  void for_each_node(F&& f) {
+    const std::size_t n = node_count();
+    dc::parallel_for(0, n, [&](std::size_t u) { f(static_cast<net::NodeId>(u)); });
+  }
+
+  /// Enable recording of per-cycle delivered-message counts.
+  void enable_trace() { tracing_ = true; }
+  const std::vector<std::uint64_t>& messages_per_cycle() const {
+    return messages_per_cycle_;
+  }
+
+  /// Enable per-directed-edge message counting (hot-spot analysis).
+  void enable_edge_load() { edge_load_enabled_ = true; }
+  /// Messages carried by the directed edge u -> v over the whole run.
+  std::uint64_t edge_load(net::NodeId u, net::NodeId v) const {
+    const auto it = edge_load_.find(u * node_count() + v);
+    return it == edge_load_.end() ? 0 : it->second;
+  }
+
+ private:
+  const net::Topology& topo_;
+  bool validate_;
+  bool tracing_ = false;
+  Counters counters_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::vector<std::uint64_t> messages_per_cycle_;
+  bool edge_load_enabled_ = false;
+  std::unordered_map<std::uint64_t, std::uint64_t> edge_load_;
+};
+
+}  // namespace dc::sim

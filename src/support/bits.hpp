@@ -1,0 +1,114 @@
+// Bit-manipulation helpers used throughout the topology and algorithm code.
+// Node labels are dense unsigned integers; every helper here is constexpr and
+// total (no undefined behaviour for any input in range).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace dc {
+
+using u64 = std::uint64_t;
+using u32 = std::uint32_t;
+
+namespace bits {
+
+/// 2^e as u64. Precondition: e < 64.
+constexpr u64 pow2(unsigned e) {
+  return u64{1} << e;
+}
+
+/// Value of bit `i` of `x` (0 or 1).
+constexpr unsigned get(u64 x, unsigned i) {
+  return static_cast<unsigned>((x >> i) & u64{1});
+}
+
+/// `x` with bit `i` flipped.
+constexpr u64 flip(u64 x, unsigned i) {
+  return x ^ (u64{1} << i);
+}
+
+/// `x` with bit `i` set to `v` (v in {0,1}).
+constexpr u64 set(u64 x, unsigned i, unsigned v) {
+  return (x & ~(u64{1} << i)) | (static_cast<u64>(v & 1u) << i);
+}
+
+/// Low `w` consecutive bits of `x` starting at `lo`.
+constexpr u64 field(u64 x, unsigned lo, unsigned w) {
+  return (x >> lo) & (w >= 64 ? ~u64{0} : (u64{1} << w) - 1);
+}
+
+/// `x` with the `w`-bit field at `lo` replaced by the low `w` bits of `v`.
+constexpr u64 with_field(u64 x, unsigned lo, unsigned w, u64 v) {
+  const u64 mask = (w >= 64 ? ~u64{0} : (u64{1} << w) - 1) << lo;
+  return (x & ~mask) | ((v << lo) & mask);
+}
+
+/// Number of set bits.
+constexpr unsigned popcount(u64 x) {
+  return static_cast<unsigned>(std::popcount(x));
+}
+
+/// Hamming distance between two labels.
+constexpr unsigned hamming(u64 a, u64 b) {
+  return popcount(a ^ b);
+}
+
+/// True iff `x` is a power of two (x > 0).
+constexpr bool is_pow2(u64 x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)). Precondition: x > 0.
+constexpr unsigned log2_floor(u64 x) {
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// Index of the lowest set bit. Precondition: x > 0.
+constexpr unsigned lowest_set(u64 x) {
+  return static_cast<unsigned>(std::countr_zero(x));
+}
+
+/// Reverse the low `w` bits of `x` (bits at or above `w` are dropped).
+constexpr u64 reverse(u64 x, unsigned w) {
+  u64 r = 0;
+  for (unsigned i = 0; i < w; ++i) r |= static_cast<u64>(get(x, i)) << (w - 1 - i);
+  return r;
+}
+
+/// Interleave: place the low `w` bits of `even_src` at even positions
+/// 0,2,4,... and the low `w` bits of `odd_src` at odd positions 1,3,5,...
+constexpr u64 interleave(u64 even_src, u64 odd_src, unsigned w) {
+  u64 r = 0;
+  for (unsigned i = 0; i < w; ++i) {
+    r |= static_cast<u64>(get(even_src, i)) << (2 * i);
+    r |= static_cast<u64>(get(odd_src, i)) << (2 * i + 1);
+  }
+  return r;
+}
+
+/// Extract bits at even positions 0,2,...,2(w-1) into a compact w-bit value.
+constexpr u64 even_bits(u64 x, unsigned w) {
+  u64 r = 0;
+  for (unsigned i = 0; i < w; ++i) r |= static_cast<u64>(get(x, 2 * i)) << i;
+  return r;
+}
+
+/// Extract bits at odd positions 1,3,...,2w-1 into a compact w-bit value.
+constexpr u64 odd_bits(u64 x, unsigned w) {
+  u64 r = 0;
+  for (unsigned i = 0; i < w; ++i) r |= static_cast<u64>(get(x, 2 * i + 1)) << i;
+  return r;
+}
+
+/// Render the low `w` bits of `x` as a binary string, most significant first.
+inline std::string to_binary(u64 x, unsigned w) {
+  std::string s(w, '0');
+  for (unsigned i = 0; i < w; ++i)
+    if (get(x, w - 1 - i)) s[i] = '1';
+  return s;
+}
+
+}  // namespace bits
+}  // namespace dc

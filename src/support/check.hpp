@@ -1,0 +1,50 @@
+// Lightweight run-time checking machinery (P.6/P.7: make run-time errors
+// checkable and catch them early). All library-level invariant violations
+// throw dc::CheckError so callers (and tests) can observe them; nothing in
+// the library calls std::abort.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dc {
+
+/// Thrown when a DC_CHECK / DC_REQUIRE condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace dc
+
+/// Precondition check on public API boundaries. Always enabled.
+#define DC_REQUIRE(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dc::detail::check_failed("DC_REQUIRE", #cond, __FILE__,        \
+                                 __LINE__, (std::ostringstream{} << msg).str()); \
+    }                                                                  \
+  } while (false)
+
+/// Internal invariant check. Always enabled (the library is not hot enough
+/// for these to matter; determinism and early failure are worth more).
+#define DC_CHECK(cond, msg)                                            \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::dc::detail::check_failed("DC_CHECK", #cond, __FILE__,          \
+                                 __LINE__, (std::ostringstream{} << msg).str()); \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,90 @@
+#include "support/rng.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dc {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  DC_REQUIRE(bound > 0, "Rng::below needs a positive bound");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  DC_REQUIRE(lo <= hi, "Rng::range needs lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   below(span));
+}
+
+double Rng::unit() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::vector<KeyDistribution> all_key_distributions() {
+  return {KeyDistribution::kUniform,     KeyDistribution::kSorted,
+          KeyDistribution::kReverse,     KeyDistribution::kConstant,
+          KeyDistribution::kFewDistinct, KeyDistribution::kOrganPipe,
+          KeyDistribution::kAlmostSorted};
+}
+
+std::string to_string(KeyDistribution d) {
+  switch (d) {
+    case KeyDistribution::kUniform: return "uniform";
+    case KeyDistribution::kSorted: return "sorted";
+    case KeyDistribution::kReverse: return "reverse";
+    case KeyDistribution::kConstant: return "constant";
+    case KeyDistribution::kFewDistinct: return "few-distinct";
+    case KeyDistribution::kOrganPipe: return "organ-pipe";
+    case KeyDistribution::kAlmostSorted: return "almost-sorted";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint64_t> generate_keys(KeyDistribution d, std::size_t count,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> keys(count);
+  switch (d) {
+    case KeyDistribution::kUniform:
+      for (auto& k : keys) k = rng();
+      break;
+    case KeyDistribution::kSorted:
+      for (std::size_t i = 0; i < count; ++i) keys[i] = i;
+      break;
+    case KeyDistribution::kReverse:
+      for (std::size_t i = 0; i < count; ++i) keys[i] = count - i;
+      break;
+    case KeyDistribution::kConstant:
+      std::fill(keys.begin(), keys.end(), std::uint64_t{42});
+      break;
+    case KeyDistribution::kFewDistinct:
+      for (auto& k : keys) k = rng.below(8);
+      break;
+    case KeyDistribution::kOrganPipe:
+      for (std::size_t i = 0; i < count; ++i)
+        keys[i] = std::min(i, count - 1 - i);
+      break;
+    case KeyDistribution::kAlmostSorted: {
+      for (std::size_t i = 0; i < count; ++i) keys[i] = i;
+      const std::size_t swaps = std::max<std::size_t>(1, count / 100);
+      for (std::size_t s = 0; s < swaps && count > 1; ++s) {
+        const std::size_t a = rng.below(count);
+        const std::size_t b = rng.below(count);
+        std::swap(keys[a], keys[b]);
+      }
+      break;
+    }
+  }
+  return keys;
+}
+
+}  // namespace dc

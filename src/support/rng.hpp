@@ -1,0 +1,92 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All workloads in tests and benches are generated through these helpers so
+// every run is reproducible from a single seed. We implement xoshiro256**
+// (public-domain algorithm by Blackman & Vigna) seeded via splitmix64 rather
+// than relying on std::mt19937 so that sequences are stable across standard
+// library implementations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dc {
+
+/// splitmix64 step: used for seeding and as a cheap stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double unit();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Key distributions used by the sorting workloads. Mirrors the classic
+/// sort-benchmark shapes so adversarial inputs are exercised, not just
+/// uniform noise.
+enum class KeyDistribution {
+  kUniform,      ///< i.i.d. uniform keys
+  kSorted,       ///< already ascending
+  kReverse,      ///< strictly descending
+  kConstant,     ///< all keys equal
+  kFewDistinct,  ///< uniform over 8 distinct values
+  kOrganPipe,    ///< ascending then descending
+  kAlmostSorted  ///< sorted with ~1% random swaps
+};
+
+/// All distributions, for parameterized tests/benches.
+std::vector<KeyDistribution> all_key_distributions();
+
+/// Human-readable name of a distribution.
+std::string to_string(KeyDistribution d);
+
+/// Generate `count` 64-bit keys with the given shape, deterministically.
+std::vector<std::uint64_t> generate_keys(KeyDistribution d, std::size_t count,
+                                         std::uint64_t seed);
+
+}  // namespace dc

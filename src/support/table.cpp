@@ -1,0 +1,64 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dc {
+
+void Table::header(std::vector<std::string> names) {
+  DC_REQUIRE(rows_.empty(), "set the header before adding rows");
+  header_ = std::move(names);
+}
+
+void Table::row(std::vector<std::string> cells) {
+  DC_REQUIRE(header_.empty() || cells.size() == header_.size(),
+             "row arity " << cells.size() << " != header arity "
+                          << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell_to_string(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size())
+        os << std::string(widths[i] - cells[i].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_string();
+}
+
+}  // namespace dc

@@ -1,0 +1,53 @@
+// Minimal column-aligned ASCII table used by the benchmark harness to print
+// the paper-vs-measured rows. Kept deliberately simple: add a header, add
+// rows of strings/numbers, stream it out.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace dc {
+
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the column headers; call once before adding rows.
+  void header(std::vector<std::string> names);
+
+  /// Appends a row. Must have the same arity as the header.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with cell_to_string.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    row({cell_to_string(cells)...});
+  }
+
+  /// Renders the table with column alignment and a rule under the header.
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(bool b) { return b ? "yes" : "no"; }
+  static std::string cell_to_string(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string cell_to_string(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace dc

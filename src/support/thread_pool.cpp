@@ -1,0 +1,106 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t workers = pool.size();
+
+  // Not worth dispatching: run inline.
+  constexpr std::size_t kInlineThreshold = 2048;
+  if (workers <= 1 || count <= kInlineThreshold) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t chunks = std::min(count, workers * 4);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+
+  // Materialize the chunk ranges before submitting anything so the
+  // completion counter can be initialized up front (otherwise a fast worker
+  // could decrement it below zero).
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    ranges.emplace_back(lo, std::min(end, lo + chunk_size));
+  }
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = ranges.size();
+  std::exception_ptr first_error;
+
+  for (const auto& [lo, hi] : ranges) {
+    pool.submit([&, lo = lo, hi = hi] {
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::scoped_lock lock(done_mutex);
+      if (error && !first_error) first_error = error;
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+    if (first_error) std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace dc

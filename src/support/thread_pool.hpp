@@ -1,0 +1,62 @@
+// A small fixed-size thread pool plus a blocking parallel_for built on it.
+//
+// The simulator executes one synchronous "cycle" at a time; within a cycle
+// every virtual node acts independently, which is an embarrassingly parallel
+// loop. We follow CP.4 (think in terms of tasks, not threads): callers only
+// ever submit range-tasks through parallel_for and never touch threads.
+//
+// The pool is deterministic from the caller's point of view: parallel_for
+// partitions the index range into contiguous chunks, so any per-index writes
+// to disjoint slots are race-free, and the call does not return until every
+// chunk has completed (exceptions are captured and rethrown on the caller).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dc {
+
+/// Fixed-size worker pool executing void() tasks.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Process-wide shared pool, created on first use.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for every i in [begin, end) using the shared pool, blocking
+/// until all iterations finish. Small ranges run inline. If any iteration
+/// throws, one of the exceptions is rethrown on the calling thread after all
+/// chunks have drained.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace dc

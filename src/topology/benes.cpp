@@ -1,0 +1,135 @@
+#include "topology/benes.hpp"
+
+#include <algorithm>
+
+namespace dc::net {
+
+namespace {
+
+bool is_permutation_of_range(const std::vector<dc::u64>& p) {
+  std::vector<char> seen(p.size(), 0);
+  for (const dc::u64 v : p) {
+    if (v >= p.size() || seen[v]) return false;
+    seen[v] = 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+Benes::Settings Benes::route(const std::vector<dc::u64>& perm) const {
+  DC_REQUIRE(perm.size() == terminals(), "one destination per terminal");
+  DC_REQUIRE(is_permutation_of_range(perm), "input must be a permutation");
+  Settings settings(stages(),
+                    std::vector<bool>(switches_per_stage(), false));
+  route_rec(perm, 0, stages() - 1, 0, settings);
+  return settings;
+}
+
+void Benes::route_rec(std::vector<dc::u64> perm, unsigned stage_lo,
+                      unsigned stage_hi, dc::u64 row_offset,
+                      Settings& out) const {
+  const dc::u64 n = perm.size();
+  if (n == 2) {
+    // A single switch occupies the middle stage of this 1-stage subnetwork.
+    DC_CHECK(stage_lo == stage_hi, "size-2 subnetwork must be one stage");
+    out[stage_lo][row_offset / 2] = perm[0] == 1;
+    return;
+  }
+
+  // Looping algorithm: 2-color the inputs so that the two inputs of every
+  // first-stage switch and the two inputs destined for the same last-stage
+  // switch get different colors (color 0 -> upper subnetwork).
+  std::vector<dc::u64> inverse(n);
+  for (dc::u64 i = 0; i < n; ++i) inverse[perm[i]] = i;
+  std::vector<int> color(n, -1);
+  for (dc::u64 start = 0; start < n; ++start) {
+    if (color[start] != -1) continue;
+    dc::u64 i = start;
+    int c = 0;
+    // Alternate constraints: (input partner) then (output partner).
+    for (;;) {
+      if (color[i] != -1) break;
+      color[i] = c;
+      const dc::u64 sibling = i ^ 1;         // same input switch
+      if (color[sibling] != -1) break;
+      color[sibling] = 1 - c;
+      const dc::u64 out_partner = perm[sibling] ^ 1;  // same output switch
+      i = inverse[out_partner];
+      c = 1 - color[sibling];
+    }
+  }
+
+  // First and last stage settings + subnetwork permutations.
+  const dc::u64 half = n / 2;
+  std::vector<dc::u64> upper(half);
+  std::vector<dc::u64> lower(half);
+  for (dc::u64 sw = 0; sw < half; ++sw) {
+    const dc::u64 a = 2 * sw;
+    const dc::u64 b = a + 1;
+    DC_CHECK(color[a] + color[b] == 1, "switch inputs must split");
+    out[stage_lo][row_offset / 2 + sw] = color[a] == 1;  // cross when a -> lower
+    const dc::u64 to_upper = color[a] == 0 ? a : b;
+    const dc::u64 to_lower = color[a] == 0 ? b : a;
+    upper[sw] = perm[to_upper] / 2;
+    lower[sw] = perm[to_lower] / 2;
+  }
+  for (dc::u64 sw = 0; sw < half; ++sw) {
+    // The input destined for terminal 2*sw leaves through its subnetwork's
+    // output `sw`; straight wiring sends the upper subnetwork to 2*sw.
+    const dc::u64 via_upper = inverse[2 * sw];
+    out[stage_hi][row_offset / 2 + sw] = color[via_upper] == 1;
+  }
+
+  route_rec(std::move(upper), stage_lo + 1, stage_hi - 1, row_offset, out);
+  route_rec(std::move(lower), stage_lo + 1, stage_hi - 1, row_offset + half,
+            out);
+}
+
+std::vector<dc::u64> Benes::apply(const Settings& settings) const {
+  DC_REQUIRE(settings.size() == stages(), "wrong number of stages");
+  for (const auto& stage : settings)
+    DC_REQUIRE(stage.size() == switches_per_stage(),
+               "wrong number of switches in a stage");
+  std::vector<dc::u64> identity(terminals());
+  for (dc::u64 i = 0; i < terminals(); ++i) identity[i] = i;
+  // in[r] = original input currently on row r; returns out rows -> input.
+  const auto routed =
+      apply_rec(settings, 0, stages() - 1, 0, std::move(identity));
+  // Convert "output row r carries input routed[r]" into perm[input] = row.
+  std::vector<dc::u64> perm(terminals());
+  for (dc::u64 r = 0; r < terminals(); ++r) perm[routed[r]] = r;
+  return perm;
+}
+
+std::vector<dc::u64> Benes::apply_rec(const Settings& settings,
+                                      unsigned stage_lo, unsigned stage_hi,
+                                      dc::u64 row_offset,
+                                      std::vector<dc::u64> in) const {
+  const dc::u64 n = in.size();
+  if (n == 2) {
+    if (settings[stage_lo][row_offset / 2]) std::swap(in[0], in[1]);
+    return in;
+  }
+  const dc::u64 half = n / 2;
+  std::vector<dc::u64> upper(half);
+  std::vector<dc::u64> lower(half);
+  for (dc::u64 sw = 0; sw < half; ++sw) {
+    const bool cross = settings[stage_lo][row_offset / 2 + sw];
+    upper[sw] = cross ? in[2 * sw + 1] : in[2 * sw];
+    lower[sw] = cross ? in[2 * sw] : in[2 * sw + 1];
+  }
+  upper = apply_rec(settings, stage_lo + 1, stage_hi - 1, row_offset,
+                    std::move(upper));
+  lower = apply_rec(settings, stage_lo + 1, stage_hi - 1, row_offset + half,
+                    std::move(lower));
+  std::vector<dc::u64> out(n);
+  for (dc::u64 sw = 0; sw < half; ++sw) {
+    const bool cross = settings[stage_hi][row_offset / 2 + sw];
+    out[2 * sw] = cross ? lower[sw] : upper[sw];
+    out[2 * sw + 1] = cross ? upper[sw] : lower[sw];
+  }
+  return out;
+}
+
+}  // namespace dc::net

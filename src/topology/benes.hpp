@@ -1,0 +1,57 @@
+// The Beneš network B(k) — the rearrangeable multistage permutation network
+// listed in the paper's introduction among the bounded-degree hypercube
+// derivatives. N = 2^k terminals route through 2k-1 stages of N/2 binary
+// (2x2) switches; *any* permutation of the terminals is realizable with
+// edge-disjoint paths, and the classic *looping algorithm* computes the
+// switch settings in O(N log N).
+//
+// This is a switching fabric rather than a direct processor network, so it
+// is modeled as its own class (stages of switch settings) instead of a
+// Topology. `route` runs the looping algorithm; `apply` simulates the
+// fabric with those settings, which the tests use to certify that every
+// requested permutation is realized exactly.
+#pragma once
+
+#include <vector>
+
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace dc::net {
+
+class Benes {
+ public:
+  /// Per-stage switch settings; settings[s][w] == true means switch w of
+  /// stage s crosses its two lines.
+  using Settings = std::vector<std::vector<bool>>;
+
+  /// B(k) with 2^k terminals and 2k-1 stages. Requires k >= 1.
+  explicit Benes(unsigned k) : k_(k) {
+    DC_REQUIRE(k >= 1 && k <= 20, "Benes order out of range");
+  }
+
+  unsigned k() const { return k_; }
+  dc::u64 terminals() const { return dc::bits::pow2(k_); }
+  unsigned stages() const { return 2 * k_ - 1; }
+  dc::u64 switches_per_stage() const { return terminals() / 2; }
+  /// Total 2x2 switches, N/2 * (2k-1).
+  dc::u64 switch_count() const { return switches_per_stage() * stages(); }
+
+  /// Looping algorithm: switch settings realizing `perm` (input i exits at
+  /// terminal perm[i]). `perm` must be a permutation of 0..N-1.
+  Settings route(const std::vector<dc::u64>& perm) const;
+
+  /// Simulates the fabric: returns the permutation realized by `settings`.
+  std::vector<dc::u64> apply(const Settings& settings) const;
+
+ private:
+  void route_rec(std::vector<dc::u64> perm, unsigned stage_lo,
+                 unsigned stage_hi, dc::u64 row_offset, Settings& out) const;
+  std::vector<dc::u64> apply_rec(const Settings& settings, unsigned stage_lo,
+                                 unsigned stage_hi, dc::u64 row_offset,
+                                 std::vector<dc::u64> in) const;
+
+  unsigned k_;
+};
+
+}  // namespace dc::net

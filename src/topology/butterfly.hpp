@@ -1,0 +1,55 @@
+// Wrap-around butterfly BF_k: k levels x 2^k rows, degree 4. A node
+// (l, r) connects within its level's "straight" edges to (l+1 mod k, r) and
+// across the "cross" edges to (l+1 mod k, r ^ 2^l) — plus the mirror edges
+// from level l-1. One more bounded-degree hypercube derivative from the
+// paper's introduction, for the topology-properties table.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace dc::net {
+
+class WrappedButterfly final : public Topology {
+ public:
+  /// BF_k with k * 2^k nodes. Requires k >= 3 (k <= 2 degenerates into
+  /// parallel edges).
+  explicit WrappedButterfly(unsigned k) : k_(k) {
+    DC_REQUIRE(k >= 3, "wrapped butterfly needs k >= 3");
+    DC_REQUIRE(k <= 25, "butterfly order too large to simulate");
+  }
+
+  std::string name() const override { return "BF_" + std::to_string(k_); }
+  NodeId node_count() const override {
+    return static_cast<NodeId>(k_) * dc::bits::pow2(k_);
+  }
+
+  std::vector<NodeId> neighbors(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    const auto [l, r] = decode(u);
+    const unsigned next = (l + 1) % k_;
+    const unsigned prev = (l + k_ - 1) % k_;
+    return {
+        encode(next, r),                          // straight forward
+        encode(next, dc::bits::flip(r, l)),       // cross forward (bit l)
+        encode(prev, r),                          // straight backward
+        encode(prev, dc::bits::flip(r, prev)),    // cross backward (bit l-1)
+    };
+  }
+
+  unsigned k() const { return k_; }
+
+  /// (level, row) of node u.
+  std::pair<unsigned, dc::u64> decode(NodeId u) const {
+    return {static_cast<unsigned>(u % k_), u / k_};
+  }
+
+  NodeId encode(unsigned level, dc::u64 row) const {
+    DC_REQUIRE(level < k_ && row < dc::bits::pow2(k_), "address out of range");
+    return row * k_ + level;
+  }
+
+ private:
+  unsigned k_;
+};
+
+}  // namespace dc::net

@@ -1,0 +1,52 @@
+// Cube-connected cycles CCC_k (Preparata & Vuillemin): each vertex of Q_k is
+// replaced by a k-cycle; cycle position p carries the dimension-p hypercube
+// link. k * 2^k nodes, degree 3. The paper positions the dual-cube as an
+// improvement over CCC, so CCC appears in the topology-properties table.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace dc::net {
+
+class CubeConnectedCycles final : public Topology {
+ public:
+  /// CCC_k with k * 2^k nodes. Requires k >= 3 so cycles are simple.
+  explicit CubeConnectedCycles(unsigned k) : k_(k) {
+    DC_REQUIRE(k >= 3, "CCC needs cycle length >= 3");
+    DC_REQUIRE(k <= 25, "CCC order too large to simulate");
+  }
+
+  std::string name() const override { return "CCC_" + std::to_string(k_); }
+  NodeId node_count() const override {
+    return static_cast<NodeId>(k_) * dc::bits::pow2(k_);
+  }
+
+  std::vector<NodeId> neighbors(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    const auto [x, p] = decode(u);
+    return {
+        encode(x, (p + 1) % k_),            // cycle forward
+        encode(x, (p + k_ - 1) % k_),       // cycle backward
+        encode(dc::bits::flip(x, p), p),    // hypercube link at dimension p
+    };
+  }
+
+  /// Cycle length / cube dimension k.
+  unsigned k() const { return k_; }
+
+  /// (cube label, cycle position) of node u.
+  std::pair<dc::u64, unsigned> decode(NodeId u) const {
+    return {u / k_, static_cast<unsigned>(u % k_)};
+  }
+
+  /// Node label from (cube label, cycle position).
+  NodeId encode(dc::u64 x, unsigned p) const {
+    DC_REQUIRE(x < dc::bits::pow2(k_) && p < k_, "address out of range");
+    return x * k_ + p;
+  }
+
+ private:
+  unsigned k_;
+};
+
+}  // namespace dc::net

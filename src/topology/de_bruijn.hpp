@@ -1,0 +1,43 @@
+// Undirected binary de Bruijn graph DB_d on 2^d nodes: u is adjacent to the
+// shift-in neighbors (2u mod 2^d, 2u+1 mod 2^d) and the shift-out neighbors
+// (u >> 1, (u >> 1) | 2^(d-1)). Self-loops and parallel edges collapsing to
+// the same neighbor are removed, so the graph is simple with maximum degree
+// 4. Listed in the paper's introduction as a bounded-degree hypercube
+// derivative; included for the topology-properties comparison table.
+#pragma once
+
+#include <algorithm>
+
+#include "topology/topology.hpp"
+
+namespace dc::net {
+
+class DeBruijn final : public Topology {
+ public:
+  explicit DeBruijn(unsigned d) : d_(d) {
+    DC_REQUIRE(d >= 1 && d <= 30, "de Bruijn dimension out of range");
+  }
+
+  std::string name() const override { return "DB_" + std::to_string(d_); }
+  NodeId node_count() const override { return dc::bits::pow2(d_); }
+
+  std::vector<NodeId> neighbors(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    const dc::u64 mask = node_count() - 1;
+    std::vector<NodeId> out = {
+        (u << 1) & mask,
+        ((u << 1) | 1) & mask,
+        u >> 1,
+        (u >> 1) | dc::bits::pow2(d_ - 1),
+    };
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    out.erase(std::remove(out.begin(), out.end(), u), out.end());
+    return out;
+  }
+
+ private:
+  unsigned d_;
+};
+
+}  // namespace dc::net

@@ -1,0 +1,74 @@
+#include "topology/describe.hpp"
+
+#include <sstream>
+
+namespace dc::net {
+
+using dc::bits::get;
+using dc::bits::to_binary;
+
+std::string describe_dual_cube(const DualCube& d) {
+  const unsigned bits = d.label_bits();
+  std::ostringstream os;
+  os << d.name() << ": " << d.node_count() << " nodes, " << d.edge_count()
+     << " links, " << d.order() << " links/node, diameter " << d.diameter()
+     << "\n";
+  os << "  2 classes x " << d.clusters_per_class() << " clusters x "
+     << d.cluster_size() << " nodes; each cluster is a "
+     << d.cluster_cube().name() << "\n";
+  for (unsigned cls = 0; cls <= 1; ++cls) {
+    os << "class " << cls << ":\n";
+    for (dc::u64 c = 0; c < d.clusters_per_class(); ++c) {
+      os << "  cluster " << to_binary(c, d.order() - 1) << ":";
+      for (const NodeId u : d.cluster_members(cls, c)) {
+        os << "  " << to_binary(u, bits) << "->"
+           << to_binary(d.cross_neighbor(u), bits);
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string describe_recursive_construction(const RecursiveDualCube& r) {
+  const unsigned n = r.order();
+  const unsigned bits = r.label_bits();
+  std::ostringstream os;
+  os << r.name() << " as four copies of D_" << (n - 1)
+     << " (copy = two leftmost bits):\n";
+  if (n == 1) {
+    os << "  base case: D_1 = K_2 on labels {0, 1}\n";
+    return os.str();
+  }
+  const dc::u64 copy_size = dc::bits::pow2(bits - 2);
+  for (unsigned copy = 0; copy < 4; ++copy) {
+    os << "  copy " << to_binary(copy, 2) << ": labels "
+       << to_binary(static_cast<dc::u64>(copy) * copy_size, bits) << " .. "
+       << to_binary(static_cast<dc::u64>(copy + 1) * copy_size - 1, bits)
+       << "\n";
+  }
+  os << "recursive links (each node gains exactly one):\n";
+  os << "  dimension " << (bits - 1) << " (even) matches nodes with u_0 = 0: ";
+  unsigned shown = 0;
+  for (NodeId u = 0; u < r.node_count() && shown < 4; ++u) {
+    if (get(u, 0) == 0 && get(u, bits - 1) == 0) {
+      os << to_binary(u, bits) << "<->" << to_binary(dc::bits::flip(u, bits - 1), bits)
+         << " ";
+      ++shown;
+    }
+  }
+  os << "...\n";
+  os << "  dimension " << (bits - 2) << " (odd) matches nodes with u_0 = 1: ";
+  shown = 0;
+  for (NodeId u = 0; u < r.node_count() && shown < 4; ++u) {
+    if (get(u, 0) == 1 && get(u, bits - 2) == 0) {
+      os << to_binary(u, bits) << "<->" << to_binary(dc::bits::flip(u, bits - 2), bits)
+         << " ";
+      ++shown;
+    }
+  }
+  os << "...\n";
+  return os.str();
+}
+
+}  // namespace dc::net

@@ -1,0 +1,24 @@
+// Textual rendering of small dual-cubes: the cluster decomposition of the
+// standard presentation (Figures 1 and 2 of the paper) and the four-copy
+// recursive construction (Figure 4). Pure formatting; all structure comes
+// from the topology classes.
+#pragma once
+
+#include <string>
+
+#include "topology/dual_cube.hpp"
+#include "topology/recursive_dual_cube.hpp"
+
+namespace dc::net {
+
+/// Multi-line description of D_n grouped by class and cluster, listing each
+/// node's binary label, intra-cluster links, and cross-edge partner.
+/// Intended for n <= 3 (Figures 1-2); larger n still works but is long.
+std::string describe_dual_cube(const DualCube& d);
+
+/// Multi-line description of the recursive presentation: the four D_(n-1)
+/// copies selected by the two leftmost bits, and the two matchings of
+/// recursive links that join them (Figure 4).
+std::string describe_recursive_construction(const RecursiveDualCube& r);
+
+}  // namespace dc::net

@@ -1,0 +1,91 @@
+#include "topology/dual_cube.hpp"
+
+namespace dc::net {
+
+using dc::bits::field;
+using dc::bits::flip;
+using dc::bits::get;
+using dc::bits::hamming;
+using dc::bits::with_field;
+
+std::vector<NodeId> DualCube::neighbors(NodeId u) const {
+  DC_REQUIRE(u < node_count(), "node out of range");
+  const unsigned w = n_ - 1;  // field width
+  std::vector<NodeId> out;
+  out.reserve(n_);
+  // Cube edges span the node-ID field: part I (bits 0..n-2) for class 0,
+  // part II (bits n-1..2n-3) for class 1.
+  const unsigned base = node_class(u) == 0 ? 0 : w;
+  for (unsigned i = 0; i < w; ++i) out.push_back(flip(u, base + i));
+  out.push_back(cross_neighbor(u));
+  return out;
+}
+
+bool DualCube::has_edge(NodeId u, NodeId v) const {
+  DC_REQUIRE(u < node_count() && v < node_count(), "node out of range");
+  if (hamming(u, v) != 1) return false;
+  const unsigned i = dc::bits::lowest_set(u ^ v);
+  const unsigned w = n_ - 1;
+  if (i == 2 * n_ - 2) return true;  // cross-edge
+  // Cube edge: the flipped bit must lie in the node-ID field of the
+  // (common) class of the endpoints.
+  if (i < w) return node_class(u) == 0;
+  return node_class(u) == 1;
+}
+
+DualCubeAddress DualCube::decode(NodeId u) const {
+  DC_REQUIRE(u < node_count(), "node out of range");
+  const unsigned w = n_ - 1;
+  const dc::u64 part1 = field(u, 0, w);
+  const dc::u64 part2 = field(u, w, w);
+  if (node_class(u) == 0) return {0, part2, part1};
+  return {1, part1, part2};
+}
+
+NodeId DualCube::encode(const DualCubeAddress& a) const {
+  const unsigned w = n_ - 1;
+  DC_REQUIRE(a.cls <= 1, "class must be 0 or 1");
+  DC_REQUIRE(a.cluster < clusters_per_class(), "cluster ID out of range");
+  DC_REQUIRE(a.node < cluster_size(), "node ID out of range");
+  dc::u64 u = static_cast<dc::u64>(a.cls) << (2 * n_ - 2);
+  if (a.cls == 0) {
+    u = with_field(u, 0, w, a.node);
+    u = with_field(u, w, w, a.cluster);
+  } else {
+    u = with_field(u, 0, w, a.cluster);
+    u = with_field(u, w, w, a.node);
+  }
+  return u;
+}
+
+NodeId DualCube::cluster_neighbor(NodeId u, unsigned i) const {
+  DC_REQUIRE(u < node_count(), "node out of range");
+  DC_REQUIRE(n_ >= 2 && i <= n_ - 2, "cluster dimension out of range");
+  const unsigned base = node_class(u) == 0 ? 0 : n_ - 1;
+  return flip(u, base + i);
+}
+
+bool DualCube::same_cluster(NodeId u, NodeId v) const {
+  const auto a = decode(u);
+  const auto b = decode(v);
+  return a.cls == b.cls && a.cluster == b.cluster;
+}
+
+std::vector<NodeId> DualCube::cluster_members(unsigned cls,
+                                              dc::u64 cluster) const {
+  std::vector<NodeId> out;
+  out.reserve(cluster_size());
+  for (dc::u64 id = 0; id < cluster_size(); ++id)
+    out.push_back(encode({cls, cluster, id}));
+  return out;
+}
+
+unsigned DualCube::distance(NodeId u, NodeId v) const {
+  const auto a = decode(u);
+  const auto b = decode(v);
+  const unsigned h = hamming(u, v);
+  if (a.cls != b.cls || a.cluster == b.cluster) return h;
+  return h + 2;  // must enter and leave a cluster of the other class
+}
+
+}  // namespace dc::net

@@ -1,0 +1,88 @@
+#include "topology/fault_routing.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "topology/routing.hpp"
+
+namespace dc::net {
+
+namespace {
+
+bool path_is_fault_free(const std::vector<NodeId>& path,
+                        const std::unordered_set<NodeId>& faulty) {
+  return std::none_of(path.begin(), path.end(), [&](NodeId u) {
+    return faulty.contains(u);
+  });
+}
+
+/// Tier 2: BFS restricted to fault-free nodes. Returns the shortest
+/// fault-free path or an empty vector when src and dst are disconnected.
+std::vector<NodeId> bfs_avoiding(const DualCube& d, NodeId src, NodeId dst,
+                                 const std::unordered_set<NodeId>& faulty) {
+  if (src == dst) return {src};
+  std::vector<NodeId> parent(d.node_count(), d.node_count());
+  std::queue<NodeId> frontier;
+  parent[src] = src;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : d.neighbors(u)) {
+      if (parent[v] != d.node_count() || faulty.contains(v)) continue;
+      parent[v] = u;
+      if (v == dst) {
+        std::vector<NodeId> path{dst};
+        for (NodeId w = dst; w != src; w = parent[w]) path.push_back(parent[w]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push(v);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+FaultRouteResult route_dual_cube_fault_tolerant(
+    const DualCube& d, NodeId src, NodeId dst,
+    const std::unordered_set<NodeId>& faulty, dc::Rng& rng,
+    unsigned max_retries) {
+  DC_REQUIRE(src < d.node_count() && dst < d.node_count(), "node out of range");
+  DC_REQUIRE(!faulty.contains(src) && !faulty.contains(dst),
+             "endpoints must be fault-free");
+  FaultRouteResult result;
+
+  // Tier 1a: the plain cluster route.
+  {
+    auto path = route_dual_cube(d, src, dst);
+    if (path_is_fault_free(path, faulty)) {
+      result.path = std::move(path);
+      return result;
+    }
+  }
+
+  // Tier 1b: detour through random fault-free intermediates. Each attempt
+  // concatenates two cluster routes; cheap and needs no global fault map —
+  // only the ability to test the chosen path.
+  for (unsigned attempt = 0; attempt < max_retries; ++attempt) {
+    ++result.retries;
+    const NodeId w = rng.below(d.node_count());
+    if (w == src || w == dst || faulty.contains(w)) continue;
+    auto first = route_dual_cube(d, src, w);
+    const auto second = route_dual_cube(d, w, dst);
+    first.insert(first.end(), second.begin() + 1, second.end());
+    if (path_is_fault_free(first, faulty)) {
+      result.path = std::move(first);
+      return result;
+    }
+  }
+
+  // Tier 2: global BFS fallback.
+  result.used_fallback = true;
+  result.path = bfs_avoiding(d, src, dst, faulty);
+  return result;
+}
+
+}  // namespace dc::net

@@ -1,0 +1,42 @@
+// Fault-tolerant point-to-point routing in the dual-cube.
+//
+// The dual-cube is n-regular and n-connected, so up to n-1 node faults
+// leave it connected; the fault-tolerant communication problem (the paper's
+// reference [4], Lee & Hayes, and the dual-cube follow-up literature) is to
+// keep routing without global recomputation. We implement a two-tier
+// scheme:
+//
+//   tier 1 — retry the cheap cluster route under random dimension-order
+//            permutations and random fault-free intermediate nodes
+//            (local-information flavored; finds a detour in almost all
+//            configurations with few tries);
+//   tier 2 — BFS on the fault-free subgraph (global fallback; finds a path
+//            whenever one exists and certifies disconnection otherwise).
+//
+// The result records which tier produced the path, so experiments can
+// report how often the cheap tier suffices.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "topology/dual_cube.hpp"
+
+namespace dc::net {
+
+struct FaultRouteResult {
+  std::vector<NodeId> path;  ///< empty iff no fault-free path exists
+  bool used_fallback = false;  ///< true when tier-2 BFS produced the path
+  unsigned retries = 0;        ///< tier-1 attempts consumed
+};
+
+/// Routes src -> dst in `d` avoiding `faulty` nodes (which must contain
+/// neither endpoint). `max_retries` bounds the tier-1 attempts.
+FaultRouteResult route_dual_cube_fault_tolerant(
+    const DualCube& d, NodeId src, NodeId dst,
+    const std::unordered_set<NodeId>& faulty, dc::Rng& rng,
+    unsigned max_retries = 16);
+
+}  // namespace dc::net

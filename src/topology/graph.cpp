@@ -1,0 +1,139 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <queue>
+#include <set>
+
+#include "support/thread_pool.hpp"
+
+namespace dc::net {
+
+std::vector<std::uint32_t> bfs_distances(const Topology& t, NodeId source) {
+  DC_REQUIRE(source < t.node_count(), "source out of range");
+  std::vector<std::uint32_t> dist(t.node_count(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : t.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Topology& t) {
+  if (t.node_count() == 0) return false;
+  const auto dist = bfs_distances(t, 0);
+  return std::find(dist.begin(), dist.end(), kUnreachable) == dist.end();
+}
+
+bool is_regular(const Topology& t, std::size_t* degree_out) {
+  DC_REQUIRE(t.node_count() > 0, "empty graph");
+  const std::size_t d0 = t.degree(0);
+  for (NodeId u = 1; u < t.node_count(); ++u)
+    if (t.degree(u) != d0) return false;
+  if (degree_out) *degree_out = d0;
+  return true;
+}
+
+bool is_bipartite(const Topology& t) {
+  std::vector<std::uint8_t> color(t.node_count(), 2);  // 2 = uncolored
+  for (NodeId s = 0; s < t.node_count(); ++s) {
+    if (color[s] != 2) continue;
+    color[s] = 0;
+    std::queue<NodeId> frontier;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const NodeId v : t.neighbors(u)) {
+        if (color[v] == 2) {
+          color[v] = static_cast<std::uint8_t>(1 - color[u]);
+          frontier.push(v);
+        } else if (color[v] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+DistanceStats distance_stats(const Topology& t) {
+  DC_REQUIRE(t.node_count() > 0, "empty graph");
+  const NodeId n = t.node_count();
+  std::atomic<unsigned> diameter{0};
+  std::atomic<dc::u64> total{0};
+  dc::parallel_for(0, n, [&](std::size_t src) {
+    const auto dist = bfs_distances(t, src);
+    unsigned local_max = 0;
+    dc::u64 local_sum = 0;
+    for (const std::uint32_t d : dist) {
+      DC_CHECK(d != kUnreachable, "distance_stats requires a connected graph");
+      local_max = std::max(local_max, d);
+      local_sum += d;
+    }
+    // relaxed is fine: results are combined only after parallel_for joins.
+    total.fetch_add(local_sum, std::memory_order_relaxed);
+    unsigned seen = diameter.load(std::memory_order_relaxed);
+    while (seen < local_max &&
+           !diameter.compare_exchange_weak(seen, local_max,
+                                           std::memory_order_relaxed)) {
+    }
+  });
+  DistanceStats stats;
+  stats.diameter = diameter.load();
+  const dc::u64 ordered_pairs = static_cast<dc::u64>(n) * (n - 1);
+  stats.average = ordered_pairs == 0
+                      ? 0.0
+                      : static_cast<double>(total.load()) /
+                            static_cast<double>(ordered_pairs);
+  return stats;
+}
+
+std::map<std::uint32_t, dc::u64> distance_profile(const Topology& t,
+                                                  NodeId u) {
+  std::map<std::uint32_t, dc::u64> profile;
+  for (const std::uint32_t d : bfs_distances(t, u)) ++profile[d];
+  return profile;
+}
+
+bool has_uniform_distance_profile(const Topology& t) {
+  DC_REQUIRE(t.node_count() > 0, "empty graph");
+  const auto reference = distance_profile(t, 0);
+  std::atomic<bool> uniform{true};
+  dc::parallel_for(1, t.node_count(), [&](std::size_t u) {
+    if (!uniform.load(std::memory_order_relaxed)) return;
+    if (distance_profile(t, u) != reference)
+      uniform.store(false, std::memory_order_relaxed);
+  });
+  return uniform.load();
+}
+
+void validate_graph(const Topology& t) {
+  for (NodeId u = 0; u < t.node_count(); ++u) {
+    const auto ns = t.neighbors(u);
+    std::set<NodeId> seen;
+    for (const NodeId v : ns) {
+      DC_CHECK(v < t.node_count(),
+               "neighbor " << v << " of " << u << " out of range");
+      DC_CHECK(v != u, "self-loop at " << u);
+      DC_CHECK(seen.insert(v).second, "duplicate neighbor " << v << " of " << u);
+      const auto back = t.neighbors(v);
+      DC_CHECK(std::find(back.begin(), back.end(), u) != back.end(),
+               "asymmetric adjacency between " << u << " and " << v);
+      DC_CHECK(t.has_edge(u, v) && t.has_edge(v, u),
+               "has_edge disagrees with neighbors for " << u << "," << v);
+    }
+  }
+}
+
+}  // namespace dc::net

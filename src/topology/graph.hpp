@@ -1,0 +1,65 @@
+// Graph measurement toolkit: BFS distances, diameter, average distance,
+// regularity, connectivity, bipartiteness, and distance profiles (a cheap
+// necessary condition for vertex-transitivity). Used by the topology tests
+// and by the properties-table bench (claim S1 in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace dc::net {
+
+/// Distance value used by BFS; kUnreachable marks disconnected vertices.
+inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+
+/// Single-source BFS distances over the whole graph.
+std::vector<std::uint32_t> bfs_distances(const Topology& t, NodeId source);
+
+/// True iff the graph is connected (nonempty).
+bool is_connected(const Topology& t);
+
+/// True iff every vertex has the same degree; returns that degree via out
+/// parameter when non-null.
+bool is_regular(const Topology& t, std::size_t* degree_out = nullptr);
+
+/// True iff the graph is bipartite.
+bool is_bipartite(const Topology& t);
+
+/// Aggregate distance statistics from all-pairs BFS (parallelized over
+/// sources). Requires a connected graph.
+struct DistanceStats {
+  unsigned diameter = 0;
+  double average = 0.0;  ///< mean distance over ordered pairs u != v
+};
+DistanceStats distance_stats(const Topology& t);
+
+/// Sorted multiset of distances from `u` to all other vertices, encoded as
+/// distance -> count. Equal profiles from every vertex are a necessary
+/// condition for vertex-transitivity.
+std::map<std::uint32_t, dc::u64> distance_profile(const Topology& t, NodeId u);
+
+/// True iff every vertex has the same distance profile.
+bool has_uniform_distance_profile(const Topology& t);
+
+/// Validates basic graph sanity: neighbor labels in range, no self-loops,
+/// no duplicate neighbors, and adjacency symmetry (u in N(v) iff v in N(u)).
+/// Throws dc::CheckError describing the first violation.
+void validate_graph(const Topology& t);
+
+/// Number of edges crossing the cut defined by `side(u)` (true/false).
+/// With a balanced predicate this upper-bounds the bisection width.
+template <typename SideFn>
+dc::u64 cut_size(const Topology& t, SideFn&& side) {
+  dc::u64 crossing = 0;
+  for (NodeId u = 0; u < t.node_count(); ++u) {
+    if (!side(u)) continue;
+    for (const NodeId v : t.neighbors(u))
+      if (!side(v)) ++crossing;
+  }
+  return crossing;
+}
+
+}  // namespace dc::net

@@ -1,0 +1,118 @@
+#include "topology/hamiltonian.hpp"
+
+#include <algorithm>
+
+namespace dc::net {
+
+using dc::bits::flip;
+using dc::bits::get;
+using dc::bits::pow2;
+
+std::vector<NodeId> hypercube_hamiltonian_cycle(const Hypercube& q) {
+  DC_REQUIRE(q.dimensions() >= 2, "Q_d has a Hamiltonian cycle only for d >= 2");
+  std::vector<NodeId> cycle;
+  cycle.reserve(q.node_count());
+  for (NodeId t = 0; t < q.node_count(); ++t) cycle.push_back(gray_code(t));
+  return cycle;
+}
+
+namespace {
+
+/// Hamiltonian path of the subcube spanned by `dims` (x and y agree on all
+/// other bits). Precondition: x != y with odd Hamming distance, both
+/// differences inside dims.
+std::vector<NodeId> ham_path_rec(const std::vector<unsigned>& dims, NodeId x,
+                                 NodeId y) {
+  DC_CHECK(!dims.empty(), "empty subcube");
+  if (dims.size() == 1) {
+    DC_CHECK(flip(x, dims[0]) == y, "base case endpoints must be neighbors");
+    return {x, y};
+  }
+  // Split along a dimension where the endpoints differ.
+  unsigned i = dims[0];
+  for (const unsigned d : dims) {
+    if (get(x, d) != get(y, d)) {
+      i = d;
+      break;
+    }
+  }
+  DC_CHECK(get(x, i) != get(y, i), "endpoints of equal parity are not laceable");
+  std::vector<unsigned> rest;
+  rest.reserve(dims.size() - 1);
+  for (const unsigned d : dims)
+    if (d != i) rest.push_back(d);
+  // Bridgehead z: any opposite-parity node on x's side; its cross partner
+  // z^i has x's parity and therefore can never collide with y.
+  const NodeId z = flip(x, rest[0]);
+  auto path = ham_path_rec(rest, x, z);
+  const auto second = ham_path_rec(rest, flip(z, i), y);
+  path.insert(path.end(), second.begin(), second.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<NodeId> hypercube_hamiltonian_path(const Hypercube& q, NodeId x,
+                                               NodeId y) {
+  DC_REQUIRE(x < q.node_count() && y < q.node_count(), "node out of range");
+  DC_REQUIRE(q.dimensions() >= 1, "Q_0 has no two distinct nodes");
+  DC_REQUIRE(dc::bits::hamming(x, y) % 2 == 1,
+             "Hamiltonian laceability requires endpoints of opposite parity");
+  std::vector<unsigned> dims(q.dimensions());
+  for (unsigned d = 0; d < q.dimensions(); ++d) dims[d] = d;
+  return ham_path_rec(dims, x, y);
+}
+
+std::vector<NodeId> dual_cube_hamiltonian_cycle(const DualCube& d) {
+  DC_REQUIRE(d.order() >= 2, "D_1 = K_2 has no Hamiltonian cycle");
+  const unsigned w = d.order() - 1;
+  const Hypercube cluster(w);
+  const dc::u64 m = pow2(w);  // clusters per class
+
+  const auto id_path = [&](dc::u64 from, dc::u64 to) {
+    return hypercube_hamiltonian_path(cluster, from, to);
+  };
+
+  std::vector<NodeId> cycle;
+  cycle.reserve(d.node_count());
+  for (dc::u64 t = 0; t < m; ++t) {
+    const dc::u64 k_t = gray_code(t);
+    const dc::u64 k_next = gray_code((t + 1) % m);
+    const dc::u64 j_prev = gray_code((t + m - 1) % m);
+    const dc::u64 j_t = gray_code(t);
+    // Class-0 cluster K_t: node IDs j_{t-1} -> j_t.
+    for (const NodeId id : id_path(j_prev, j_t))
+      cycle.push_back(d.encode({0, k_t, id}));
+    // Cross into class-1 cluster j_t at node ID K_t; walk to K_{t+1}.
+    for (const NodeId id : id_path(k_t, k_next))
+      cycle.push_back(d.encode({1, j_t, id}));
+  }
+  DC_CHECK(cycle.size() == d.node_count(), "tour must cover every node");
+  return cycle;
+}
+
+bool is_hamiltonian_cycle(const Topology& t, const std::vector<NodeId>& cycle) {
+  if (cycle.size() != t.node_count() || cycle.size() < 3) return false;
+  std::vector<char> seen(t.node_count(), 0);
+  for (const NodeId u : cycle) {
+    if (u >= t.node_count() || seen[u]) return false;
+    seen[u] = 1;
+  }
+  for (std::size_t i = 0; i < cycle.size(); ++i)
+    if (!t.has_edge(cycle[i], cycle[(i + 1) % cycle.size()])) return false;
+  return true;
+}
+
+bool is_hamiltonian_path(const Topology& t, const std::vector<NodeId>& path) {
+  if (path.size() != t.node_count()) return false;
+  std::vector<char> seen(t.node_count(), 0);
+  for (const NodeId u : path) {
+    if (u >= t.node_count() || seen[u]) return false;
+    seen[u] = 1;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    if (!t.has_edge(path[i], path[i + 1])) return false;
+  return true;
+}
+
+}  // namespace dc::net

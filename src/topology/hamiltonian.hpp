@@ -1,0 +1,55 @@
+// Ring embeddings: Hamiltonian cycles and paths.
+//
+// Hypercube: the reflected Gray code gives a Hamiltonian cycle of Q_d
+// (d >= 2); Q_d is also Hamiltonian-laceable — a Hamiltonian path exists
+// between any two nodes of opposite parity — via the classic recursive
+// split construction (Havel).
+//
+// Dual-cube: D_n is Hamiltonian for every n >= 2 (D_1 = K_2 has no cycle).
+// The construction alternates clusters of the two classes:
+//
+//   visit class-0 clusters in Gray-code order K_0, K_1, ..., K_{M-1}
+//   (M = 2^(n-1)); inside cluster K_t walk a Hamiltonian path between the
+//   node IDs j_{t-1} and j_t (also consecutive Gray codes); the cross-edge
+//   at node ID j_t enters class-1 cluster j_t at node ID K_t, where a
+//   Hamiltonian path leads to node ID K_{t+1}, whose cross-edge re-enters
+//   class 0 in cluster K_{t+1} at node ID j_t.
+//
+// Consecutive Gray codes differ in one bit, so every required intra-cluster
+// path joins nodes of opposite parity — exactly the laceability
+// precondition — and every cluster of both classes is covered exactly
+// once, closing into a single cycle of all 2^(2n-1) nodes. Each node is a
+// constant-degree neighbor of its ring predecessor/successor, i.e. the
+// ring embeds with dilation 1.
+#pragma once
+
+#include <vector>
+
+#include "topology/dual_cube.hpp"
+#include "topology/hypercube.hpp"
+
+namespace dc::net {
+
+/// The d-bit reflected Gray code: position t -> codeword.
+constexpr dc::u64 gray_code(dc::u64 t) { return t ^ (t >> 1); }
+
+/// Hamiltonian cycle of Q_d for d >= 2, as the node sequence (first node
+/// not repeated at the end). Gray-code order starting at 0.
+std::vector<NodeId> hypercube_hamiltonian_cycle(const Hypercube& q);
+
+/// Hamiltonian path of Q_d from x to y. Requires parity(x) != parity(y)
+/// (Hamiltonian laceability); throws dc::CheckError otherwise.
+std::vector<NodeId> hypercube_hamiltonian_path(const Hypercube& q, NodeId x,
+                                               NodeId y);
+
+/// Hamiltonian cycle of D_n for n >= 2, as the node sequence.
+std::vector<NodeId> dual_cube_hamiltonian_cycle(const DualCube& d);
+
+/// True iff `cycle` visits every node of `t` exactly once and consecutive
+/// nodes (cyclically) are adjacent.
+bool is_hamiltonian_cycle(const Topology& t, const std::vector<NodeId>& cycle);
+
+/// True iff `path` visits every node exactly once with adjacent steps.
+bool is_hamiltonian_path(const Topology& t, const std::vector<NodeId>& path);
+
+}  // namespace dc::net

@@ -1,0 +1,46 @@
+// The binary hypercube Q_d: 2^d nodes, nodes adjacent iff their labels
+// differ in exactly one bit. This is both the paper's baseline network and
+// the building block of the dual-cube's clusters.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace dc::net {
+
+class Hypercube final : public Topology {
+ public:
+  /// Q_d with 2^d nodes. d == 0 gives the single-vertex graph.
+  explicit Hypercube(unsigned d) : d_(d) {
+    DC_REQUIRE(d <= 40, "hypercube dimension too large to simulate");
+  }
+
+  std::string name() const override { return "Q_" + std::to_string(d_); }
+  NodeId node_count() const override { return dc::bits::pow2(d_); }
+
+  std::vector<NodeId> neighbors(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    std::vector<NodeId> out;
+    out.reserve(d_);
+    for (unsigned i = 0; i < d_; ++i) out.push_back(dc::bits::flip(u, i));
+    return out;
+  }
+
+  bool has_edge(NodeId u, NodeId v) const override {
+    DC_REQUIRE(u < node_count() && v < node_count(), "node out of range");
+    return dc::bits::hamming(u, v) == 1;
+  }
+
+  /// Dimension count d.
+  unsigned dimensions() const { return d_; }
+
+  /// Neighbor across dimension i. Precondition: i < d.
+  NodeId neighbor(NodeId u, unsigned i) const {
+    DC_REQUIRE(i < d_, "dimension out of range");
+    return dc::bits::flip(u, i);
+  }
+
+ private:
+  unsigned d_;
+};
+
+}  // namespace dc::net

@@ -1,0 +1,126 @@
+// The metacube MC(k, m) — the authors' generalization of the dual-cube
+// (cited in the paper's reference list: "Efficient Communication in
+// Metacube"). A node address has k class bits c and 2^k fields of m bits
+// each:
+//
+//   [ c : k bits | field_{2^k - 1} | ... | field_1 | field_0 ]
+//
+// Edges:
+//   * cube edges  — flip one bit of field_c (the field selected by the
+//     node's own class value): m per node;
+//   * cross edges — flip one of the k class bits: k per node.
+//
+// So MC(k, m) has 2^(k + m 2^k) nodes of degree m + k. MC(1, m) is exactly
+// the dual-cube D_(m+1) — identical labels, identical edge set — which the
+// tests verify, making the dual-cube results of the paper a special case
+// of this class. MC(0, m) degenerates to the hypercube Q_m.
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace dc::net {
+
+class Metacube final : public Topology {
+ public:
+  /// MC(k, m) with 2^(k + m*2^k) nodes. Requires m >= 1 and a total label
+  /// width small enough to simulate.
+  Metacube(unsigned k, unsigned m) : k_(k), m_(m) {
+    DC_REQUIRE(m >= 1, "metacube needs m >= 1");
+    DC_REQUIRE(label_bits() <= 26, "metacube too large to simulate");
+  }
+
+  std::string name() const override {
+    return "MC(" + std::to_string(k_) + "," + std::to_string(m_) + ")";
+  }
+  NodeId node_count() const override { return dc::bits::pow2(label_bits()); }
+
+  std::vector<NodeId> neighbors(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    std::vector<NodeId> out;
+    out.reserve(m_ + k_);
+    const unsigned base = field_offset(class_of(u));
+    const unsigned class_lo = m_ * static_cast<unsigned>(dc::bits::pow2(k_));
+    for (unsigned i = 0; i < m_; ++i) out.push_back(dc::bits::flip(u, base + i));
+    for (unsigned i = 0; i < k_; ++i)
+      out.push_back(dc::bits::flip(u, class_lo + i));
+    return out;
+  }
+
+  bool has_edge(NodeId u, NodeId v) const override {
+    DC_REQUIRE(u < node_count() && v < node_count(), "node out of range");
+    if (dc::bits::hamming(u, v) != 1) return false;
+    const unsigned i = dc::bits::lowest_set(u ^ v);
+    const unsigned class_lo = static_cast<unsigned>(m_ * dc::bits::pow2(k_));
+    if (i >= class_lo) return true;  // cross edge (class bits)
+    const unsigned base = field_offset(class_of(u));
+    return i >= base && i < base + m_;  // cube edge in the selected field
+  }
+
+  unsigned k() const { return k_; }
+  unsigned m() const { return m_; }
+  unsigned label_bits() const {
+    return k_ + m_ * static_cast<unsigned>(dc::bits::pow2(k_));
+  }
+  /// Degree m + k.
+  unsigned degree_formula() const { return m_ + k_; }
+
+  /// The class value (top k bits).
+  dc::u64 class_of(NodeId u) const {
+    return dc::bits::field(u, m_ * static_cast<unsigned>(dc::bits::pow2(k_)), k_);
+  }
+
+  /// Bit offset of field `c`.
+  unsigned field_offset(dc::u64 c) const {
+    return static_cast<unsigned>(c) * m_;
+  }
+
+  /// Value of field `c` of node u.
+  dc::u64 field_of(NodeId u, dc::u64 c) const {
+    return dc::bits::field(u, field_offset(c), m_);
+  }
+
+ private:
+  unsigned k_;
+  unsigned m_;
+};
+
+/// Simple (not necessarily shortest) routing in MC(k, m), generalizing the
+/// dual-cube cluster route: walk the class value through every class whose
+/// field differs (one class-bit flip at a time), rewriting that field's
+/// bits while parked there; finish by aligning the class bits with the
+/// destination. Every hop is a metacube edge.
+inline std::vector<NodeId> route_metacube(const Metacube& mc, NodeId src,
+                                          NodeId dst) {
+  DC_REQUIRE(src < mc.node_count() && dst < mc.node_count(),
+             "node out of range");
+  std::vector<NodeId> path{src};
+  NodeId cur = src;
+  const unsigned class_lo = mc.m() * static_cast<unsigned>(dc::bits::pow2(mc.k()));
+
+  const auto set_class = [&](dc::u64 target_class) {
+    for (unsigned i = 0; i < mc.k(); ++i) {
+      if (dc::bits::get(cur, class_lo + i) !=
+          dc::bits::get(target_class, i)) {
+        cur = dc::bits::flip(cur, class_lo + i);
+        path.push_back(cur);
+      }
+    }
+  };
+
+  for (dc::u64 c = 0; c < dc::bits::pow2(mc.k()); ++c) {
+    if (mc.field_of(cur, c) == mc.field_of(dst, c)) continue;
+    set_class(c);
+    const unsigned base = mc.field_offset(c);
+    for (unsigned i = 0; i < mc.m(); ++i) {
+      if (dc::bits::get(cur, base + i) != dc::bits::get(dst, base + i)) {
+        cur = dc::bits::flip(cur, base + i);
+        path.push_back(cur);
+      }
+    }
+  }
+  set_class(mc.class_of(dst));
+  DC_CHECK(cur == dst, "metacube route did not reach the destination");
+  return path;
+}
+
+}  // namespace dc::net

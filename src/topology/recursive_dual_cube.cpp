@@ -1,0 +1,67 @@
+#include "topology/recursive_dual_cube.hpp"
+
+namespace dc::net {
+
+using dc::bits::even_bits;
+using dc::bits::field;
+using dc::bits::flip;
+using dc::bits::get;
+using dc::bits::hamming;
+using dc::bits::interleave;
+using dc::bits::odd_bits;
+
+std::vector<NodeId> RecursiveDualCube::neighbors(NodeId u) const {
+  DC_REQUIRE(u < node_count(), "node out of range");
+  std::vector<NodeId> out;
+  out.reserve(n_);
+  out.push_back(flip(u, 0));  // cross / class dimension
+  const unsigned u0 = get(u, 0);
+  for (unsigned i = 1; i < label_bits(); ++i)
+    if (dimension_linked(u0, i)) out.push_back(flip(u, i));
+  return out;
+}
+
+bool RecursiveDualCube::has_edge(NodeId u, NodeId v) const {
+  DC_REQUIRE(u < node_count() && v < node_count(), "node out of range");
+  if (hamming(u, v) != 1) return false;
+  const unsigned i = dc::bits::lowest_set(u ^ v);
+  return dimension_linked(get(u, 0), i);
+}
+
+std::vector<NodeId> RecursiveDualCube::indirect_route(NodeId u,
+                                                      unsigned i) const {
+  DC_REQUIRE(u < node_count() && i >= 1 && i < label_bits(), "out of range");
+  DC_REQUIRE(!dimension_linked(get(u, 0), i),
+             "dimension " << i << " has a direct link; no relay needed");
+  const NodeId a = flip(u, 0);
+  const NodeId b = flip(a, i);
+  const NodeId c = flip(b, 0);
+  DC_CHECK(has_edge(u, a) && has_edge(a, b) && has_edge(b, c),
+           "indirect route must consist of direct links");
+  return {u, a, b, c};
+}
+
+NodeId RecursiveDualCube::from_standard(NodeId std_label) const {
+  DC_REQUIRE(std_label < node_count(), "node out of range");
+  const unsigned w = n_ - 1;
+  const dc::u64 part1 = field(std_label, 0, w);   // J: low bits
+  const dc::u64 part2 = field(std_label, w, w);   // K: middle bits
+  const dc::u64 cls = field(std_label, 2 * w, 1);
+  // w at bit 0, J_i at bit 2i+2, K_i at bit 2i+1:
+  // interleave(K, J, w) places K_i at even position 2i and J_i at odd
+  // position 2i+1 of a temporary; shifting left by one puts K_i at 2i+1 and
+  // J_i at 2i+2, then the class bit lands at position 0.
+  return (interleave(part2, part1, w) << 1) | cls;
+}
+
+NodeId RecursiveDualCube::to_standard(NodeId rec_label) const {
+  DC_REQUIRE(rec_label < node_count(), "node out of range");
+  const unsigned w = n_ - 1;
+  const dc::u64 cls = rec_label & 1;
+  const dc::u64 high = rec_label >> 1;          // K_i at 2i, J_i at 2i+1
+  const dc::u64 part2 = even_bits(high, w);     // K
+  const dc::u64 part1 = odd_bits(high, w);      // J
+  return (cls << (2 * w)) | (part2 << w) | part1;
+}
+
+}  // namespace dc::net

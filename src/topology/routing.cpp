@@ -1,0 +1,87 @@
+#include "topology/routing.hpp"
+
+namespace dc::net {
+
+using dc::bits::field;
+using dc::bits::flip;
+using dc::bits::get;
+
+std::vector<NodeId> route_hypercube(const Hypercube& q, NodeId src,
+                                    NodeId dst) {
+  DC_REQUIRE(src < q.node_count() && dst < q.node_count(), "node out of range");
+  std::vector<NodeId> path{src};
+  NodeId cur = src;
+  for (unsigned i = 0; i < q.dimensions(); ++i) {
+    if (get(cur, i) != get(dst, i)) {
+      cur = flip(cur, i);
+      path.push_back(cur);
+    }
+  }
+  return path;
+}
+
+namespace {
+
+/// Appends the dimension-order walk that rewrites the w-bit field at `lo`
+/// of `cur` to match the corresponding field of `target`. Every step flips
+/// one bit inside the field, which is a cluster edge whenever the field is
+/// the node-ID field of cur's class.
+void fix_field(std::vector<NodeId>& path, NodeId& cur, NodeId target,
+               unsigned lo, unsigned w) {
+  for (unsigned i = lo; i < lo + w; ++i) {
+    if (get(cur, i) != get(target, i)) {
+      cur = flip(cur, i);
+      path.push_back(cur);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> route_dual_cube(const DualCube& d, NodeId src,
+                                    NodeId dst) {
+  DC_REQUIRE(src < d.node_count() && dst < d.node_count(), "node out of range");
+  const unsigned w = d.order() - 1;
+  const unsigned cross_bit = 2 * d.order() - 2;
+  const auto a = d.decode(src);
+  const auto b = d.decode(dst);
+
+  std::vector<NodeId> path{src};
+  NodeId cur = src;
+  // Field layout: part I = bits [0, w), part II = bits [w, 2w). The node-ID
+  // field of class 0 is part I; of class 1, part II.
+  const unsigned lo0 = 0;  // part I offset
+  const unsigned lo1 = w;  // part II offset
+
+  if (a.cls == b.cls && a.cluster == b.cluster) {
+    // Same cluster: one e-cube walk over the node-ID field.
+    const unsigned lo = a.cls == 0 ? lo0 : lo1;
+    fix_field(path, cur, dst, lo, w);
+  } else if (a.cls != b.cls) {
+    // Distinct classes: align src's node-ID field with dst (that field is
+    // dst's cluster-ID field), cross, then fix the other field in dst's
+    // cluster. Length = Hamming(src, dst).
+    const unsigned my_field = a.cls == 0 ? lo0 : lo1;
+    const unsigned other_field = a.cls == 0 ? lo1 : lo0;
+    fix_field(path, cur, dst, my_field, w);
+    cur = flip(cur, cross_bit);
+    path.push_back(cur);
+    fix_field(path, cur, dst, other_field, w);
+  } else {
+    // Same class, distinct clusters: cross into the foreign class, rewrite
+    // the cluster-ID field (now the node-ID field of the foreign class),
+    // cross back, then rewrite the node-ID field. Length = Hamming + 2.
+    const unsigned cluster_field = a.cls == 0 ? lo1 : lo0;
+    const unsigned node_field = a.cls == 0 ? lo0 : lo1;
+    cur = flip(cur, cross_bit);
+    path.push_back(cur);
+    fix_field(path, cur, dst, cluster_field, w);
+    cur = flip(cur, cross_bit);
+    path.push_back(cur);
+    fix_field(path, cur, dst, node_field, w);
+  }
+  DC_CHECK(cur == dst, "route did not reach the destination");
+  return path;
+}
+
+}  // namespace dc::net

@@ -1,0 +1,31 @@
+// Point-to-point routing (Section 2 of the paper: "the routing algorithm in
+// dual-cube is also very simple").
+//
+// Hypercube: e-cube (dimension-order) routing, shortest by construction.
+// Dual-cube: the cluster route —
+//   * same cluster: fix the node-ID bits inside the cluster (e-cube);
+//   * distinct classes: fix u's node-ID field to align with the cross
+//     point, take the cross-edge, then fix the remaining field inside v's
+//     cluster — total length = Hamming distance;
+//   * same class, distinct clusters: cross into the foreign class, fix the
+//     cluster-ID field there, cross back, then fix the node-ID field —
+//     total length = Hamming distance + 2.
+// Both routes are proven shortest (the tests compare every pair against BFS
+// for small n).
+#pragma once
+
+#include <vector>
+
+#include "topology/dual_cube.hpp"
+#include "topology/hypercube.hpp"
+
+namespace dc::net {
+
+/// Dimension-order route in Q_d, including both endpoints.
+std::vector<NodeId> route_hypercube(const Hypercube& q, NodeId src, NodeId dst);
+
+/// Cluster route in D_n, including both endpoints. The returned path has
+/// length DualCube::distance(src, dst).
+std::vector<NodeId> route_dual_cube(const DualCube& d, NodeId src, NodeId dst);
+
+}  // namespace dc::net

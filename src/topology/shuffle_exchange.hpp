@@ -1,0 +1,39 @@
+// Undirected shuffle-exchange graph SE_d on 2^d nodes: the exchange edge
+// flips bit 0; the shuffle edges are left/right cyclic rotations of the
+// d-bit label. Self-loops (fixed points of rotation) are removed, so
+// degree is at most 3. Listed in the paper's introduction; included for the
+// topology-properties comparison table.
+#pragma once
+
+#include <algorithm>
+
+#include "topology/topology.hpp"
+
+namespace dc::net {
+
+class ShuffleExchange final : public Topology {
+ public:
+  explicit ShuffleExchange(unsigned d) : d_(d) {
+    DC_REQUIRE(d >= 1 && d <= 30, "shuffle-exchange dimension out of range");
+  }
+
+  std::string name() const override { return "SE_" + std::to_string(d_); }
+  NodeId node_count() const override { return dc::bits::pow2(d_); }
+
+  std::vector<NodeId> neighbors(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    const dc::u64 mask = node_count() - 1;
+    const dc::u64 left = ((u << 1) | (u >> (d_ - 1))) & mask;
+    const dc::u64 right = ((u >> 1) | ((u & 1) << (d_ - 1))) & mask;
+    std::vector<NodeId> out = {dc::bits::flip(u, 0), left, right};
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    out.erase(std::remove(out.begin(), out.end(), u), out.end());
+    return out;
+  }
+
+ private:
+  unsigned d_;
+};
+
+}  // namespace dc::net

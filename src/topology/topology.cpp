@@ -1,0 +1,30 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+
+namespace dc::net {
+
+bool Topology::has_edge(NodeId u, NodeId v) const {
+  DC_REQUIRE(u < node_count() && v < node_count(), "node out of range");
+  if (u == v) return false;
+  const auto ns = neighbors(u);
+  return std::find(ns.begin(), ns.end(), v) != ns.end();
+}
+
+dc::u64 Topology::edge_count() const {
+  dc::u64 twice = 0;
+  for (NodeId u = 0; u < node_count(); ++u) twice += degree(u);
+  DC_CHECK(twice % 2 == 0, "degree sum must be even in an undirected graph");
+  return twice / 2;
+}
+
+bool is_valid_path(const Topology& t, const std::vector<NodeId>& path) {
+  if (path.empty()) return false;
+  for (const NodeId u : path)
+    if (u >= t.node_count()) return false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    if (!t.has_edge(path[i], path[i + 1])) return false;
+  return true;
+}
+
+}  // namespace dc::net

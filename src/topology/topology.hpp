@@ -1,0 +1,52 @@
+// Abstract interconnection-network interface.
+//
+// Every network in this library is a finite, undirected, simple graph whose
+// vertices are dense integer labels 0..node_count()-1. Algorithms that run on
+// the synchronous simulator only ever talk to a Topology through this
+// interface, which is what lets the simulator validate that every message
+// travels along a real link.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bits.hpp"
+#include "support/check.hpp"
+
+namespace dc::net {
+
+/// Dense vertex label.
+using NodeId = dc::u64;
+
+/// An undirected, simple graph with dense vertex labels.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Human-readable name, e.g. "D_3" or "Q_5".
+  virtual std::string name() const = 0;
+
+  /// Number of vertices. Labels are 0..node_count()-1.
+  virtual NodeId node_count() const = 0;
+
+  /// Neighbor labels of `u`, in a deterministic order.
+  /// Precondition: u < node_count().
+  virtual std::vector<NodeId> neighbors(NodeId u) const = 0;
+
+  /// True iff {u, v} is an edge. Default scans neighbors(u); concrete
+  /// topologies override with an O(1) test where possible.
+  virtual bool has_edge(NodeId u, NodeId v) const;
+
+  /// Degree of `u`.
+  std::size_t degree(NodeId u) const { return neighbors(u).size(); }
+
+  /// Total number of undirected edges (sum of degrees / 2).
+  dc::u64 edge_count() const;
+};
+
+/// Validates that `path` is a walk in `t` (consecutive vertices adjacent and
+/// in range). An empty path is invalid; a single vertex is a valid walk.
+bool is_valid_path(const Topology& t, const std::vector<NodeId>& path);
+
+}  // namespace dc::net

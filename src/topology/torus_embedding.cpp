@@ -1,0 +1,41 @@
+#include "topology/torus_embedding.hpp"
+
+#include <algorithm>
+
+#include "topology/hamiltonian.hpp"
+
+namespace dc::net {
+
+std::vector<NodeId> embed_torus_gray(unsigned a, unsigned b) {
+  DC_REQUIRE(a + b <= 30, "torus too large");
+  const dc::u64 rows = dc::bits::pow2(a);
+  const dc::u64 cols = dc::bits::pow2(b);
+  std::vector<NodeId> map(rows * cols);
+  for (dc::u64 r = 0; r < rows; ++r)
+    for (dc::u64 c = 0; c < cols; ++c)
+      map[r * cols + c] = (gray_code(r) << b) | gray_code(c);
+  return map;
+}
+
+std::vector<std::pair<dc::u64, dc::u64>> torus_edges(unsigned a, unsigned b) {
+  const dc::u64 rows = dc::bits::pow2(a);
+  const dc::u64 cols = dc::bits::pow2(b);
+  std::vector<std::pair<dc::u64, dc::u64>> edges;
+  const auto id = [cols](dc::u64 r, dc::u64 c) { return r * cols + c; };
+  for (dc::u64 r = 0; r < rows; ++r) {
+    for (dc::u64 c = 0; c < cols; ++c) {
+      if (cols > 1 && (c + 1 < cols || cols > 2))
+        edges.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      if (rows > 1 && (r + 1 < rows || rows > 2))
+        edges.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  // Canonicalize and deduplicate (wrap edges of length-2 rings collapse).
+  for (auto& [u, v] : edges)
+    if (u > v) std::swap(u, v);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace dc::net

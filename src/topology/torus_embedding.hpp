@@ -1,0 +1,58 @@
+// Torus/mesh embeddings — the classic measure of how much hypercube
+// structure a derivative network retains ("keeps most of the interesting
+// properties of the hypercube", paper §1).
+//
+// A 2^a x 2^b torus embeds into Q_(a+b) with dilation 1 by Gray-coding each
+// coordinate. Applying the *same* label map on the dual-cube D_n (same
+// label space, 2n-1 = a+b) stretches some torus edges: a one-bit label
+// difference inside a node's foreign field is a same-class,
+// different-cluster pair at distance 3. So the dual-cube embeds the torus
+// with dilation 3 — bounded, like its 3x algorithm-emulation factor —
+// while the ring embeds with dilation 1 via the explicit Hamiltonian cycle
+// (hamiltonian.hpp). bench/tab_embeddings quantifies both.
+#pragma once
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace dc::net {
+
+/// Gray-code embedding of the 2^a x 2^b torus into a (a+b)-bit label
+/// space: returns `map` with map[r * 2^b + c] = label of torus node (r, c).
+std::vector<NodeId> embed_torus_gray(unsigned a, unsigned b);
+
+/// Edge list of the 2^a x 2^b torus as (index, index) pairs over
+/// r * 2^b + c indices. Wrap-around edges included; degenerate dimensions
+/// (2^0 or 2^1, where wrap parallels the step edge) are deduplicated.
+std::vector<std::pair<dc::u64, dc::u64>> torus_edges(unsigned a, unsigned b);
+
+struct DilationStats {
+  unsigned max = 0;
+  double average = 0.0;
+  dc::u64 edges = 0;
+};
+
+/// Dilation of an embedding: guest edges mapped through `map`, measured by
+/// `distance(host_u, host_v)`.
+template <typename DistanceFn>
+DilationStats embedding_dilation(
+    const std::vector<std::pair<dc::u64, dc::u64>>& guest_edges,
+    const std::vector<NodeId>& map, DistanceFn&& distance) {
+  DilationStats stats;
+  dc::u64 total = 0;
+  for (const auto& [gu, gv] : guest_edges) {
+    DC_REQUIRE(gu < map.size() && gv < map.size(), "guest node out of range");
+    const unsigned dist = distance(map[gu], map[gv]);
+    stats.max = std::max(stats.max, dist);
+    total += dist;
+    ++stats.edges;
+  }
+  stats.average = stats.edges == 0
+                      ? 0.0
+                      : static_cast<double>(total) /
+                            static_cast<double>(stats.edges);
+  return stats;
+}
+
+}  // namespace dc::net

@@ -1,0 +1,265 @@
+// Tests for the sort alternatives (recursive Algorithm 3, enumeration
+// sort, radix sort), the all-to-all exchange, and the torus embeddings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "collectives/alltoall.hpp"
+#include "core/dual_sort.hpp"
+#include "core/dual_sort_recursive.hpp"
+#include "core/enumeration_sort.hpp"
+#include "core/formulas.hpp"
+#include "core/radix_sort.hpp"
+#include "support/rng.hpp"
+#include "topology/torus_embedding.hpp"
+
+namespace dc {
+namespace {
+
+using net::NodeId;
+
+// -------------------------------------------- recursive Algorithm 3 (spec)
+
+class RecursiveSortTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RecursiveSortTest, MatchesFlattenedImplementationExactly) {
+  // The literal paper recursion and the production SPMD flattening must
+  // produce identical outputs — they are the same comparator network.
+  const unsigned n = GetParam();
+  const net::RecursiveDualCube r(n);
+  for (u64 seed = 0; seed < 8; ++seed) {
+    auto a = generate_keys(KeyDistribution::kUniform, r.node_count(), seed);
+    auto b = a;
+    sim::Machine ma(r);
+    core::dual_sort(ma, r, a);
+    sim::Machine mb(r);
+    core::dual_sort_recursive(mb, r, b);
+    ASSERT_EQ(a, b) << "seed " << seed;
+    ASSERT_TRUE(std::is_sorted(b.begin(), b.end()));
+  }
+}
+
+TEST_P(RecursiveSortTest, DescendingAgreesToo) {
+  const unsigned n = GetParam();
+  const net::RecursiveDualCube r(n);
+  auto a = generate_keys(KeyDistribution::kFewDistinct, r.node_count(), 5);
+  auto b = a;
+  sim::Machine ma(r);
+  core::dual_sort(ma, r, a, /*descending=*/true);
+  sim::Machine mb(r);
+  core::dual_sort_recursive(mb, r, b, /*descending=*/true);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(b.rbegin(), b.rend()));
+}
+
+TEST_P(RecursiveSortTest, ComparisonCountsAgree) {
+  // Same network, same number of comparator applications — only the
+  // scheduling differs (sequential sub-sorts vs level-synchronous).
+  const unsigned n = GetParam();
+  const net::RecursiveDualCube r(n);
+  auto a = generate_keys(KeyDistribution::kUniform, r.node_count(), 2);
+  auto b = a;
+  sim::Machine ma(r);
+  core::dual_sort(ma, r, a);
+  sim::Machine mb(r);
+  core::dual_sort_recursive(mb, r, b);
+  EXPECT_EQ(ma.counters().ops, mb.counters().ops);
+  EXPECT_GE(mb.counters().comm_cycles, ma.counters().comm_cycles)
+      << "the flattened schedule can only be faster";
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, RecursiveSortTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(DualSortZeroOne, ExhaustiveZeroOnePrincipleOnD2) {
+  // The 0-1 principle: a comparator network sorts all inputs iff it sorts
+  // all 0-1 inputs. D_2 has 8 nodes -> 256 cases, checked exhaustively.
+  const net::RecursiveDualCube r(2);
+  for (unsigned mask = 0; mask < 256; ++mask) {
+    std::vector<u64> keys(8);
+    for (unsigned i = 0; i < 8; ++i) keys[i] = (mask >> i) & 1;
+    sim::Machine m(r);
+    core::dual_sort(m, r, keys);
+    ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end())) << "mask " << mask;
+  }
+}
+
+TEST(DualSortZeroOne, RandomZeroOneInputsOnD3) {
+  const net::RecursiveDualCube r(3);
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<u64> keys(r.node_count());
+    for (auto& k : keys) k = rng.below(2);
+    sim::Machine m(r);
+    core::dual_sort(m, r, keys);
+    ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  }
+}
+
+// --------------------------------------------------------- enumeration sort
+
+class EnumerationSortTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EnumerationSortTest, SortsAllDistributions) {
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  for (const auto dist : all_key_distributions()) {
+    auto keys = generate_keys(dist, d.node_count(), n);
+    auto expected = keys;
+    std::sort(expected.begin(), expected.end());
+    sim::Machine m(d);
+    core::enumeration_sort(m, d, keys);
+    EXPECT_EQ(keys, expected) << to_string(dist);
+  }
+}
+
+TEST_P(EnumerationSortTest, GatherPhaseIsDiameterOptimal) {
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  auto keys = generate_keys(KeyDistribution::kUniform, d.node_count(), 1);
+  sim::Machine m(d);
+  const auto report = core::enumeration_sort(m, d, keys);
+  // Total = 2n all-gather cycles + the permutation drain.
+  EXPECT_EQ(m.counters().comm_cycles, 2 * n + report.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, EnumerationSortTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(EnumerationSort, StableForEqualKeys) {
+  const net::DualCube d(2);
+  std::vector<u64> keys{3, 1, 3, 1, 3, 1, 3, 1};
+  sim::Machine m(d);
+  core::enumeration_sort(m, d, keys);
+  EXPECT_EQ(keys, (std::vector<u64>{1, 1, 1, 1, 3, 3, 3, 3}));
+}
+
+// --------------------------------------------------------------- radix sort
+
+class RadixSortTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RadixSortTest, SortsNarrowKeys) {
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  Rng rng(n);
+  std::vector<u64> keys(d.node_count());
+  for (auto& k : keys) k = rng.below(64);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  sim::Machine m(d);
+  const auto stats = core::radix_sort(m, d, keys, 6);
+  EXPECT_EQ(keys, expected);
+  EXPECT_EQ(stats.passes, 6u);
+}
+
+TEST_P(RadixSortTest, OneBitKeysAreASinglePass) {
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  Rng rng(n + 4);
+  std::vector<u64> keys(d.node_count());
+  for (auto& k : keys) k = rng.below(2);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  sim::Machine m(d);
+  const auto stats = core::radix_sort(m, d, keys, 1);
+  EXPECT_EQ(keys, expected);
+  EXPECT_EQ(stats.passes, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, RadixSortTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(RadixSort, RejectsOverWideKeys) {
+  const net::DualCube d(2);
+  sim::Machine m(d);
+  std::vector<u64> keys(d.node_count(), 9);  // needs 4 bits
+  EXPECT_THROW(core::radix_sort(m, d, keys, 3), CheckError);
+}
+
+TEST(RadixSort, AlreadySortedStaysSorted) {
+  const net::DualCube d(3);
+  std::vector<u64> keys(d.node_count());
+  std::iota(keys.begin(), keys.end(), 0);
+  auto expected = keys;
+  sim::Machine m(d);
+  core::radix_sort(m, d, keys, 5);
+  EXPECT_EQ(keys, expected);
+}
+
+// ---------------------------------------------------------------- alltoall
+
+class AlltoallTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AlltoallTest, DeliversEveryPersonalizedMessage) {
+  const unsigned n = GetParam();
+  const net::RecursiveDualCube r(n);
+  sim::Machine m(r);
+  const std::size_t N = r.node_count();
+  std::vector<std::vector<u64>> messages(N, std::vector<u64>(N));
+  for (NodeId u = 0; u < N; ++u)
+    for (NodeId v = 0; v < N; ++v) messages[u][v] = u * 1000 + v;
+  const auto out = collectives::dual_alltoall(m, r, messages);
+  for (NodeId v = 0; v < N; ++v)
+    for (NodeId u = 0; u < N; ++u)
+      ASSERT_EQ(out[v][u], u * 1000 + v) << "u=" << u << " v=" << v;
+  // Dimension sweep: 1 cycle at dim 0, 3 at each of the other 2n-2 dims.
+  EXPECT_EQ(m.counters().comm_cycles,
+            core::formulas::emulated_prefix_comm(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, AlltoallTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+// --------------------------------------------------------- torus embedding
+
+TEST(TorusEmbedding, GrayMapIsABijection) {
+  const auto map = net::embed_torus_gray(3, 2);
+  std::vector<char> seen(32, 0);
+  for (const auto label : map) {
+    ASSERT_LT(label, 32u);
+    EXPECT_FALSE(seen[label]);
+    seen[label] = 1;
+  }
+}
+
+TEST(TorusEmbedding, Dilation1OnHypercube) {
+  for (const auto& [a, b] :
+       std::vector<std::pair<unsigned, unsigned>>{{2, 1}, {3, 2}, {4, 3}}) {
+    const auto map = net::embed_torus_gray(a, b);
+    const auto edges = net::torus_edges(a, b);
+    const auto stats = net::embedding_dilation(
+        edges, map, [](NodeId x, NodeId y) { return bits::hamming(x, y); });
+    EXPECT_EQ(stats.max, 1u) << a << "x" << b;
+  }
+}
+
+TEST(TorusEmbedding, DilationAtMost3OnDualCube) {
+  for (unsigned n : {2u, 3u, 4u}) {
+    const net::DualCube d(n);
+    const auto map = net::embed_torus_gray(n, n - 1);
+    const auto edges = net::torus_edges(n, n - 1);
+    const auto stats = net::embedding_dilation(
+        edges, map, [&](NodeId x, NodeId y) { return d.distance(x, y); });
+    EXPECT_LE(stats.max, 3u);
+    EXPECT_EQ(stats.max, 3u) << "some edge crosses fields";
+  }
+}
+
+TEST(TorusEmbedding, EdgeCountIsTwoNForLargeSides) {
+  // An R x C torus with R, C > 2 has 2*R*C edges.
+  const auto edges = net::torus_edges(3, 3);
+  EXPECT_EQ(edges.size(), 2u * 8 * 8);
+}
+
+TEST(TorusEmbedding, DegenerateSidesDeduplicate) {
+  // 2 x 2: wrap edges coincide with step edges -> plain 4-cycle.
+  const auto edges = net::torus_edges(1, 1);
+  EXPECT_EQ(edges.size(), 4u);
+  // 1 x 8 ring.
+  const auto ring = net::torus_edges(0, 3);
+  EXPECT_EQ(ring.size(), 8u);
+}
+
+}  // namespace
+}  // namespace dc

@@ -1,0 +1,90 @@
+// Tests for carry-lookahead addition via dual-cube prefix.
+#include <gtest/gtest.h>
+
+#include "core/carry_lookahead.hpp"
+#include "support/rng.hpp"
+
+namespace dc::core {
+namespace {
+
+TEST(CarryMonoid, LawsHoldExhaustively) {
+  const CarryOp op;
+  const Carry all[] = {Carry::kKill, Carry::kPropagate, Carry::kGenerate};
+  for (const Carry a : all) {
+    EXPECT_EQ(op.combine(a, op.identity()), a);
+    EXPECT_EQ(op.combine(op.identity(), a), a);
+    for (const Carry b : all)
+      for (const Carry c : all)
+        EXPECT_EQ(op.combine(op.combine(a, b), c),
+                  op.combine(a, op.combine(b, c)));
+  }
+}
+
+class CarryAddTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CarryAddTest, RandomNumbersMatchRipple) {
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  Rng rng(n);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<u64> a(d.node_count());
+    std::vector<u64> b(d.node_count());
+    for (auto& x : a) x = rng();
+    for (auto& x : b) x = rng();
+    sim::Machine m(d);
+    std::vector<u64> par;
+    std::vector<u64> seq;
+    const bool cp = carry_lookahead_add(m, d, a, b, par);
+    const bool cs = seq_ripple_add(a, b, seq);
+    ASSERT_EQ(par, seq) << "trial " << trial;
+    ASSERT_EQ(cp, cs);
+    ASSERT_EQ(m.counters().comm_cycles, 2 * n)
+        << "one Algorithm-2 pass resolves all carries";
+  }
+}
+
+TEST_P(CarryAddTest, LongestPossibleCarryChain) {
+  // 0xFF..F + 1: the carry from limb 0 must ripple through every limb.
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  std::vector<u64> a(d.node_count(), ~u64{0});
+  std::vector<u64> b(d.node_count(), 0);
+  b[0] = 1;
+  sim::Machine m(d);
+  std::vector<u64> out;
+  const bool carry = carry_lookahead_add(m, d, a, b, out);
+  EXPECT_TRUE(carry) << "overflows the whole number";
+  for (const u64 limb : out) EXPECT_EQ(limb, 0u);
+}
+
+TEST_P(CarryAddTest, ZeroPlusZero) {
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  std::vector<u64> zero(d.node_count(), 0);
+  sim::Machine m(d);
+  std::vector<u64> out;
+  EXPECT_FALSE(carry_lookahead_add(m, d, zero, zero, out));
+  for (const u64 limb : out) EXPECT_EQ(limb, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, CarryAddTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(CarryAdd, AlternatingPropagateBlocks) {
+  const net::DualCube d(3);
+  std::vector<u64> a(d.node_count());
+  std::vector<u64> b(d.node_count());
+  // Even limbs all-ones (propagate), odd limbs generate.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = i % 2 == 0 ? ~u64{0} : ~u64{0};
+    b[i] = i % 2 == 0 ? 0 : 2;
+  }
+  sim::Machine m(d);
+  std::vector<u64> par;
+  std::vector<u64> seq;
+  EXPECT_EQ(carry_lookahead_add(m, d, a, b, par), seq_ripple_add(a, b, seq));
+  EXPECT_EQ(par, seq);
+}
+
+}  // namespace
+}  // namespace dc::core

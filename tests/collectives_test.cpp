@@ -1,0 +1,147 @@
+// Tests for the collectives extension: broadcast / reduce / all-reduce /
+// gather / barrier on the dual-cube (cluster technique) and the hypercube
+// baselines — correctness from every root and step-count optimality.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "collectives/barrier.hpp"
+#include "collectives/broadcast.hpp"
+#include "collectives/gather.hpp"
+#include "collectives/reduce.hpp"
+#include "support/rng.hpp"
+
+namespace dc::collectives {
+namespace {
+
+std::vector<u64> random_values(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<u64> v(n);
+  for (auto& x : v) x = rng.below(1000);
+  return v;
+}
+
+class DualCollectivesTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DualCollectivesTest, BroadcastReachesEveryNodeFromEveryRoot) {
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  for (net::NodeId root = 0; root < d.node_count();
+       root += std::max<net::NodeId>(1, d.node_count() / 8)) {
+    sim::Machine m(d);
+    const auto out = dual_broadcast<u64>(m, d, root, 42 + root);
+    for (const u64 v : out) EXPECT_EQ(v, 42 + root);
+    EXPECT_EQ(m.counters().comm_cycles, 2 * n)
+        << "broadcast must finish in diameter cycles";
+  }
+}
+
+TEST_P(DualCollectivesTest, ReduceSumFromEveryRootSample) {
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  const dc::core::Plus<u64> op;
+  const auto values = random_values(d.node_count(), n);
+  const u64 expected = std::accumulate(values.begin(), values.end(), u64{0});
+  for (net::NodeId root = 0; root < d.node_count();
+       root += std::max<net::NodeId>(1, d.node_count() / 8)) {
+    sim::Machine m(d);
+    EXPECT_EQ(dual_reduce(m, d, root, op, values), expected);
+    EXPECT_EQ(m.counters().comm_cycles, 2 * n);
+  }
+}
+
+TEST_P(DualCollectivesTest, ReduceMinMax) {
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  const auto values = random_values(d.node_count(), n + 3);
+  {
+    sim::Machine m(d);
+    const dc::core::Min<u64> op;
+    EXPECT_EQ(dual_reduce(m, d, 0, op, values),
+              *std::min_element(values.begin(), values.end()));
+  }
+  {
+    sim::Machine m(d);
+    const dc::core::Max<u64> op;
+    EXPECT_EQ(dual_reduce(m, d, 0, op, values),
+              *std::max_element(values.begin(), values.end()));
+  }
+}
+
+TEST_P(DualCollectivesTest, AllReduceGivesEveryNodeTheTotal) {
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  sim::Machine m(d);
+  const dc::core::Plus<u64> op;
+  const auto values = random_values(d.node_count(), n + 5);
+  const u64 expected = std::accumulate(values.begin(), values.end(), u64{0});
+  const auto out = dual_allreduce(m, d, op, values);
+  for (const u64 v : out) EXPECT_EQ(v, expected);
+  EXPECT_EQ(m.counters().comm_cycles, 2 * n);
+}
+
+TEST_P(DualCollectivesTest, BarrierCountsAllParticipants) {
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  sim::Machine m(d);
+  EXPECT_EQ(dual_barrier(m, d), d.node_count());
+}
+
+TEST_P(DualCollectivesTest, GatherCollectsTaggedValues) {
+  const unsigned n = GetParam();
+  const net::DualCube d(n);
+  sim::Machine m(d);
+  const auto values = random_values(d.node_count(), n + 7);
+  const auto out = gather(m, d, /*root=*/3 % d.node_count(), values);
+  EXPECT_EQ(out, values);
+  // 1-port lower bound: the root receives N-1 messages one per cycle.
+  EXPECT_GE(m.counters().comm_cycles, d.node_count() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, DualCollectivesTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(CubeCollectives, BroadcastFromEveryRoot) {
+  const net::Hypercube q(4);
+  for (net::NodeId root = 0; root < q.node_count(); ++root) {
+    sim::Machine m(q);
+    const auto out = cube_broadcast<u64>(m, q, root, root + 1);
+    for (const u64 v : out) EXPECT_EQ(v, root + 1);
+    EXPECT_EQ(m.counters().comm_cycles, q.dimensions());
+  }
+}
+
+TEST(CubeCollectives, ReduceFromEveryRoot) {
+  const net::Hypercube q(4);
+  const dc::core::Plus<u64> op;
+  const auto values = random_values(q.node_count(), 11);
+  const u64 expected = std::accumulate(values.begin(), values.end(), u64{0});
+  for (net::NodeId root = 0; root < q.node_count(); ++root) {
+    sim::Machine m(q);
+    EXPECT_EQ(cube_reduce(m, q, root, op, values), expected);
+    EXPECT_EQ(m.counters().comm_cycles, q.dimensions());
+  }
+}
+
+TEST(Gather, WorksOnHypercubeToo) {
+  const net::Hypercube q(3);
+  sim::Machine m(q);
+  std::vector<u64> values(q.node_count());
+  std::iota(values.begin(), values.end(), 100);
+  EXPECT_EQ(gather(m, q, 0, values), values);
+}
+
+TEST(Broadcast, DualBroadcastStepsEqualDiameterExactly) {
+  // 2n cycles, which equals the diameter for n >= 2, so the schedule is
+  // optimal there (D_1's degenerate diameter is 1; the generic schedule
+  // still spends its two cross cycles).
+  for (unsigned n : {2u, 3u, 4u, 5u}) {
+    const net::DualCube d(n);
+    sim::Machine m(d);
+    dual_broadcast<int>(m, d, 0, 1);
+    EXPECT_EQ(m.counters().comm_cycles, d.diameter());
+  }
+}
+
+}  // namespace
+}  // namespace dc::collectives

@@ -1,0 +1,238 @@
+// Tests for the ring embeddings (Hamiltonian cycles/paths), the metacube
+// generalization, and the Beneš permutation network.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/rng.hpp"
+#include "topology/benes.hpp"
+#include "topology/graph.hpp"
+#include "topology/hamiltonian.hpp"
+#include "topology/metacube.hpp"
+
+namespace dc::net {
+namespace {
+
+// ------------------------------------------------------------ gray code
+
+TEST(GrayCode, ConsecutiveCodesDifferInOneBit) {
+  for (u64 t = 0; t < 1024; ++t)
+    EXPECT_EQ(bits::hamming(gray_code(t), gray_code(t + 1)), 1u);
+}
+
+TEST(GrayCode, IsABijectionOnWBits) {
+  std::vector<char> seen(256, 0);
+  for (u64 t = 0; t < 256; ++t) {
+    const u64 g = gray_code(t);
+    ASSERT_LT(g, 256u);
+    EXPECT_FALSE(seen[g]);
+    seen[g] = 1;
+  }
+}
+
+// -------------------------------------------------- hypercube embeddings
+
+class CubeHamTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CubeHamTest, GrayCycleIsHamiltonian) {
+  const Hypercube q(GetParam());
+  EXPECT_TRUE(is_hamiltonian_cycle(q, hypercube_hamiltonian_cycle(q)));
+}
+
+TEST_P(CubeHamTest, LaceablePathsBetweenAllOddPairs) {
+  const Hypercube q(GetParam());
+  for (NodeId x = 0; x < q.node_count(); ++x) {
+    for (NodeId y = 0; y < q.node_count(); ++y) {
+      if (bits::hamming(x, y) % 2 == 0) continue;
+      const auto path = hypercube_hamiltonian_path(q, x, y);
+      EXPECT_TRUE(is_hamiltonian_path(q, path)) << "x=" << x << " y=" << y;
+      EXPECT_EQ(path.front(), x);
+      EXPECT_EQ(path.back(), y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CubeHamTest, ::testing::Values(2u, 3u, 4u, 5u));
+
+TEST(CubeHam, RejectsEqualParityEndpoints) {
+  const Hypercube q(3);
+  EXPECT_THROW(hypercube_hamiltonian_path(q, 0, 3), CheckError);
+  EXPECT_THROW(hypercube_hamiltonian_path(q, 5, 5), CheckError);
+}
+
+// -------------------------------------------------- dual-cube embeddings
+
+class DualHamTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DualHamTest, CycleIsHamiltonian) {
+  const DualCube d(GetParam());
+  const auto cycle = dual_cube_hamiltonian_cycle(d);
+  EXPECT_TRUE(is_hamiltonian_cycle(d, cycle))
+      << "D_" << GetParam() << " ring embedding with dilation 1";
+  EXPECT_EQ(cycle.size(), d.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, DualHamTest,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u));
+
+TEST(DualHam, D1HasNoCycle) {
+  EXPECT_THROW(dual_cube_hamiltonian_cycle(DualCube(1)), CheckError);
+}
+
+TEST(DualHam, CycleAlternatesClustersInBlocks) {
+  // The construction visits whole clusters consecutively: the class flips
+  // exactly 2 * 2^(n-1) times around the cycle (one cross-edge into and
+  // out of every class-1 cluster).
+  const DualCube d(3);
+  const auto cycle = dual_cube_hamiltonian_cycle(d);
+  unsigned class_flips = 0;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (d.node_class(cycle[i]) !=
+        d.node_class(cycle[(i + 1) % cycle.size()]))
+      ++class_flips;
+  }
+  EXPECT_EQ(class_flips, 2 * d.clusters_per_class());
+}
+
+TEST(Validators, RejectBadCycles) {
+  const Hypercube q(2);
+  EXPECT_FALSE(is_hamiltonian_cycle(q, {0, 1, 3}));        // misses a node
+  EXPECT_FALSE(is_hamiltonian_cycle(q, {0, 1, 3, 3}));     // repeats
+  EXPECT_FALSE(is_hamiltonian_cycle(q, {0, 1, 2, 3}));     // 1-2 not an edge
+  EXPECT_TRUE(is_hamiltonian_cycle(q, {0, 1, 3, 2}));
+  EXPECT_FALSE(is_hamiltonian_path(q, {0, 1, 3}));
+  EXPECT_TRUE(is_hamiltonian_path(q, {1, 0, 2, 3}));
+}
+
+// ---------------------------------------------------------------- metacube
+
+TEST(Metacube, MC1mIsExactlyTheDualCube) {
+  for (unsigned m : {1u, 2u, 3u}) {
+    const Metacube mc(1, m);
+    const DualCube d(m + 1);
+    ASSERT_EQ(mc.node_count(), d.node_count());
+    for (NodeId u = 0; u < d.node_count(); ++u) {
+      auto a = mc.neighbors(u);
+      auto b = d.neighbors(u);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b) << "MC(1," << m << ") vs D_" << (m + 1) << " at " << u;
+    }
+  }
+}
+
+TEST(Metacube, MC0mIsTheHypercube) {
+  const Metacube mc(0, 4);
+  const Hypercube q(4);
+  ASSERT_EQ(mc.node_count(), q.node_count());
+  for (NodeId u = 0; u < q.node_count(); ++u) {
+    auto a = mc.neighbors(u);
+    auto b = q.neighbors(u);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Metacube, InvariantsAcrossOrders) {
+  for (const auto& [k, m] : std::vector<std::pair<unsigned, unsigned>>{
+           {0u, 3u}, {1u, 2u}, {2u, 1u}, {2u, 2u}}) {
+    const Metacube mc(k, m);
+    EXPECT_EQ(mc.node_count(),
+              bits::pow2(k + m * static_cast<unsigned>(bits::pow2(k))));
+    validate_graph(mc);
+    std::size_t deg = 0;
+    EXPECT_TRUE(is_regular(mc, &deg));
+    EXPECT_EQ(deg, mc.degree_formula()) << mc.name();
+    EXPECT_TRUE(is_connected(mc)) << mc.name();
+    EXPECT_TRUE(is_bipartite(mc)) << mc.name();
+  }
+}
+
+TEST(Metacube, RoutingReachesEveryPair) {
+  const Metacube mc(2, 1);  // 2 + 4 = 6 bits, 64 nodes, degree 3
+  for (NodeId u = 0; u < mc.node_count(); u += 3) {
+    for (NodeId v = 0; v < mc.node_count(); v += 5) {
+      const auto path = route_metacube(mc, u, v);
+      EXPECT_TRUE(is_valid_path(mc, path)) << "u=" << u << " v=" << v;
+      EXPECT_EQ(path.front(), u);
+      EXPECT_EQ(path.back(), v);
+    }
+  }
+}
+
+TEST(Metacube, RoutingMatchesDualCubeDistanceOnMC1) {
+  // On MC(1, m) the simple metacube route should be as short as the
+  // dual-cube's (both realize Hamming or Hamming+2).
+  const Metacube mc(1, 2);
+  const DualCube d(3);
+  for (NodeId u = 0; u < mc.node_count(); ++u) {
+    for (NodeId v = 0; v < mc.node_count(); ++v) {
+      const auto path = route_metacube(mc, u, v);
+      EXPECT_LE(path.size() - 1, d.distance(u, v) + 2);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Beneš
+
+class BenesTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BenesTest, RealizesRandomPermutations) {
+  const Benes b(GetParam());
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<u64> perm(b.terminals());
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::size_t i = perm.size(); i-- > 1;)
+      std::swap(perm[i], perm[rng.below(i + 1)]);
+    const auto settings = b.route(perm);
+    EXPECT_EQ(b.apply(settings), perm);
+  }
+}
+
+TEST_P(BenesTest, RealizesIdentityAndReversal) {
+  const Benes b(GetParam());
+  std::vector<u64> identity(b.terminals());
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_EQ(b.apply(b.route(identity)), identity);
+
+  std::vector<u64> reversal(b.terminals());
+  for (std::size_t i = 0; i < reversal.size(); ++i)
+    reversal[i] = reversal.size() - 1 - i;
+  EXPECT_EQ(b.apply(b.route(reversal)), reversal);
+}
+
+TEST_P(BenesTest, StageAndSwitchCounts) {
+  const Benes b(GetParam());
+  EXPECT_EQ(b.stages(), 2 * GetParam() - 1);
+  EXPECT_EQ(b.switch_count(), b.terminals() / 2 * (2 * GetParam() - 1));
+  std::vector<u64> identity(b.terminals());
+  std::iota(identity.begin(), identity.end(), 0);
+  const auto settings = b.route(identity);
+  EXPECT_EQ(settings.size(), b.stages());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BenesTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+TEST(Benes, ExhaustiveOverAllPermutationsOfEight) {
+  const Benes b(3);
+  std::vector<u64> perm{0, 1, 2, 3, 4, 5, 6, 7};
+  int count = 0;
+  do {
+    ASSERT_EQ(b.apply(b.route(perm)), perm);
+    ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(count, 40320);  // 8! — rearrangeability, exhaustively
+}
+
+TEST(Benes, RejectsNonPermutations) {
+  const Benes b(2);
+  EXPECT_THROW(b.route({0, 0, 1, 2}), CheckError);
+  EXPECT_THROW(b.route({0, 1, 2}), CheckError);
+  EXPECT_THROW(b.route({0, 1, 2, 9}), CheckError);
+}
+
+}  // namespace
+}  // namespace dc::net

@@ -1,0 +1,171 @@
+// Remaining coverage: the describe/rendering helpers, the closed-form
+// step-count formulas, cross-checks between counters and reports, and
+// assorted API edge cases.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/formulas.hpp"
+#include "sim/store_forward.hpp"
+#include "support/rng.hpp"
+#include "topology/describe.hpp"
+#include "topology/graph.hpp"
+#include "topology/metacube.hpp"
+#include "topology/routing.hpp"
+
+namespace dc {
+namespace {
+
+using net::NodeId;
+
+TEST(Describe, DualCubeRenderingListsEveryNode) {
+  const net::DualCube d(2);
+  const auto text = net::describe_dual_cube(d);
+  for (NodeId u = 0; u < d.node_count(); ++u)
+    EXPECT_NE(text.find(bits::to_binary(u, d.label_bits())),
+              std::string::npos)
+        << "node " << u << " missing from the rendering";
+  EXPECT_NE(text.find("diameter 4"), std::string::npos);
+  EXPECT_NE(text.find("class 0"), std::string::npos);
+  EXPECT_NE(text.find("class 1"), std::string::npos);
+}
+
+TEST(Describe, RecursiveConstructionShowsFourCopiesAndMatchings) {
+  const net::RecursiveDualCube r(3);
+  const auto text = net::describe_recursive_construction(r);
+  for (const char* copy : {"copy 00", "copy 01", "copy 10", "copy 11"})
+    EXPECT_NE(text.find(copy), std::string::npos);
+  EXPECT_NE(text.find("dimension 4 (even)"), std::string::npos);
+  EXPECT_NE(text.find("dimension 3 (odd)"), std::string::npos);
+}
+
+TEST(Describe, BaseCaseIsK2) {
+  const net::RecursiveDualCube r(1);
+  EXPECT_NE(net::describe_recursive_construction(r).find("K_2"),
+            std::string::npos);
+}
+
+TEST(Formulas, ClosedFormsSatisfyTheRecurrences) {
+  namespace f = core::formulas;
+  // T_comm(n) = T_comm(n-1) + 3(2n-3)+1 + 3(2n-2)+1, T_comm(1) = 1.
+  for (unsigned n = 2; n <= 12; ++n) {
+    EXPECT_EQ(f::dual_sort_comm_exact(n),
+              f::dual_sort_comm_exact(n - 1) + 3 * (2 * n - 3) + 1 +
+                  3 * (2 * n - 2) + 1);
+    EXPECT_EQ(f::dual_sort_comp_exact(n),
+              f::dual_sort_comp_exact(n - 1) + (2 * n - 2) + (2 * n - 1));
+    EXPECT_LE(f::dual_sort_comm_exact(n), f::dual_sort_comm_bound(n));
+    EXPECT_LE(f::dual_sort_comp_exact(n), f::dual_sort_comp_bound(n));
+    EXPECT_LE(f::dual_prefix_comm_impl(n), f::dual_prefix_comm_paper(n));
+  }
+  EXPECT_EQ(f::dual_sort_comm_exact(1), 1u);
+  EXPECT_EQ(f::cube_bitonic_steps(5), 15u);
+}
+
+TEST(Formulas, SortOverheadApproachesThree) {
+  namespace f = core::formulas;
+  for (unsigned n = 2; n <= 40; ++n) {
+    const double ratio = static_cast<double>(f::dual_sort_comm_exact(n)) /
+                         static_cast<double>(f::cube_bitonic_steps(2 * n - 1));
+    EXPECT_LT(ratio, 3.0) << "paper: at most 3x the hypercube";
+    if (n >= 20) {
+      EXPECT_GT(ratio, 2.8) << "and asymptotically tight";
+    }
+  }
+}
+
+TEST(StoreForward, PacketListHandlesMixedSourcesAndLengths) {
+  const net::DualCube d(2);
+  sim::Machine m(d);
+  std::vector<sim::Packet> packets;
+  packets.push_back({0, net::route_dual_cube(d, 3, 4), 0, 0});
+  packets.push_back({1, net::route_dual_cube(d, 0, 0), 0, 0});  // at home
+  packets.push_back({2, net::route_dual_cube(d, 7, 1), 0, 0});
+  const auto report = sim::route_packet_list(m, std::move(packets));
+  EXPECT_EQ(report.packets, 3u);
+  EXPECT_EQ(report.total_hops,
+            d.distance(3, 4) + d.distance(7, 1));
+  EXPECT_GE(report.cycles, 1u);
+}
+
+TEST(MetacubeRouting, PathLengthBoundedByLabelWalk) {
+  // The class-walk route never exceeds Hamming distance of the fields plus
+  // two full class-walks per differing field.
+  const net::Metacube mc(2, 2);
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeId u = rng.below(mc.node_count());
+    const NodeId v = rng.below(mc.node_count());
+    const auto path = route_metacube(mc, u, v);
+    EXPECT_TRUE(net::is_valid_path(mc, path));
+    EXPECT_EQ(path.front(), u);
+    EXPECT_EQ(path.back(), v);
+    const unsigned fields_bits = mc.m() * 4;
+    EXPECT_LE(path.size() - 1,
+              bits::hamming(u, v) + 2u * mc.k() * 4u + fields_bits);
+  }
+}
+
+TEST(Machine, CommCyclesMatchReportedRoutingCycles) {
+  const net::DualCube d(3);
+  sim::Machine m(d);
+  std::vector<NodeId> dest(d.node_count());
+  for (NodeId u = 0; u < d.node_count(); ++u)
+    dest[u] = d.cross_neighbor(u);
+  const auto report = sim::route_packets(m, dest, [&](NodeId s, NodeId v) {
+    return net::route_dual_cube(d, s, v);
+  });
+  EXPECT_EQ(m.counters().comm_cycles, report.cycles);
+  EXPECT_EQ(m.counters().messages, report.total_hops);
+}
+
+TEST(StoreForward, AllToOneHotspotDrainsAtPortRate) {
+  // Adversarial non-permutation traffic: every node targets node 0, whose
+  // single receive port is the bottleneck — N-1 cycles minimum.
+  const net::DualCube d(3);
+  sim::Machine m(d);
+  std::vector<NodeId> dest(d.node_count(), 0);
+  const auto report = sim::route_packets(m, dest, [&](NodeId s, NodeId v) {
+    return net::route_dual_cube(d, s, v);
+  });
+  EXPECT_GE(report.cycles, d.node_count() - 1);
+  EXPECT_EQ(report.packets, d.node_count());
+}
+
+TEST(CutSize, HypercubeDimensionCutIsHalfTheNodes) {
+  const net::Hypercube q(5);
+  for (unsigned i = 0; i < 5; ++i) {
+    EXPECT_EQ(net::cut_size(q, [&](NodeId u) { return bits::get(u, i) == 1; }),
+              q.node_count() / 2);
+  }
+}
+
+TEST(CutSize, DualCubeClassCutSeversExactlyTheCrossEdges) {
+  for (unsigned n : {2u, 3u, 4u}) {
+    const net::DualCube d(n);
+    EXPECT_EQ(net::cut_size(d, [&](NodeId u) { return d.node_class(u) == 1; }),
+              d.node_count() / 2);
+  }
+}
+
+TEST(DistanceProfile, HypercubeIsBinomial) {
+  const net::Hypercube q(5);
+  const auto profile = net::distance_profile(q, 0);
+  const u64 binomial[6] = {1, 5, 10, 10, 5, 1};
+  for (unsigned k = 0; k <= 5; ++k)
+    EXPECT_EQ(profile.at(k), binomial[k]) << "C(5," << k << ")";
+}
+
+TEST(DualCubeProfile, HalfTheNodesAreWithinNPlusOneHops) {
+  // Sanity on the shape of the dual-cube's distance distribution: the
+  // median distance is close to n+1 (measured, not from the paper).
+  const net::DualCube d(4);
+  const auto profile = net::distance_profile(d, 0);
+  u64 within = 0;
+  for (const auto& [dist, count] : profile)
+    if (dist <= d.order() + 1) within += count;
+  EXPECT_GE(within, d.node_count() / 2);
+}
+
+}  // namespace
+}  // namespace dc

@@ -1,0 +1,71 @@
+// Tests for the ring-pipelined broadcast.
+#include <gtest/gtest.h>
+
+#include "collectives/pipeline_broadcast.hpp"
+#include "support/rng.hpp"
+
+namespace dc::collectives {
+namespace {
+
+struct PipeCase {
+  unsigned n;
+  std::size_t chunks;
+  net::NodeId root;
+};
+
+class PipelineTest : public ::testing::TestWithParam<PipeCase> {};
+
+TEST_P(PipelineTest, DeliversAllChunksInOrder) {
+  const auto [n, count, root] = GetParam();
+  const net::DualCube d(n);
+  sim::Machine m(d);
+  Rng rng(count);
+  std::vector<u64> chunks(count);
+  for (auto& c : chunks) c = rng();
+  const auto out =
+      ring_pipeline_broadcast(m, d, root % d.node_count(), chunks);
+  for (net::NodeId u = 0; u < d.node_count(); ++u)
+    ASSERT_EQ(out[u], chunks) << "node " << u;
+  EXPECT_EQ(m.counters().comm_cycles, d.node_count() - 2 + count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PipelineTest,
+    ::testing::Values(PipeCase{2, 1, 0}, PipeCase{2, 5, 3},
+                      PipeCase{3, 1, 0}, PipeCase{3, 10, 17},
+                      PipeCase{3, 100, 31}, PipeCase{4, 7, 77}),
+    [](const auto& param_info) {
+      return "D" + std::to_string(param_info.param.n) + "_B" +
+             std::to_string(param_info.param.chunks) + "_r" +
+             std::to_string(param_info.param.root);
+    });
+
+TEST(Pipeline, BeatsBinomialForBulkMessages) {
+  const net::DualCube d(3);
+  std::vector<u64> chunks(200, 7);
+  sim::Machine mp(d);
+  ring_pipeline_broadcast(mp, d, 0, chunks);
+  sim::Machine mb(d);
+  repeated_binomial_broadcast(mb, d, 0, chunks);
+  EXPECT_LT(mp.counters().comm_cycles, mb.counters().comm_cycles);
+}
+
+TEST(Pipeline, BinomialWinsForSingleChunk) {
+  const net::DualCube d(3);
+  const std::vector<u64> one{42};
+  sim::Machine mp(d);
+  ring_pipeline_broadcast(mp, d, 0, one);
+  sim::Machine mb(d);
+  repeated_binomial_broadcast(mb, d, 0, one);
+  EXPECT_GT(mp.counters().comm_cycles, mb.counters().comm_cycles);
+}
+
+TEST(Pipeline, RejectsEmptyMessage) {
+  const net::DualCube d(2);
+  sim::Machine m(d);
+  EXPECT_THROW(ring_pipeline_broadcast(m, d, 0, std::vector<u64>{}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace dc::collectives

@@ -1,0 +1,97 @@
+// Routing tests: hypercube e-cube and dual-cube cluster routing produce
+// valid shortest paths — checked pairwise against BFS ground truth.
+#include <gtest/gtest.h>
+
+#include "topology/graph.hpp"
+#include "topology/routing.hpp"
+
+namespace dc::net {
+namespace {
+
+TEST(HypercubeRouting, AllPairsShortest) {
+  for (unsigned d : {1u, 2u, 3u, 4u, 5u}) {
+    const Hypercube q(d);
+    for (NodeId u = 0; u < q.node_count(); ++u) {
+      for (NodeId v = 0; v < q.node_count(); ++v) {
+        const auto path = route_hypercube(q, u, v);
+        EXPECT_TRUE(is_valid_path(q, path));
+        EXPECT_EQ(path.front(), u);
+        EXPECT_EQ(path.back(), v);
+        EXPECT_EQ(path.size() - 1, bits::hamming(u, v));
+      }
+    }
+  }
+}
+
+TEST(HypercubeRouting, SelfRouteIsTrivial) {
+  const Hypercube q(4);
+  const auto path = route_hypercube(q, 9, 9);
+  EXPECT_EQ(path, std::vector<NodeId>{9});
+}
+
+class DualRoutingTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DualRoutingTest, AllPairsValidAndShortest) {
+  const DualCube d(GetParam());
+  for (NodeId u = 0; u < d.node_count(); ++u) {
+    const auto dist = bfs_distances(d, u);
+    for (NodeId v = 0; v < d.node_count(); ++v) {
+      const auto path = route_dual_cube(d, u, v);
+      EXPECT_TRUE(is_valid_path(d, path)) << "u=" << u << " v=" << v;
+      EXPECT_EQ(path.front(), u);
+      EXPECT_EQ(path.back(), v);
+      EXPECT_EQ(path.size() - 1, dist[v])
+          << "route must be shortest: u=" << u << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, DualRoutingTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(DualRouting, RouteLengthNeverExceedsDiameter) {
+  const DualCube d(4);
+  for (NodeId u = 0; u < d.node_count(); u += 7) {
+    for (NodeId v = 0; v < d.node_count(); v += 5) {
+      const auto path = route_dual_cube(d, u, v);
+      EXPECT_LE(path.size() - 1, d.diameter());
+    }
+  }
+}
+
+TEST(DualRouting, CrossClassPairUsesOneCross) {
+  // A class-0/class-1 pair is reachable in exactly Hamming steps: the route
+  // crosses exactly once.
+  const DualCube d(3);
+  for (NodeId u = 0; u < d.node_count(); ++u) {
+    const NodeId v = d.node_count() - 1 - u;
+    if (d.node_class(u) == d.node_class(v)) continue;
+    const auto path = route_dual_cube(d, u, v);
+    unsigned crossings = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+      if (d.node_class(path[i]) != d.node_class(path[i + 1])) ++crossings;
+    EXPECT_EQ(crossings, 1u);
+  }
+}
+
+TEST(DualRouting, SameClassPairUsesTwoCrosses) {
+  const DualCube d(3);
+  unsigned checked = 0;
+  for (NodeId u = 0; u < d.node_count(); ++u) {
+    for (NodeId v = 0; v < d.node_count(); ++v) {
+      const auto a = d.decode(u);
+      const auto b = d.decode(v);
+      if (a.cls != b.cls || a.cluster == b.cluster) continue;
+      const auto path = route_dual_cube(d, u, v);
+      unsigned crossings = 0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        if (d.node_class(path[i]) != d.node_class(path[i + 1])) ++crossings;
+      EXPECT_EQ(crossings, 2u) << "enter and leave the foreign class once";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace dc::net

@@ -1,0 +1,134 @@
+// Tests for the segmented-scan monoid transformer: monoid laws, sequential
+// reference agreement, and execution through Algorithms 1 and 2 (segmented
+// scan is the canonical *non-commutative* client of the prefix algorithms).
+#include <gtest/gtest.h>
+
+#include "core/cube_prefix.hpp"
+#include "core/dual_prefix.hpp"
+#include "core/segmented.hpp"
+#include "support/rng.hpp"
+
+namespace dc::core {
+namespace {
+
+std::pair<std::vector<u64>, std::vector<bool>> random_segmented(std::size_t n,
+                                                                u64 seed,
+                                                                double head_p) {
+  Rng rng(seed);
+  std::vector<u64> values(n);
+  std::vector<bool> heads(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = rng.below(100);
+    heads[i] = rng.unit() < head_p;
+  }
+  return {values, heads};
+}
+
+TEST(SegmentedMonoid, Laws) {
+  const Seg<Plus<u64>> op;
+  Rng rng(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Segmented<u64> a{rng.below(50), rng.unit() < 0.3};
+    const Segmented<u64> b{rng.below(50), rng.unit() < 0.3};
+    const Segmented<u64> c{rng.below(50), rng.unit() < 0.3};
+    EXPECT_EQ(op.combine(op.combine(a, b), c), op.combine(a, op.combine(b, c)))
+        << "associativity";
+    EXPECT_EQ(op.combine(a, op.identity()), a);
+    EXPECT_EQ(op.combine(op.identity(), a), a);
+  }
+}
+
+TEST(SegmentedMonoid, IsNotCommutative) {
+  const Seg<Plus<u64>> op;
+  const Segmented<u64> a{1, false};
+  const Segmented<u64> b{2, true};
+  EXPECT_NE(op.combine(a, b), op.combine(b, a));
+}
+
+TEST(SegmentedSeq, RestartsAtHeads) {
+  const Plus<u64> plus;
+  const std::vector<u64> v{1, 2, 3, 4, 5, 6};
+  const std::vector<bool> h{false, false, true, false, true, false};
+  EXPECT_EQ(seq_segmented_scan(plus, v, h),
+            (std::vector<u64>{1, 3, 3, 7, 5, 11}));
+}
+
+class SegmentedScanTest
+    : public ::testing::TestWithParam<std::pair<unsigned, double>> {};
+
+TEST_P(SegmentedScanTest, OnDualCubeMatchesReference) {
+  const auto [n, head_p] = GetParam();
+  const net::DualCube d(n);
+  sim::Machine m(d);
+  const Plus<u64> plus;
+  const Seg<Plus<u64>> seg;
+  const auto [values, heads] = random_segmented(d.node_count(), n, head_p);
+
+  const auto packed = make_segmented(values, heads);
+  const auto scanned = dual_prefix(m, d, seg, packed);
+  EXPECT_EQ(segmented_values(scanned), seq_segmented_scan(plus, values, heads));
+  // Segments add no communication: still the plain Algorithm 2 cost.
+  EXPECT_EQ(m.counters().comm_cycles, 2 * n);
+}
+
+TEST_P(SegmentedScanTest, OnHypercubeMatchesReference) {
+  const auto [n, head_p] = GetParam();
+  const net::Hypercube q(2 * n - 1);
+  sim::Machine m(q);
+  const Plus<u64> plus;
+  const Seg<Plus<u64>> seg;
+  const auto [values, heads] = random_segmented(q.node_count(), n + 31, head_p);
+
+  const auto packed = make_segmented(values, heads);
+  const auto out = cube_prefix(m, q, seg, packed, /*inclusive=*/true);
+  EXPECT_EQ(segmented_values(out.prefix),
+            seq_segmented_scan(plus, values, heads));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SegmentedScanTest,
+    ::testing::Values(std::pair{1u, 0.3}, std::pair{2u, 0.0},
+                      std::pair{2u, 0.5}, std::pair{3u, 0.1},
+                      std::pair{3u, 0.9}, std::pair{4u, 0.25},
+                      std::pair{5u, 0.05}));
+
+TEST(SegmentedScan, AllHeadsIsIdentityScan) {
+  const net::DualCube d(3);
+  sim::Machine m(d);
+  const Seg<Plus<u64>> seg;
+  std::vector<u64> values(d.node_count(), 7);
+  std::vector<bool> heads(d.node_count(), true);
+  const auto out = segmented_values(
+      dual_prefix(m, d, seg, make_segmented(values, heads)));
+  EXPECT_EQ(out, values) << "every element starts its own segment";
+}
+
+TEST(SegmentedScan, NoHeadsEqualsPlainScan) {
+  const net::DualCube d(3);
+  const Plus<u64> plus;
+  const Seg<Plus<u64>> seg;
+  Rng rng(8);
+  std::vector<u64> values(d.node_count());
+  for (auto& v : values) v = rng.below(100);
+  sim::Machine m1(d);
+  sim::Machine m2(d);
+  const auto seg_out = segmented_values(dual_prefix(
+      m1, d, seg, make_segmented(values, std::vector<bool>(values.size()))));
+  EXPECT_EQ(seg_out, dual_prefix(m2, d, plus, values));
+}
+
+TEST(SegmentedScan, WorksUnderMaxMonoid) {
+  const net::DualCube d(2);
+  sim::Machine m(d);
+  const Max<u64> mx;
+  const Seg<Max<u64>> seg{mx};
+  const std::vector<u64> values{5, 1, 9, 2, 7, 3, 8, 4};
+  const std::vector<bool> heads{false, false, false, true,
+                                false, true,  false, false};
+  const auto out =
+      segmented_values(dual_prefix(m, d, seg, make_segmented(values, heads)));
+  EXPECT_EQ(out, seq_segmented_scan(mx, values, heads));
+}
+
+}  // namespace
+}  // namespace dc::core

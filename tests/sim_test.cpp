@@ -1,0 +1,150 @@
+// Simulator tests: the machine enforces the paper's communication model
+// (messages travel only along links; each node sends <= 1 and receives <= 1
+// per cycle) and counts steps faithfully.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "topology/dual_cube.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/recursive_dual_cube.hpp"
+
+namespace dc::sim {
+namespace {
+
+TEST(Machine, DeliversAlongEdges) {
+  const net::Hypercube q(3);
+  Machine m(q);
+  auto inbox = m.comm_cycle<int>([&](net::NodeId u) {
+    return Send<int>{q.neighbor(u, 0), static_cast<int>(u)};
+  });
+  for (net::NodeId u = 0; u < q.node_count(); ++u) {
+    ASSERT_TRUE(inbox[u].has_value());
+    EXPECT_EQ(*inbox[u], static_cast<int>(bits::flip(u, 0)));
+  }
+  EXPECT_EQ(m.counters().comm_cycles, 1u);
+  EXPECT_EQ(m.counters().messages, q.node_count());
+}
+
+TEST(Machine, RejectsNonEdgeSend) {
+  const net::Hypercube q(3);
+  Machine m(q);
+  EXPECT_THROW(m.comm_cycle<int>([&](net::NodeId u) -> std::optional<Send<int>> {
+                 if (u != 0) return std::nullopt;
+                 return Send<int>{3, 1};  // 0 -> 3 differs in two bits
+               }),
+               SimError);
+}
+
+TEST(Machine, RejectsOutOfRangeDestination) {
+  const net::Hypercube q(2);
+  Machine m(q);
+  EXPECT_THROW(m.comm_cycle<int>([&](net::NodeId u) -> std::optional<Send<int>> {
+                 if (u != 0) return std::nullopt;
+                 return Send<int>{99, 1};
+               }),
+               SimError);
+}
+
+TEST(Machine, RejectsDoubleReceive) {
+  const net::Hypercube q(2);  // node 0 has neighbors 1 and 2
+  Machine m(q);
+  EXPECT_THROW(m.comm_cycle<int>([&](net::NodeId u) -> std::optional<Send<int>> {
+                 if (u == 1 || u == 2) return Send<int>{0, 7};
+                 return std::nullopt;
+               }),
+               SimError);
+}
+
+TEST(Machine, RejectsSelfSend) {
+  const net::Hypercube q(2);
+  Machine m(q);
+  EXPECT_THROW(m.comm_cycle<int>([&](net::NodeId u) -> std::optional<Send<int>> {
+                 if (u != 0) return std::nullopt;
+                 return Send<int>{0, 1};
+               }),
+               SimError);
+}
+
+TEST(Machine, ValidationCanBeDisabled) {
+  const net::Hypercube q(3);
+  Machine m(q, /*validate=*/false);
+  // Non-edge send passes (port discipline still applies).
+  auto inbox = m.comm_cycle<int>([&](net::NodeId u) -> std::optional<Send<int>> {
+    if (u != 0) return std::nullopt;
+    return Send<int>{7, 5};
+  });
+  EXPECT_TRUE(inbox[7].has_value());
+}
+
+TEST(Machine, CountsComputeStepsAndOps) {
+  const net::Hypercube q(3);
+  Machine m(q);
+  m.compute_step([&](net::NodeId) { m.add_ops(1); });
+  m.compute_step([&](net::NodeId) {});
+  const auto c = m.counters();
+  EXPECT_EQ(c.comp_steps, 2u);
+  EXPECT_EQ(c.ops, q.node_count());
+  EXPECT_EQ(c.comm_cycles, 0u);
+}
+
+TEST(Machine, ForEachNodeIsUncounted) {
+  const net::Hypercube q(2);
+  Machine m(q);
+  int touched = 0;
+  m.for_each_node([&](net::NodeId) { ++touched; });
+  EXPECT_EQ(touched, 4);
+  EXPECT_EQ(m.counters(), Counters{});
+}
+
+TEST(Machine, ResetClearsCounters) {
+  const net::Hypercube q(2);
+  Machine m(q);
+  m.compute_step([](net::NodeId) {});
+  m.comm_cycle<int>([&](net::NodeId u) {
+    return Send<int>{q.neighbor(u, 0), 0};
+  });
+  m.reset_counters();
+  EXPECT_EQ(m.counters(), Counters{});
+}
+
+TEST(Machine, TraceRecordsPerCycleMessageCounts) {
+  const net::Hypercube q(2);
+  Machine m(q);
+  m.enable_trace();
+  m.comm_cycle<int>([&](net::NodeId u) {
+    return Send<int>{q.neighbor(u, 0), 0};
+  });
+  m.comm_cycle<int>([&](net::NodeId u) -> std::optional<Send<int>> {
+    if (u != 0) return std::nullopt;
+    return Send<int>{1, 0};
+  });
+  ASSERT_EQ(m.messages_per_cycle().size(), 2u);
+  EXPECT_EQ(m.messages_per_cycle()[0], 4u);
+  EXPECT_EQ(m.messages_per_cycle()[1], 1u);
+}
+
+TEST(Machine, PairwiseExchangeOnDualCubeCross) {
+  const net::DualCube d(3);
+  Machine m(d);
+  auto inbox = m.comm_cycle<net::NodeId>([&](net::NodeId u) {
+    return Send<net::NodeId>{d.cross_neighbor(u), u};
+  });
+  for (net::NodeId u = 0; u < d.node_count(); ++u) {
+    ASSERT_TRUE(inbox[u].has_value());
+    EXPECT_EQ(*inbox[u], d.cross_neighbor(u));
+  }
+}
+
+TEST(Machine, MovesNonCopyablePayloads) {
+  const net::Hypercube q(1);
+  Machine m(q);
+  auto inbox = m.comm_cycle<std::unique_ptr<int>>([&](net::NodeId u) {
+    return Send<std::unique_ptr<int>>{bits::flip(u, 0),
+                                      std::make_unique<int>(static_cast<int>(u))};
+  });
+  ASSERT_TRUE(inbox[0].has_value());
+  EXPECT_EQ(**inbox[0], 1);
+}
+
+}  // namespace
+}  // namespace dc::sim

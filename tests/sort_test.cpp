@@ -1,0 +1,265 @@
+// Tests for the sorting algorithms: hypercube bitonic baseline (Section 5)
+// and the dual-cube sort (Algorithm 3) — correctness across orders, tags,
+// and key distributions; permutation preservation; exact Theorem 2 step
+// counts; and the per-phase bitonic invariants of the schedule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cube_bitonic_sort.hpp"
+#include "core/dual_sort.hpp"
+#include "core/formulas.hpp"
+#include "support/rng.hpp"
+
+namespace dc::core {
+namespace {
+
+bool is_permutation_of(std::vector<u64> a, std::vector<u64> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+/// True iff `v` is bitonic up to rotation: at most two "direction changes"
+/// around the cycle.
+bool is_cyclic_bitonic(const std::vector<u64>& v) {
+  const std::size_t n = v.size();
+  if (n <= 2) return true;
+  unsigned changes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 a = v[i];
+    const u64 b = v[(i + 1) % n];
+    const u64 c = v[(i + 2) % n];
+    if ((a < b && b > c) || (a > b && b < c)) ++changes;
+  }
+  return changes <= 2;
+}
+
+// ---------------------------------------------------- hypercube bitonic sort
+
+struct CubeSortCase {
+  unsigned dim;
+  KeyDistribution dist;
+};
+
+class CubeSortTest : public ::testing::TestWithParam<CubeSortCase> {};
+
+TEST_P(CubeSortTest, SortsAscending) {
+  const auto [dim, dist] = GetParam();
+  const net::Hypercube q(dim);
+  sim::Machine m(q);
+  auto keys = generate_keys(dist, q.node_count(), dim);
+  const auto original = keys;
+  cube_bitonic_sort(m, q, keys);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(is_permutation_of(keys, original));
+}
+
+TEST_P(CubeSortTest, SortsDescending) {
+  const auto [dim, dist] = GetParam();
+  const net::Hypercube q(dim);
+  sim::Machine m(q);
+  auto keys = generate_keys(dist, q.node_count(), dim + 1);
+  const auto original = keys;
+  cube_bitonic_sort(m, q, keys, /*descending=*/true);
+  EXPECT_TRUE(std::is_sorted(keys.rbegin(), keys.rend()));
+  EXPECT_TRUE(is_permutation_of(keys, original));
+}
+
+std::vector<CubeSortCase> cube_cases() {
+  std::vector<CubeSortCase> cases;
+  for (unsigned dim : {1u, 2u, 3u, 5u, 7u})
+    for (const auto dist : all_key_distributions()) cases.push_back({dim, dist});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CubeSortTest, ::testing::ValuesIn(cube_cases()),
+    [](const ::testing::TestParamInfo<CubeSortCase>& param_info) {
+      auto name = "Q" + std::to_string(param_info.param.dim) + "_" +
+                  to_string(param_info.param.dist);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(CubeSort, StepCountIsDTimesDPlus1Over2) {
+  for (unsigned d : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    const net::Hypercube q(d);
+    sim::Machine m(q);
+    auto keys = generate_keys(KeyDistribution::kUniform, q.node_count(), d);
+    cube_bitonic_sort(m, q, keys);
+    EXPECT_EQ(m.counters().comm_cycles, formulas::cube_bitonic_steps(d));
+    EXPECT_EQ(m.counters().comp_steps, formulas::cube_bitonic_steps(d));
+  }
+}
+
+// ----------------------------------------------------------- dual-cube sort
+
+struct DualSortCase {
+  unsigned n;
+  KeyDistribution dist;
+};
+
+class DualSortTest : public ::testing::TestWithParam<DualSortCase> {};
+
+TEST_P(DualSortTest, SortsAscending) {
+  const auto [n, dist] = GetParam();
+  const net::RecursiveDualCube r(n);
+  sim::Machine m(r);
+  auto keys = generate_keys(dist, r.node_count(), n);
+  const auto original = keys;
+  dual_sort(m, r, keys);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(is_permutation_of(keys, original));
+}
+
+TEST_P(DualSortTest, SortsDescending) {
+  const auto [n, dist] = GetParam();
+  const net::RecursiveDualCube r(n);
+  sim::Machine m(r);
+  auto keys = generate_keys(dist, r.node_count(), n + 17);
+  const auto original = keys;
+  dual_sort(m, r, keys, /*descending=*/true);
+  EXPECT_TRUE(std::is_sorted(keys.rbegin(), keys.rend()));
+  EXPECT_TRUE(is_permutation_of(keys, original));
+}
+
+std::vector<DualSortCase> dual_cases() {
+  std::vector<DualSortCase> cases;
+  for (unsigned n : {1u, 2u, 3u, 4u})
+    for (const auto dist : all_key_distributions()) cases.push_back({n, dist});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DualSortTest, ::testing::ValuesIn(dual_cases()),
+    [](const ::testing::TestParamInfo<DualSortCase>& param_info) {
+      auto name = "D" + std::to_string(param_info.param.n) + "_" +
+                  to_string(param_info.param.dist);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(DualSort, StepCountsMatchTheorem2Exactly) {
+  for (unsigned n : {1u, 2u, 3u, 4u, 5u}) {
+    const net::RecursiveDualCube r(n);
+    sim::Machine m(r);
+    auto keys = generate_keys(KeyDistribution::kUniform, r.node_count(), n);
+    dual_sort(m, r, keys);
+    const auto c = m.counters();
+    EXPECT_EQ(c.comm_cycles, formulas::dual_sort_comm_exact(n)) << "n=" << n;
+    EXPECT_EQ(c.comp_steps, formulas::dual_sort_comp_exact(n)) << "n=" << n;
+    EXPECT_LE(c.comm_cycles, formulas::dual_sort_comm_bound(n));
+    EXPECT_LE(c.comp_steps, formulas::dual_sort_comp_bound(n));
+  }
+}
+
+TEST(DualSort, ManySeedsOnD3) {
+  const net::RecursiveDualCube r(3);
+  for (u64 seed = 0; seed < 25; ++seed) {
+    sim::Machine m(r);
+    auto keys = generate_keys(KeyDistribution::kUniform, r.node_count(), seed);
+    const auto original = keys;
+    dual_sort(m, r, keys);
+    ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end())) << "seed " << seed;
+    ASSERT_TRUE(is_permutation_of(keys, original));
+  }
+}
+
+TEST(DualSort, LevelInvariantBlocksSortedAlternately) {
+  // After the schedule finishes level k (observed via the last full-merge
+  // dimension step of that level), every aligned 2^(2k-1) block must be
+  // sorted — ascending where bit 2k-1 of the label is 0, descending where
+  // it is 1 (tags (0,1,0,1) of the paper's recursion).
+  const unsigned n = 3;
+  const net::RecursiveDualCube r(n);
+  sim::Machine m(r);
+  auto keys = generate_keys(KeyDistribution::kUniform, r.node_count(), 4);
+
+  dual_sort<u64>(m, r, keys, false,
+                 [&](const std::string& phase, const std::vector<u64>& now) {
+                   if (phase.find("full-merge dim 0") == std::string::npos)
+                     return;
+                   // Parse "level k ..." prefix.
+                   const unsigned k =
+                       static_cast<unsigned>(phase[6] - '0');
+                   const u64 block = bits::pow2(2 * k - 1);
+                   for (u64 base = 0; base < now.size(); base += block) {
+                     const bool descending =
+                         k < n && bits::get(base, 2 * k - 1) == 1;
+                     const auto first =
+                         now.begin() + static_cast<std::ptrdiff_t>(base);
+                     const auto last =
+                         first + static_cast<std::ptrdiff_t>(block);
+                     if (descending) {
+                       EXPECT_TRUE(std::is_sorted(first, last, std::greater<>()))
+                           << phase << " base=" << base;
+                     } else {
+                       EXPECT_TRUE(std::is_sorted(first, last))
+                           << phase << " base=" << base;
+                     }
+                   }
+                 });
+}
+
+TEST(DualSort, HalfMergePhaseProducesBitonicBlocks) {
+  // After the half-merge pass of the top level, the whole sequence must be
+  // bitonic (ascending half followed by descending half, up to rotation).
+  const unsigned n = 3;
+  const net::RecursiveDualCube r(n);
+  sim::Machine m(r);
+  auto keys = generate_keys(KeyDistribution::kUniform, r.node_count(), 8);
+  std::vector<u64> after_half_merge;
+  const std::string marker = "level " + std::to_string(n) + " half-merge dim 0";
+  dual_sort<u64>(m, r, keys, false,
+                 [&](const std::string& phase, const std::vector<u64>& now) {
+                   if (phase == marker) after_half_merge = now;
+                 });
+  ASSERT_FALSE(after_half_merge.empty());
+  EXPECT_TRUE(is_cyclic_bitonic(after_half_merge));
+  const std::size_t half = after_half_merge.size() / 2;
+  EXPECT_TRUE(std::is_sorted(after_half_merge.begin(),
+                             after_half_merge.begin() + static_cast<std::ptrdiff_t>(half)));
+  EXPECT_TRUE(std::is_sorted(after_half_merge.begin() + static_cast<std::ptrdiff_t>(half),
+                             after_half_merge.end(), std::greater<>()));
+}
+
+TEST(DualSort, PaperFigure5InputShape) {
+  // Figures 5-6 sort 8 keys on D_2; any fixed 8-key input must come out
+  // sorted with the exact Theorem 2 step count for n = 2 (12 comm cycles,
+  // 6 comparison steps).
+  const net::RecursiveDualCube r(2);
+  sim::Machine m(r);
+  std::vector<u64> keys = {5, 2, 7, 1, 4, 6, 3, 0};
+  dual_sort(m, r, keys);
+  EXPECT_EQ(keys, (std::vector<u64>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(m.counters().comm_cycles, formulas::dual_sort_comm_exact(2));
+  EXPECT_EQ(m.counters().comp_steps, formulas::dual_sort_comp_exact(2));
+}
+
+TEST(DualSort, WorksWithNegativeAndDuplicateKeys) {
+  const net::RecursiveDualCube r(3);
+  sim::Machine m(r);
+  Rng rng(31);
+  std::vector<int> keys(r.node_count());
+  for (auto& k : keys) k = static_cast<int>(rng.range(-5, 5));
+  auto original = keys;
+  dual_sort(m, r, keys);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(keys, original);
+}
+
+TEST(DualSort, ObserverSeesEveryDimensionStep) {
+  const unsigned n = 2;
+  const net::RecursiveDualCube r(n);
+  sim::Machine m(r);
+  auto keys = generate_keys(KeyDistribution::kUniform, r.node_count(), 1);
+  std::size_t steps = 0;
+  dual_sort<u64>(m, r, keys, false,
+                 [&](const std::string&, const std::vector<u64>&) { ++steps; });
+  EXPECT_EQ(steps, formulas::dual_sort_comp_exact(n));
+}
+
+}  // namespace
+}  // namespace dc::core

@@ -1,0 +1,189 @@
+// Randomized differential campaigns: drive every algorithm with randomly
+// drawn configurations and check against independent references. These are
+// deliberately broad, seed-deterministic sweeps — the safety net under the
+// targeted unit tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "collectives/allgather.hpp"
+#include "collectives/reduce.hpp"
+#include "core/block_prefix.hpp"
+#include "core/block_sort.hpp"
+#include "core/dual_prefix.hpp"
+#include "core/dual_sort.hpp"
+#include "core/enumeration_sort.hpp"
+#include "core/radix_sort.hpp"
+#include "core/segmented.hpp"
+#include "core/sequential.hpp"
+#include "support/rng.hpp"
+
+namespace dc {
+namespace {
+
+TEST(Stress, PrefixDifferentialCampaign) {
+  Rng rng(0xD0);
+  for (int trial = 0; trial < 60; ++trial) {
+    const unsigned n = static_cast<unsigned>(1 + rng.below(5));
+    const net::DualCube d(n);
+    std::vector<u64> data(d.node_count());
+    for (auto& x : data) x = rng();
+    const bool inclusive = rng.below(2) == 0;
+    sim::Machine m(d);
+    switch (rng.below(3)) {
+      case 0: {
+        const core::Plus<u64> op;
+        const auto out = core::dual_prefix(m, d, op, data, {}, inclusive);
+        ASSERT_EQ(out, inclusive ? core::seq_inclusive_scan(op, data)
+                                 : core::seq_exclusive_scan(op, data));
+        break;
+      }
+      case 1: {
+        const core::Max<u64> op;
+        const auto out = core::dual_prefix(m, d, op, data, {}, inclusive);
+        ASSERT_EQ(out, inclusive ? core::seq_inclusive_scan(op, data)
+                                 : core::seq_exclusive_scan(op, data));
+        break;
+      }
+      default: {
+        const core::Xor<u64> op;
+        const auto out = core::dual_prefix(m, d, op, data, {}, inclusive);
+        ASSERT_EQ(out, inclusive ? core::seq_inclusive_scan(op, data)
+                                 : core::seq_exclusive_scan(op, data));
+        break;
+      }
+    }
+    ASSERT_EQ(m.counters().comm_cycles, 2 * n) << "trial " << trial;
+  }
+}
+
+TEST(Stress, ThreeSortsAgreeCampaign) {
+  Rng rng(0xD1);
+  for (int trial = 0; trial < 25; ++trial) {
+    const unsigned n = static_cast<unsigned>(2 + rng.below(3));
+    const net::DualCube d(n);
+    const net::RecursiveDualCube r(n);
+    std::vector<u64> input(d.node_count());
+    for (auto& k : input) k = rng.below(256);
+    auto expected = input;
+    std::sort(expected.begin(), expected.end());
+
+    auto a = input;
+    sim::Machine ma(r);
+    core::dual_sort(ma, r, a);
+    ASSERT_EQ(a, expected) << "bitonic, trial " << trial;
+
+    auto b = input;
+    sim::Machine mb(d);
+    core::enumeration_sort(mb, d, b);
+    ASSERT_EQ(b, expected) << "enumeration, trial " << trial;
+
+    auto c = input;
+    sim::Machine mc(d);
+    core::radix_sort(mc, d, c, 8);
+    ASSERT_EQ(c, expected) << "radix, trial " << trial;
+  }
+}
+
+TEST(Stress, BlockVariantsCampaign) {
+  Rng rng(0xD2);
+  const core::Plus<u64> plus;
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned n = static_cast<unsigned>(1 + rng.below(3));
+    const std::size_t block = 1 + rng.below(32);
+    const net::DualCube d(n);
+    const net::RecursiveDualCube r(n);
+    std::vector<u64> data(d.node_count() * block);
+    for (auto& x : data) x = rng.below(100000);
+
+    sim::Machine mp(d);
+    ASSERT_EQ(core::block_prefix(mp, d, plus, data, block),
+              core::seq_inclusive_scan(plus, data))
+        << "block prefix, n=" << n << " m=" << block;
+
+    auto keys = data;
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    sim::Machine ms(r);
+    core::block_sort(ms, r, keys, block);
+    ASSERT_EQ(keys, expected) << "block sort, n=" << n << " m=" << block;
+  }
+}
+
+TEST(Stress, SegmentedScanCampaign) {
+  Rng rng(0xD3);
+  const core::Plus<u64> plus;
+  const core::Seg<core::Plus<u64>> seg;
+  for (int trial = 0; trial < 30; ++trial) {
+    const unsigned n = static_cast<unsigned>(1 + rng.below(4));
+    const net::DualCube d(n);
+    std::vector<u64> values(d.node_count());
+    std::vector<bool> heads(d.node_count());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = rng.below(1000);
+      heads[i] = rng.below(4) == 0;
+    }
+    sim::Machine m(d);
+    const auto out = core::segmented_values(
+        core::dual_prefix(m, d, seg, core::make_segmented(values, heads)));
+    ASSERT_EQ(out, core::seq_segmented_scan(plus, values, heads))
+        << "trial " << trial;
+  }
+}
+
+TEST(Stress, CollectivesCampaign) {
+  Rng rng(0xD4);
+  const core::Plus<u64> plus;
+  for (int trial = 0; trial < 30; ++trial) {
+    const unsigned n = static_cast<unsigned>(1 + rng.below(4));
+    const net::DualCube d(n);
+    const net::NodeId root = rng.below(d.node_count());
+    std::vector<u64> values(d.node_count());
+    for (auto& v : values) v = rng.below(1000);
+    const u64 expected =
+        std::accumulate(values.begin(), values.end(), u64{0});
+
+    sim::Machine mr(d);
+    ASSERT_EQ(collectives::dual_reduce(mr, d, root, plus, values), expected);
+    ASSERT_EQ(mr.counters().comm_cycles, 2 * n);
+
+    sim::Machine mg(d);
+    const auto all = collectives::dual_allgather(mg, d, values);
+    ASSERT_EQ(all[root], values);
+  }
+}
+
+TEST(Stress, SortObserverInvariantHoldsOnRandomInputs) {
+  // After the final full-merge step of level k, every 2^(2k-1) block is
+  // monotone — for arbitrary inputs, not just the one in the unit test.
+  Rng rng(0xD5);
+  const unsigned n = 3;
+  const net::RecursiveDualCube r(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<u64> keys(r.node_count());
+    for (auto& k : keys) k = rng.below(64);
+    sim::Machine m(r);
+    core::dual_sort<u64>(
+        m, r, keys, false,
+        [&](const std::string& phase, const std::vector<u64>& now) {
+          if (phase.find("full-merge dim 0") == std::string::npos) return;
+          const unsigned k = static_cast<unsigned>(phase[6] - '0');
+          const u64 block = bits::pow2(2 * k - 1);
+          for (u64 base = 0; base < now.size(); base += block) {
+            const bool desc = k < n && bits::get(base, 2 * k - 1) == 1;
+            const auto first = now.begin() + static_cast<std::ptrdiff_t>(base);
+            const auto last = first + static_cast<std::ptrdiff_t>(block);
+            if (desc) {
+              ASSERT_TRUE(std::is_sorted(first, last, std::greater<>()));
+            } else {
+              ASSERT_TRUE(std::is_sorted(first, last));
+            }
+          }
+        });
+    ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  }
+}
+
+}  // namespace
+}  // namespace dc

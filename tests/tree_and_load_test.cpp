@@ -1,0 +1,84 @@
+// Tests for the generic tree collectives and the per-edge load counters.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "collectives/broadcast.hpp"
+#include "collectives/tree.hpp"
+#include "topology/cube_connected_cycles.hpp"
+#include "topology/dual_cube.hpp"
+#include "topology/hypercube.hpp"
+
+namespace dc::collectives {
+namespace {
+
+TEST(TreeBroadcast, ReachesEveryNodeOnVariousTopologies) {
+  const net::DualCube d(3);
+  const net::Hypercube q(4);
+  const net::CubeConnectedCycles c(3);
+  for (const net::Topology* t :
+       std::initializer_list<const net::Topology*>{&d, &q, &c}) {
+    sim::Machine m(*t);
+    const auto out = tree_broadcast<u64>(m, *t, 0, 77);
+    for (const u64 v : out) EXPECT_EQ(v, 77u);
+    EXPECT_GE(m.counters().comm_cycles, 1u);
+  }
+}
+
+TEST(TreeBroadcast, NeverBeatsTheClusterTechniqueOnDualCube) {
+  for (unsigned n : {2u, 3u, 4u}) {
+    const net::DualCube d(n);
+    sim::Machine mt(d);
+    tree_broadcast<int>(mt, d, 0, 1);
+    sim::Machine mc(d);
+    dual_broadcast<int>(mc, d, 0, 1);
+    EXPECT_GE(mt.counters().comm_cycles, mc.counters().comm_cycles);
+  }
+}
+
+TEST(TreeReduce, CorrectFromSeveralRoots) {
+  const net::DualCube d(3);
+  const dc::core::Plus<u64> op;
+  std::vector<u64> values(d.node_count());
+  std::iota(values.begin(), values.end(), 1);
+  const u64 expected = std::accumulate(values.begin(), values.end(), u64{0});
+  for (net::NodeId root = 0; root < d.node_count(); root += 7) {
+    sim::Machine m(d);
+    EXPECT_EQ(tree_reduce(m, d, root, op, values), expected);
+  }
+}
+
+TEST(TreeReduce, WorksOnIrregularTopology) {
+  const net::CubeConnectedCycles c(3);
+  const dc::core::Max<u64> op;
+  std::vector<u64> values(c.node_count(), 1);
+  values[13] = 999;
+  sim::Machine m(c);
+  EXPECT_EQ(tree_reduce(m, c, 0, op, values), 999u);
+}
+
+TEST(EdgeLoad, CountsMessagesPerDirectedEdge) {
+  const net::Hypercube q(2);
+  sim::Machine m(q);
+  m.enable_edge_load();
+  for (int round = 0; round < 3; ++round) {
+    m.comm_cycle<int>([&](net::NodeId u) {
+      return sim::Send<int>{q.neighbor(u, 0), 1};
+    });
+  }
+  EXPECT_EQ(m.edge_load(0, 1), 3u);
+  EXPECT_EQ(m.edge_load(1, 0), 3u);
+  EXPECT_EQ(m.edge_load(0, 2), 0u);
+}
+
+TEST(EdgeLoad, DisabledByDefault) {
+  const net::Hypercube q(2);
+  sim::Machine m(q);
+  m.comm_cycle<int>([&](net::NodeId u) {
+    return sim::Send<int>{q.neighbor(u, 0), 1};
+  });
+  EXPECT_EQ(m.edge_load(0, 1), 0u) << "no tracking unless enabled";
+}
+
+}  // namespace
+}  // namespace dc::collectives
