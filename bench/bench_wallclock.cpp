@@ -6,7 +6,12 @@
 // model step counts only; see EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "collectives/broadcast.hpp"
 #include "core/block_sort.hpp"
@@ -14,7 +19,10 @@
 #include "core/cube_prefix.hpp"
 #include "core/dual_prefix.hpp"
 #include "core/dual_sort.hpp"
+#include "sim/machine.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "topology/hypercube.hpp"
 
 namespace {
 
@@ -111,6 +119,113 @@ void BM_DualBroadcast(benchmark::State& state) {
 }
 BENCHMARK(BM_DualBroadcast)->DenseRange(2, 6, 2)->Unit(benchmark::kMicrosecond);
 
+// Steady-state communication cycles in isolation: one Machine reused across
+// iterations, so after the first cycle every inbox comes from the arena pool
+// and the cycle performs zero heap allocations. Each iteration exchanges
+// along a rotating hypercube dimension (every node sends, every node
+// receives); items/sec counts delivered messages.
+void BM_CommCycle(benchmark::State& state) {
+  const unsigned d = static_cast<unsigned>(state.range(0));
+  const dc::net::Hypercube q(d);
+  dc::sim::Machine m(q);
+  unsigned i = 0;
+  for (auto _ : state) {
+    auto inbox = m.comm_cycle<u64>([&](dc::net::NodeId u) {
+      return dc::sim::Send<u64>{q.neighbor(u, i), static_cast<u64>(u)};
+    });
+    benchmark::DoNotOptimize(inbox[0]);
+    i = (i + 1 == d) ? 0 : i + 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(q.node_count()));
+}
+BENCHMARK(BM_CommCycle)->DenseRange(7, 15, 4)->Unit(benchmark::kMicrosecond);
+
+// Chunked parallel-loop dispatch: per-index accumulate into a flat array.
+// Ranges at or below the inline threshold measure the pure loop; larger
+// ranges add the ticket-dispatch cost whenever the pool has more than one
+// worker (set DC_THREADS to control this).
+void BM_ParallelFor(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<u64> data(n, 0);
+  for (auto _ : state) {
+    dc::parallel_for_chunked(0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) data[i] += i;
+    });
+    benchmark::DoNotOptimize(data.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelFor)
+    ->RangeMultiplier(16)
+    ->Range(1 << 10, 1 << 22)
+    ->Unit(benchmark::kMicrosecond);
+
+// Writes every finished run (including repetition aggregates such as
+// "_median") to a machine-readable JSON array: one object per run with
+// "name", "ns_per_op" and "items_per_sec". The destination defaults to
+// BENCH_sim.json in the working directory; override with DC_BENCH_JSON.
+// Doubles as the display reporter (it forwards to a ConsoleReporter) so it
+// can run without the --benchmark_out flag the file-reporter slot requires.
+class JsonSummaryReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit JsonSummaryReporter(std::string path) : path_(std::move(path)) {}
+
+  bool ReportContext(const Context& context) override {
+    return console_.ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    console_.ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      Entry e;
+      e.name = run.benchmark_name();
+      e.ns_per_op = run.real_accumulated_time / iters * 1e9;
+      const auto it = run.counters.find("items_per_second");
+      e.items_per_sec =
+          it != run.counters.end() ? static_cast<double>(it->second) : 0.0;
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  void Finalize() override {
+    console_.Finalize();
+    std::ofstream out(path_);
+    if (!out) return;
+    out << std::fixed << std::setprecision(2) << "[\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << "  {\"name\": \"" << e.name << "\", \"ns_per_op\": " << e.ns_per_op
+          << ", \"items_per_sec\": " << e.items_per_sec << "}"
+          << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ns_per_op = 0.0;
+    double items_per_sec = 0.0;
+  };
+  benchmark::ConsoleReporter console_;
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* path = std::getenv("DC_BENCH_JSON");
+  JsonSummaryReporter json(path ? path : "BENCH_sim.json");
+  benchmark::RunSpecifiedBenchmarks(&json);
+  benchmark::Shutdown();
+  return 0;
+}

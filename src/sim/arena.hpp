@@ -1,0 +1,176 @@
+// Generation-stamped communication scratch buffers, reused across cycles.
+//
+// Every comm_cycle needs per-node delivery slots, per-port claim stamps,
+// and a record of where each node sent (for deterministic violation
+// reporting). Allocating that scratch each cycle dominated the simulator's
+// hot path, so the Machine owns a CommArena: a per-payload-type registry of
+// scratch buffers that are recycled instead of freed.
+//
+//   * The outbox is a single persistent vector per payload type — the plan
+//     pass overwrites every slot each cycle, so it needs no clearing and no
+//     stamping.
+//   * Inbox buffers are pooled. A cycle acquires a buffer (allocating only
+//     if the pool is empty — i.e. only on the first cycle, or when the
+//     caller keeps several inboxes of the same type alive at once), stamps
+//     it with a fresh generation, and returns it to the caller wrapped in
+//     an Inbox<P>. The Inbox releases the buffer back to the pool on
+//     destruction, so steady-state cycles perform zero heap allocations.
+//   * The per-slot claim stamps implement the 1-port receive discipline
+//     under concurrent delivery: a worker claims receive port v by
+//     compare-exchanging claims[v] to the buffer's generation. Because the
+//     generation is fresh for every cycle, stamps never need resetting.
+//
+// An Inbox shares ownership of its typed arena, so it stays valid even if
+// it happens to outlive the Machine (in practice inboxes are consumed
+// within the enclosing algorithm step). The arena is not thread-safe; a
+// Machine is driven by one caller thread, which is the existing simulator
+// contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace dc::sim {
+
+/// A single outgoing message.
+template <typename P>
+struct Send {
+  net::NodeId to;
+  P payload;
+};
+
+namespace detail {
+
+struct ArenaBase {
+  virtual ~ArenaBase() = default;
+};
+
+/// One pooled inbox: payload slots plus atomic claim stamps per receive
+/// port. A slot holds a delivered payload iff the delivery pass claimed it
+/// this cycle; stale stamps from earlier cycles never match the fresh
+/// generation, so nothing is cleared between reuses except the payload
+/// optionals (reset by the fused plan pass).
+template <typename P>
+struct InboxBuffer {
+  explicit InboxBuffer(std::size_t n)
+      : slots(n), claims(std::make_unique<std::atomic<std::uint64_t>[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i)
+      claims[i].store(0, std::memory_order_relaxed);
+  }
+  std::vector<std::optional<P>> slots;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> claims;
+  std::uint64_t generation = 0;
+};
+
+/// All scratch for one payload type: the persistent outbox and the inbox
+/// buffer pool. Generations are handed out from a strictly increasing
+/// counter (starting at 1, so the zero-initialized claim stamps can never
+/// collide with a live cycle).
+template <typename P>
+struct TypedArena final : ArenaBase {
+  explicit TypedArena(std::size_t n) : size(n), outbox(n) {
+    pool.reserve(8);
+  }
+
+  std::unique_ptr<InboxBuffer<P>> acquire() {
+    std::unique_ptr<InboxBuffer<P>> buf;
+    if (!pool.empty()) {
+      buf = std::move(pool.back());
+      pool.pop_back();
+    } else {
+      buf = std::make_unique<InboxBuffer<P>>(size);
+    }
+    buf->generation = ++next_generation;
+    return buf;
+  }
+
+  void release(std::unique_ptr<InboxBuffer<P>> buf) {
+    pool.push_back(std::move(buf));
+  }
+
+  std::size_t size;
+  std::vector<std::optional<Send<P>>> outbox;
+  std::vector<std::unique_ptr<InboxBuffer<P>>> pool;
+  std::uint64_t next_generation = 0;
+};
+
+}  // namespace detail
+
+/// Per-payload-type registry of communication scratch, owned by a Machine.
+class CommArena {
+ public:
+  /// The (unique) arena for payload type P, created on first use with
+  /// capacity for `n` nodes. Subsequent calls are a hash lookup only.
+  template <typename P>
+  std::shared_ptr<detail::TypedArena<P>> get(std::size_t n) {
+    const std::type_index key(typeid(P));
+    auto it = arenas_.find(key);
+    if (it == arenas_.end()) {
+      it = arenas_.emplace(key, std::make_shared<detail::TypedArena<P>>(n))
+               .first;
+    }
+    return std::static_pointer_cast<detail::TypedArena<P>>(it->second);
+  }
+
+ private:
+  std::unordered_map<std::type_index, std::shared_ptr<detail::ArenaBase>>
+      arenas_;
+};
+
+/// The result of one comm_cycle: for each node, the payload it received
+/// this cycle, if any. Move-only; indexing matches the old
+/// std::vector<std::optional<P>> interface exactly. Holding an Inbox keeps
+/// its buffer out of the pool, so concurrently live inboxes of the same
+/// payload type are each backed by distinct storage; destroying the Inbox
+/// recycles the buffer for a later cycle.
+template <typename P>
+class Inbox {
+ public:
+  Inbox() = default;
+  Inbox(std::shared_ptr<detail::TypedArena<P>> home,
+        std::unique_ptr<detail::InboxBuffer<P>> buf)
+      : home_(std::move(home)), buf_(std::move(buf)) {}
+
+  Inbox(Inbox&& other) noexcept
+      : home_(std::move(other.home_)), buf_(std::move(other.buf_)) {}
+  Inbox& operator=(Inbox&& other) noexcept {
+    if (this != &other) {
+      recycle();
+      home_ = std::move(other.home_);
+      buf_ = std::move(other.buf_);
+    }
+    return *this;
+  }
+  Inbox(const Inbox&) = delete;
+  Inbox& operator=(const Inbox&) = delete;
+
+  ~Inbox() { recycle(); }
+
+  std::optional<P>& operator[](net::NodeId u) {
+    return buf_->slots[static_cast<std::size_t>(u)];
+  }
+  const std::optional<P>& operator[](net::NodeId u) const {
+    return buf_->slots[static_cast<std::size_t>(u)];
+  }
+
+  std::size_t size() const { return buf_ ? buf_->slots.size() : 0; }
+
+ private:
+  void recycle() {
+    if (home_ && buf_) home_->release(std::move(buf_));
+    home_.reset();
+  }
+
+  std::shared_ptr<detail::TypedArena<P>> home_;
+  std::unique_ptr<detail::InboxBuffer<P>> buf_;
+};
+
+}  // namespace dc::sim

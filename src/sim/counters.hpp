@@ -11,6 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 namespace dc::sim {
 
@@ -21,6 +24,56 @@ struct Counters {
   std::uint64_t ops = 0;          ///< total binary-op / compare applications
 
   friend bool operator==(const Counters&, const Counters&) = default;
+};
+
+/// Per-directed-edge message counters for hot-spot analysis.
+///
+/// Counts live in one flat u64 array per worker slot, indexed by the CSR
+/// edge slot of the directed edge (FlatAdjacency::edge_slot), so concurrent
+/// delivery workers bump disjoint arrays with no synchronization and no
+/// hashing; reads merge the arrays on demand. Sums are order-independent,
+/// so the merged totals are deterministic no matter which worker delivered
+/// which message. Messages that traverse a non-CSR pair (possible only with
+/// link validation disabled) fall back to a mutex-guarded overflow map.
+class EdgeLoadCounters {
+ public:
+  /// Enables counting: one zeroed array of `directed_edges` slots per
+  /// worker slot in [0, workers). All memory is allocated here, up front,
+  /// so the counting itself never allocates.
+  void init(std::size_t workers, std::size_t directed_edges) {
+    per_worker_.assign(workers,
+                       std::vector<std::uint64_t>(directed_edges, 0));
+  }
+
+  bool enabled() const { return !per_worker_.empty(); }
+
+  /// The calling worker's flat count array (index = CSR edge slot).
+  std::uint64_t* row(std::size_t worker_slot) {
+    return per_worker_[worker_slot].data();
+  }
+
+  /// Merged count for one CSR edge slot.
+  std::uint64_t slot_total(std::size_t edge_slot) const {
+    std::uint64_t total = 0;
+    for (const auto& row : per_worker_) total += row[edge_slot];
+    return total;
+  }
+
+  /// Record / read a message outside the CSR edge set (validation off).
+  void add_off_csr(std::uint64_t key) {
+    std::scoped_lock lock(off_csr_mutex_);
+    ++off_csr_[key];
+  }
+  std::uint64_t off_csr(std::uint64_t key) const {
+    std::scoped_lock lock(off_csr_mutex_);
+    const auto it = off_csr_.find(key);
+    return it == off_csr_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> per_worker_;
+  mutable std::mutex off_csr_mutex_;
+  std::unordered_map<std::uint64_t, std::uint64_t> off_csr_;
 };
 
 }  // namespace dc::sim

@@ -20,20 +20,38 @@
 //
 // Node state lives in plain std::vector arrays owned by the algorithms
 // (index = node label); the machine owns only the topology reference, the
-// counters, and the per-cycle validation scratch. Planning callbacks run in
-// parallel over nodes (they must only read shared state and write their own
-// slots); delivery and validation are sequential and deterministic.
+// counters, and reusable per-payload-type communication scratch (see
+// sim/arena.hpp). One cycle is two parallel passes:
+//
+//   1. plan  — clears each node's inbox slot and records its (at most one)
+//      outgoing message into the persistent outbox; the 1-send rule is
+//      enforced by the callback signature.
+//   2. deliver — validates every message against the topology's CSR
+//      adjacency snapshot (no virtual dispatch, no allocation) and claims
+//      the destination's receive port by compare-exchanging its generation
+//      stamp; since at most one message may land per node, winners write
+//      their payload slot exclusively.
+//
+// Both passes run chunked over the worker pool; all writes go to disjoint
+// slots, so results are identical to the old sequential delivery. If any
+// worker flags a violation, the machine re-scans the outbox sequentially in
+// sender order and throws the exact error the sequential path would have
+// thrown (lowest sender wins), keeping SimError reporting deterministic.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/counters.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
+#include "topology/flat_adjacency.hpp"
 #include "topology/topology.hpp"
 
 namespace dc::sim {
@@ -45,98 +63,184 @@ class SimError : public dc::CheckError {
   explicit SimError(const std::string& what) : dc::CheckError(what) {}
 };
 
-/// A single outgoing message.
-template <typename P>
-struct Send {
-  net::NodeId to;
-  P payload;
-};
-
 class Machine {
  public:
-  /// `validate`: check link existence per message (O(1) for the topologies
-  /// in this library). Port discipline is always enforced.
+  /// `validate`: check link existence per message (O(log degree) against
+  /// the CSR adjacency snapshot). Port discipline is always enforced.
   explicit Machine(const net::Topology& topo, bool validate = true)
-      : topo_(topo), validate_(validate) {}
+      : topo_(topo),
+        validate_(validate),
+        pool_(&ThreadPool::shared()),
+        ops_cells_(pool_->size() + 1) {}
 
   const net::Topology& topology() const { return topo_; }
   net::NodeId node_count() const { return topo_.node_count(); }
 
-  /// Snapshot of the step counters.
+  /// Run parallel steps on `pool` instead of the shared pool. Call before
+  /// the first cycle / before enable_edge_load.
+  void set_thread_pool(ThreadPool* pool) {
+    DC_REQUIRE(!edge_load_.enabled(),
+               "set_thread_pool must precede enable_edge_load");
+    pool_ = pool ? pool : &ThreadPool::shared();
+    ops_cells_.resize(std::max(ops_cells_.size(), pool_->size() + 1));
+  }
+  /// Minimum range size dispatched to the pool (0 = library default).
+  /// Lets tests drive the concurrent delivery path on small topologies.
+  void set_parallel_grain(std::size_t grain) { grain_ = grain; }
+
+  /// Snapshot of the step counters. Call between steps (not from inside a
+  /// step callback).
   Counters counters() const {
     Counters c = counters_;
-    c.ops = ops_.load(std::memory_order_relaxed);
+    c.ops = 0;
+    for (const OpsCell& cell : ops_cells_) c.ops += cell.v;
     return c;
   }
   void reset_counters() {
     counters_ = Counters{};
-    ops_.store(0, std::memory_order_relaxed);
+    for (OpsCell& cell : ops_cells_) cell.v = 0;
   }
 
   /// Record `k` binary-op applications (prefix ⊕ or sort compares) without
-  /// advancing any step counter; compute_step advances T_comp. Thread-safe:
-  /// callable from inside compute_step callbacks.
-  void add_ops(std::uint64_t k) {
-    ops_.fetch_add(k, std::memory_order_relaxed);
-  }
+  /// advancing any step counter; compute_step advances T_comp. Callable from
+  /// inside step callbacks: each worker accumulates into its own padded
+  /// cell, so the hot path is a plain add — no atomic contention.
+  void add_ops(std::uint64_t k) { ops_cells_[pool().worker_slot()].v += k; }
 
   /// One synchronous communication cycle carrying payloads of type P.
   ///
   /// `plan(u)` -> std::optional<Send<P>>; at most one outgoing message per
   /// node per cycle (enforced by the signature). Returns the inbox: for
-  /// each node, the payload it received this cycle, if any.
+  /// each node, the payload it received this cycle, if any. Steady-state
+  /// cycles (after the first cycle per payload type) perform zero heap
+  /// allocations while tracing is off.
   template <typename P, typename Plan>
-  std::vector<std::optional<P>> comm_cycle(Plan&& plan) {
-    const std::size_t n = node_count();
-    std::vector<std::optional<Send<P>>> outbox(n);
-    dc::parallel_for(0, n, [&](std::size_t u) {
-      outbox[u] = plan(static_cast<net::NodeId>(u));
-    });
+  Inbox<P> comm_cycle(Plan&& plan) {
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    auto arena = arena_.get<P>(n);
+    auto buf = arena->acquire();
 
-    std::vector<std::optional<P>> inbox(n);
-    std::uint64_t delivered = 0;
-    for (std::size_t u = 0; u < n; ++u) {
-      if (!outbox[u]) continue;
-      auto& msg = *outbox[u];
-      if (msg.to >= n) {
-        throw SimError("node " + std::to_string(u) +
-                       " sent to out-of-range node " + std::to_string(msg.to));
-      }
-      if (validate_ && !topo_.has_edge(static_cast<net::NodeId>(u), msg.to)) {
-        throw SimError("node " + std::to_string(u) + " sent to " +
-                       std::to_string(msg.to) + " but " + topo_.name() +
-                       " has no such link");
-      }
-      if (inbox[msg.to]) {
-        throw SimError("1-port violation: node " + std::to_string(msg.to) +
-                       " would receive two messages in one cycle");
-      }
-      if (edge_load_enabled_) {
-        ++edge_load_[static_cast<net::NodeId>(u) * n + msg.to];
-      }
-      inbox[msg.to] = std::move(msg.payload);
-      ++delivered;
+    std::optional<Send<P>>* const outbox = arena->outbox.data();
+    std::optional<P>* const slots = buf->slots.data();
+    std::atomic<std::uint64_t>* const claims = buf->claims.get();
+    const std::uint64_t gen = buf->generation;
+
+    // Pass 1 (fused): clear this cycle's inbox slots and plan every node's
+    // outgoing message.
+    parallel_for_chunked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t u = lo; u < hi; ++u) {
+            slots[u].reset();
+            outbox[u] = plan(static_cast<net::NodeId>(u));
+          }
+        },
+        grain_, pool_);
+
+    const net::FlatAdjacency* adj = nullptr;
+    if (validate_ || edge_load_.enabled()) adj = &adjacency();
+
+    // Pass 2: validate, claim receive ports, deliver. Violations only set a
+    // flag here; the deterministic error is produced by the sequential
+    // re-scan below. When the pass runs inline on one thread, port claims
+    // use plain stamp writes; compare-exchange is only paid when the range
+    // actually fans out to workers.
+    const bool concurrent = parallel_will_dispatch(n, grain_, pool_);
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<bool> violation{false};
+    parallel_for_chunked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          std::uint64_t local = 0;
+          std::uint64_t* const loads =
+              edge_load_.enabled() ? edge_load_.row(pool().worker_slot())
+                                   : nullptr;
+          for (std::size_t u = lo; u < hi; ++u) {
+            auto& out = outbox[u];
+            if (!out) continue;
+            const net::NodeId to = out->to;
+            if (to >= n) {
+              violation.store(true, std::memory_order_relaxed);
+              continue;
+            }
+            std::size_t slot = net::FlatAdjacency::npos;
+            if (adj) {
+              slot = adj->edge_slot(static_cast<net::NodeId>(u), to);
+              if (validate_ && slot == net::FlatAdjacency::npos) {
+                violation.store(true, std::memory_order_relaxed);
+                continue;
+              }
+            }
+            // Claim the destination's receive port for this generation.
+            std::uint64_t seen = claims[to].load(std::memory_order_relaxed);
+            if (concurrent) {
+              bool won = false;
+              while (seen != gen) {
+                if (claims[to].compare_exchange_weak(
+                        seen, gen, std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+                  won = true;
+                  break;
+                }
+              }
+              if (!won) {  // two messages converged on one receiver
+                violation.store(true, std::memory_order_relaxed);
+                continue;
+              }
+            } else {
+              if (seen == gen) {  // this port was already claimed this cycle
+                violation.store(true, std::memory_order_relaxed);
+                continue;
+              }
+              claims[to].store(gen, std::memory_order_relaxed);
+            }
+            if (loads) {
+              if (slot != net::FlatAdjacency::npos) {
+                ++loads[slot];
+              } else {
+                edge_load_.add_off_csr(static_cast<net::NodeId>(u) * n + to);
+              }
+            }
+            slots[to] = std::move(out->payload);
+            ++local;
+          }
+          if (local) delivered.fetch_add(local, std::memory_order_relaxed);
+        },
+        grain_, pool_);
+
+    if (violation.load(std::memory_order_relaxed)) {
+      throw_first_violation(arena->outbox);
     }
+
     ++counters_.comm_cycles;
-    counters_.messages += delivered;
-    if (tracing_) messages_per_cycle_.push_back(delivered);
-    return inbox;
+    const std::uint64_t count = delivered.load(std::memory_order_relaxed);
+    counters_.messages += count;
+    if (tracing_) messages_per_cycle_.push_back(count);
+    return Inbox<P>(std::move(arena), std::move(buf));
   }
 
   /// One parallel computation step: f(u) for every node. f must only write
   /// state owned by node u.
   template <typename F>
   void compute_step(F&& f) {
-    const std::size_t n = node_count();
-    dc::parallel_for(0, n, [&](std::size_t u) { f(static_cast<net::NodeId>(u)); });
+    parallel_for_chunked(
+        0, static_cast<std::size_t>(node_count()),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t u = lo; u < hi; ++u) f(static_cast<net::NodeId>(u));
+        },
+        grain_, pool_);
     ++counters_.comp_steps;
   }
 
   /// Uncounted per-node bookkeeping (initialization, copy-out).
   template <typename F>
   void for_each_node(F&& f) {
-    const std::size_t n = node_count();
-    dc::parallel_for(0, n, [&](std::size_t u) { f(static_cast<net::NodeId>(u)); });
+    parallel_for_chunked(
+        0, static_cast<std::size_t>(node_count()),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t u = lo; u < hi; ++u) f(static_cast<net::NodeId>(u));
+        },
+        grain_, pool_);
   }
 
   /// Enable recording of per-cycle delivered-message counts.
@@ -145,23 +249,87 @@ class Machine {
     return messages_per_cycle_;
   }
 
-  /// Enable per-directed-edge message counting (hot-spot analysis).
-  void enable_edge_load() { edge_load_enabled_ = true; }
+  /// Enable per-directed-edge message counting (hot-spot analysis). All
+  /// counter memory is allocated here so counting itself stays
+  /// allocation-free.
+  void enable_edge_load() {
+    if (edge_load_.enabled()) return;
+    edge_load_.init(pool().size() + 1, adjacency().directed_edge_count());
+  }
   /// Messages carried by the directed edge u -> v over the whole run.
+  /// Counts are unspecified for a cycle that threw SimError.
   std::uint64_t edge_load(net::NodeId u, net::NodeId v) const {
-    const auto it = edge_load_.find(u * node_count() + v);
-    return it == edge_load_.end() ? 0 : it->second;
+    if (!edge_load_.enabled() || u >= node_count() || v >= node_count()) {
+      return 0;
+    }
+    const std::size_t slot = adj_->edge_slot(u, v);
+    std::uint64_t total =
+        slot == net::FlatAdjacency::npos ? 0 : edge_load_.slot_total(slot);
+    total += edge_load_.off_csr(u * node_count() + v);
+    return total;
   }
 
  private:
+  // pool_ is always non-null (the constructor resolves the shared pool
+  // once), so per-node hot paths like add_ops skip the static-local guard
+  // inside ThreadPool::shared().
+  ThreadPool& pool() const { return *pool_; }
+
+  /// CSR adjacency snapshot, fetched from the topology's cache on first
+  /// use.
+  const net::FlatAdjacency& adjacency() const {
+    if (!adj_) adj_ = &topo_.flat_adjacency();
+    return *adj_;
+  }
+
+  /// Replays the sequential validation over the planned outbox and throws
+  /// the first violation in sender order — byte-identical to the historical
+  /// sequential delivery loop, and deterministic under concurrent
+  /// detection (the lowest offending sender wins the error message).
+  template <typename P>
+  [[noreturn]] void throw_first_violation(
+      const std::vector<std::optional<Send<P>>>& outbox) const {
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    std::vector<char> seen(n, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+      if (!outbox[u]) continue;
+      const net::NodeId to = outbox[u]->to;
+      if (to >= n) {
+        throw SimError("node " + std::to_string(u) +
+                       " sent to out-of-range node " + std::to_string(to));
+      }
+      if (validate_ && !adj_->has_edge(static_cast<net::NodeId>(u), to)) {
+        throw SimError("node " + std::to_string(u) + " sent to " +
+                       std::to_string(to) + " but " + topo_.name() +
+                       " has no such link");
+      }
+      if (seen[to]) {
+        throw SimError("1-port violation: node " + std::to_string(to) +
+                       " would receive two messages in one cycle");
+      }
+      seen[to] = 1;
+    }
+    DC_CHECK(false, "delivery flagged a violation the re-scan cannot find");
+    std::abort();  // unreachable: DC_CHECK throws
+  }
+
+  /// One cache line per worker slot so concurrent add_ops calls never
+  /// false-share.
+  struct alignas(64) OpsCell {
+    std::uint64_t v = 0;
+  };
+
   const net::Topology& topo_;
   bool validate_;
   bool tracing_ = false;
   Counters counters_;
-  std::atomic<std::uint64_t> ops_{0};
+  ThreadPool* pool_;  // never null; set at construction
+  std::vector<OpsCell> ops_cells_;
   std::vector<std::uint64_t> messages_per_cycle_;
-  bool edge_load_enabled_ = false;
-  std::unordered_map<std::uint64_t, std::uint64_t> edge_load_;
+  CommArena arena_;
+  mutable const net::FlatAdjacency* adj_ = nullptr;
+  std::size_t grain_ = 0;
+  EdgeLoadCounters edge_load_;
 };
 
 }  // namespace dc::sim

@@ -1,17 +1,36 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <cstdlib>
 
 namespace dc {
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+namespace detail {
+
+// Identity of the current thread: which pool it belongs to (nullptr for
+// non-workers) and its 1-based slot within that pool.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_slot = 0;
+
+}  // namespace detail
+
+namespace {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("DC_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
   }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -37,70 +56,92 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
+  detail::tl_pool = this;
+  detail::tl_slot = slot;
+  std::uint64_t seen_epoch = 0;
+  std::unique_lock lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.back());
-      queue_.pop_back();
+    cv_.wait(lock, [&] {
+      return stopping_ || !queue_.empty() ||
+             (job_active_ && job_epoch_ != seen_epoch);
+    });
+    if (!queue_.empty()) {
+      // FIFO: always run the oldest pending task first.
+      std::function<void()> task = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
     }
-    task();
+    if (job_active_ && job_epoch_ != seen_epoch) {
+      seen_epoch = job_epoch_;
+      lock.unlock();
+      work_on_job();
+      lock.lock();
+      continue;
+    }
+    if (stopping_) return;  // queue drained, no job to help with
   }
 }
 
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn) {
+void ThreadPool::work_on_job() {
+  for (;;) {
+    const std::size_t c = job_next_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t lo = job_begin_ + c * job_chunk_;
+    if (lo >= job_end_) return;  // all tickets claimed
+    const std::size_t hi = std::min(job_end_, lo + job_chunk_);
+    try {
+      job_fn_(job_ctx_, lo, hi);
+    } catch (...) {
+      std::scoped_lock lock(error_mutex_);
+      if (!job_error_) job_error_ = std::current_exception();
+    }
+    if (job_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::scoped_lock lock(done_mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunked(std::size_t begin, std::size_t end,
+                             std::size_t chunk_size, ChunkFn fn, void* ctx) {
   if (begin >= end) return;
+  chunk_size = std::max<std::size_t>(1, chunk_size);
   const std::size_t count = end - begin;
-  ThreadPool& pool = ThreadPool::shared();
-  const std::size_t workers = pool.size();
+  const std::size_t chunks = (count + chunk_size - 1) / chunk_size;
 
-  // Not worth dispatching: run inline.
-  constexpr std::size_t kInlineThreshold = 2048;
-  if (workers <= 1 || count <= kInlineThreshold) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
+  // One job at a time; later callers block here until the pool is free.
+  std::scoped_lock job_lock(job_mutex_);
+  job_begin_ = begin;
+  job_end_ = end;
+  job_chunk_ = chunk_size;
+  job_fn_ = fn;
+  job_ctx_ = ctx;
+  job_error_ = nullptr;
+  job_next_.store(0, std::memory_order_relaxed);
+  job_remaining_.store(chunks, std::memory_order_release);
+  {
+    std::scoped_lock lock(mutex_);
+    job_active_ = true;
+    ++job_epoch_;
   }
+  cv_.notify_all();
 
-  const std::size_t chunks = std::min(count, workers * 4);
-  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  work_on_job();  // the caller participates
 
-  // Materialize the chunk ranges before submitting anything so the
-  // completion counter can be initialized up front (otherwise a fast worker
-  // could decrement it below zero).
-  std::vector<std::pair<std::size_t, std::size_t>> ranges;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk_size;
-    if (lo >= end) break;
-    ranges.emplace_back(lo, std::min(end, lo + chunk_size));
-  }
-
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::size_t remaining = ranges.size();
-  std::exception_ptr first_error;
-
-  for (const auto& [lo, hi] : ranges) {
-    pool.submit([&, lo = lo, hi = hi] {
-      std::exception_ptr error;
-      try {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      std::scoped_lock lock(done_mutex);
-      if (error && !first_error) first_error = error;
-      if (--remaining == 0) done_cv.notify_one();
+  {
+    std::unique_lock lock(done_mutex_);
+    done_cv_.wait(lock, [&] {
+      return job_remaining_.load(std::memory_order_acquire) == 0;
     });
   }
   {
-    std::unique_lock lock(done_mutex);
-    done_cv.wait(lock, [&] { return remaining == 0; });
-    if (first_error) std::rethrow_exception(first_error);
+    std::scoped_lock lock(mutex_);
+    job_active_ = false;
   }
+  if (job_error_) std::rethrow_exception(job_error_);
 }
 
 }  // namespace dc

@@ -1,30 +1,47 @@
-// A small fixed-size thread pool plus a blocking parallel_for built on it.
+// A persistent fixed-size thread pool plus blocking parallel loops built on
+// it.
 //
 // The simulator executes one synchronous "cycle" at a time; within a cycle
 // every virtual node acts independently, which is an embarrassingly parallel
 // loop. We follow CP.4 (think in terms of tasks, not threads): callers only
-// ever submit range-tasks through parallel_for and never touch threads.
+// ever submit range-tasks through parallel_for / parallel_for_chunked and
+// never touch threads.
 //
-// The pool is deterministic from the caller's point of view: parallel_for
-// partitions the index range into contiguous chunks, so any per-index writes
-// to disjoint slots are race-free, and the call does not return until every
-// chunk has completed (exceptions are captured and rethrown on the caller).
+// Dispatch model. A parallel loop is one *job*: the index range is split
+// into fixed contiguous chunks and workers (plus the calling thread, which
+// participates) claim chunks with an atomic ticket counter — no per-chunk
+// task objects, no std::function, no allocation. Chunk *boundaries* are a
+// pure function of (range, pool size), so per-index writes to disjoint
+// slots are race-free and runs are deterministic from the caller's point of
+// view regardless of which thread happens to execute which chunk. The call
+// does not return until every chunk has completed; if any iteration throws,
+// one captured exception is rethrown on the caller after all chunks drain.
+//
+// The plain task queue (`submit`) executes in FIFO order: tasks run in
+// submission order whenever a single worker is free, and workers always
+// dequeue the oldest pending task first. (The pool used to pop the *newest*
+// task, which starved early submissions under load.)
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace dc {
 
-/// Fixed-size worker pool executing void() tasks.
+/// Persistent worker pool executing void() tasks and chunked range jobs.
 class ThreadPool {
  public:
-  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  /// Creates `threads` workers; 0 means the DC_THREADS environment variable
+  /// if set, otherwise std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t threads = 0);
 
   ThreadPool(const ThreadPool&) = delete;
@@ -36,27 +53,120 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task. Thread-safe.
+  /// Enqueue a task. Thread-safe. Tasks run in FIFO submission order.
   void submit(std::function<void()> task);
+
+  /// Stable identity of the current thread within *this* pool: workers get
+  /// 1..size(), every other thread (including the caller participating in a
+  /// chunked job) gets 0. Used to index per-worker accumulation arrays.
+  /// Inline (two thread-local reads) — cheap enough for per-element use.
+  std::size_t worker_slot() const;
+
+  /// Type-erased chunk body: fn(ctx, lo, hi) runs indices [lo, hi).
+  using ChunkFn = void (*)(void* ctx, std::size_t lo, std::size_t hi);
+
+  /// Runs [begin, end) split into contiguous chunks of `chunk_size` (the
+  /// last may be short). The calling thread participates; workers claim
+  /// chunks via an atomic ticket counter. Blocks until all chunks complete;
+  /// rethrows one captured exception afterwards. One job runs at a time —
+  /// concurrent callers serialize. Must not be called from a worker of this
+  /// pool (parallel_for_chunked falls back to inline execution instead).
+  void run_chunked(std::size_t begin, std::size_t end, std::size_t chunk_size,
+                   ChunkFn fn, void* ctx);
 
   /// Process-wide shared pool, created on first use.
   static ThreadPool& shared();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t slot);
+  void work_on_job();
 
-  std::mutex mutex_;
+  std::mutex mutex_;  // guards queue_, stopping_, job_active_, job_epoch_
   std::condition_variable cv_;
-  std::vector<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+
+  // Chunked-job state. job_mutex_ is held by the submitting caller for the
+  // whole job, serializing jobs; the remaining fields describe the one
+  // active job.
+  std::mutex job_mutex_;
+  bool job_active_ = false;
+  std::uint64_t job_epoch_ = 0;
+  std::size_t job_begin_ = 0;
+  std::size_t job_end_ = 0;
+  std::size_t job_chunk_ = 0;
+  ChunkFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::atomic<std::size_t> job_next_{0};
+  std::atomic<std::size_t> job_remaining_{0};
+  std::mutex error_mutex_;
+  std::exception_ptr job_error_;
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
 };
+
+namespace detail {
+extern thread_local const ThreadPool* tl_pool;
+extern thread_local std::size_t tl_slot;
+}  // namespace detail
+
+inline std::size_t ThreadPool::worker_slot() const {
+  return detail::tl_pool == this ? detail::tl_slot : 0;
+}
+
+/// Ranges at or below this many indices run inline on the caller — the
+/// dispatch overhead is not worth it below this size.
+inline constexpr std::size_t kParallelInlineThreshold = 2048;
+
+/// True iff a parallel_for_chunked call with these parameters would fan out
+/// to pool workers (as opposed to running inline on the caller). Lets
+/// callers pick a cheaper single-threaded code path — e.g. the simulator
+/// claims receive ports with plain stamp writes instead of compare-exchange
+/// when delivery is known to run on one thread.
+inline bool parallel_will_dispatch(std::size_t count, std::size_t grain = 0,
+                                   ThreadPool* pool = nullptr) {
+  if (grain == 0) grain = kParallelInlineThreshold;
+  ThreadPool& p = pool ? *pool : ThreadPool::shared();
+  return p.size() > 1 && count > grain && p.worker_slot() == 0;
+}
+
+/// Runs body(lo, hi) over contiguous sub-ranges covering [begin, end),
+/// blocking until all complete. The callable is invoked once per chunk (not
+/// per element) with zero heap allocation. `grain` is the inline threshold
+/// (0 = kParallelInlineThreshold); `pool` selects a pool (nullptr = shared).
+/// Nested calls from a pool worker run inline. Exceptions: one captured
+/// exception is rethrown on the caller after all chunks drain.
+template <typename Body>
+void parallel_for_chunked(std::size_t begin, std::size_t end, Body&& body,
+                          std::size_t grain = 0, ThreadPool* pool = nullptr) {
+  if (begin >= end) return;
+  if (!parallel_will_dispatch(end - begin, grain, pool)) {
+    body(begin, end);
+    return;
+  }
+  ThreadPool& p = pool ? *pool : ThreadPool::shared();
+  const std::size_t count = end - begin;
+  const std::size_t chunks = std::min(count, p.size() * 4);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  using B = std::remove_reference_t<Body>;
+  p.run_chunked(
+      begin, end, chunk_size,
+      [](void* ctx, std::size_t lo, std::size_t hi) {
+        (*static_cast<B*>(ctx))(lo, hi);
+      },
+      const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+}
 
 /// Runs fn(i) for every i in [begin, end) using the shared pool, blocking
 /// until all iterations finish. Small ranges run inline. If any iteration
 /// throws, one of the exceptions is rethrown on the calling thread after all
 /// chunks have drained.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn);
+template <typename F>
+void parallel_for(std::size_t begin, std::size_t end, F&& fn) {
+  parallel_for_chunked(begin, end, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
 
 }  // namespace dc

@@ -36,6 +36,11 @@ class WrappedButterfly final : public Topology {
     };
   }
 
+  std::size_t neighbor_count(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    return 4;  // straight/cross forward and backward (k >= 3 keeps them distinct)
+  }
+
   unsigned k() const { return k_; }
 
   /// (level, row) of node u.

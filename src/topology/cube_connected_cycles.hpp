@@ -31,6 +31,11 @@ class CubeConnectedCycles final : public Topology {
     };
   }
 
+  std::size_t neighbor_count(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    return 3;  // cycle forward, cycle backward, one hypercube link
+  }
+
   /// Cycle length / cube dimension k.
   unsigned k() const { return k_; }
 

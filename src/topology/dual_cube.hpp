@@ -41,6 +41,11 @@ class DualCube final : public Topology {
   std::vector<NodeId> neighbors(NodeId u) const override;
   bool has_edge(NodeId u, NodeId v) const override;
 
+  std::size_t neighbor_count(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    return n_;  // n-1 cluster links plus the cross-edge
+  }
+
   /// The order n (links per node).
   unsigned order() const { return n_; }
   /// Number of label bits, 2n-1.

@@ -1,0 +1,21 @@
+#include "topology/flat_adjacency.hpp"
+
+#include <algorithm>
+
+namespace dc::net {
+
+FlatAdjacency::FlatAdjacency(const Topology& t) : n_(t.node_count()) {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  offsets_.resize(n + 1, 0);
+  std::size_t total = 0;
+  for (NodeId u = 0; u < n_; ++u) total += t.neighbor_count(u);
+  neighbors_.reserve(total);
+  for (NodeId u = 0; u < n_; ++u) {
+    auto row = t.neighbors(u);
+    std::sort(row.begin(), row.end());
+    neighbors_.insert(neighbors_.end(), row.begin(), row.end());
+    offsets_[static_cast<std::size_t>(u) + 1] = neighbors_.size();
+  }
+}
+
+}  // namespace dc::net

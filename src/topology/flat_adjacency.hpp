@@ -1,0 +1,94 @@
+// Compressed-sparse-row snapshot of a Topology's adjacency.
+//
+// Built once from the virtual neighbors() interface, a FlatAdjacency packs
+// the whole edge set into two flat arrays (row offsets + neighbor labels,
+// rows sorted ascending). After construction every query is allocation-free:
+//   * row(u)        — O(1) span of u's neighbors (sorted),
+//   * degree(u)     — O(1),
+//   * has_edge(u,v) — O(log degree) binary search,
+//   * edge_slot(u,v)— O(log degree) dense index of the *directed* edge
+//                     u -> v in [0, directed_edge_count()), or npos.
+// The edge-slot indexing is what lets the simulator keep per-worker
+// edge-load counters in flat u64 arrays instead of a hash map.
+//
+// The snapshot is immutable and safe to share between threads. Topologies
+// in this library are static, so a snapshot never goes stale; Topology
+// caches one lazily (see Topology::flat_adjacency()).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace dc::net {
+
+class FlatAdjacency {
+ public:
+  static constexpr std::size_t npos = ~std::size_t{0};
+
+  /// Builds the CSR form of `t` — O(N + E log d) time, O(N + E) space.
+  explicit FlatAdjacency(const Topology& t);
+
+  NodeId node_count() const { return n_; }
+
+  /// Number of directed edges (= 2x undirected edge count for the simple
+  /// graphs in this library).
+  std::size_t directed_edge_count() const { return neighbors_.size(); }
+
+  /// Neighbors of `u`, sorted ascending. Precondition: u < node_count().
+  std::span<const NodeId> row(NodeId u) const {
+    const std::size_t i = static_cast<std::size_t>(u);
+    return {neighbors_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+
+  std::size_t degree(NodeId u) const {
+    const std::size_t i = static_cast<std::size_t>(u);
+    return offsets_[i + 1] - offsets_[i];
+  }
+
+  /// True iff {u, v} is an edge. Precondition: u, v < node_count().
+  bool has_edge(NodeId u, NodeId v) const {
+    return edge_slot(u, v) != npos;
+  }
+
+  /// Dense index of the directed edge u -> v, or npos if not an edge.
+  /// Precondition: u, v < node_count().
+  std::size_t edge_slot(NodeId u, NodeId v) const {
+    const std::size_t i = static_cast<std::size_t>(u);
+    std::size_t lo = offsets_[i];
+    std::size_t hi = offsets_[i + 1];
+    if (hi - lo <= kLinearScanMax) {
+      // Short rows: an early-exit scan beats both a branch-free cmov scan
+      // (whose conditional moves form a serial dependency chain as long as
+      // the row) and a binary search (serially dependent probes). Simulator
+      // cycles probe the same neighbor rank for every node — e.g. all nodes
+      // exchange along one dimension — so the exit branch is highly
+      // predictable. This is the per-message validation hot path.
+      for (std::size_t j = lo; j < hi; ++j) {
+        if (neighbors_[j] == v) return j;
+      }
+      return npos;
+    }
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (neighbors_[mid] < v) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return (lo < offsets_[i + 1] && neighbors_[lo] == v) ? lo : npos;
+  }
+
+  /// Rows at or below this length use the linear scan in edge_slot.
+  static constexpr std::size_t kLinearScanMax = 32;
+
+ private:
+  NodeId n_;
+  std::vector<std::size_t> offsets_;  // size n_ + 1
+  std::vector<NodeId> neighbors_;     // sorted within each row
+};
+
+}  // namespace dc::net

@@ -30,6 +30,11 @@ class Hypercube final : public Topology {
     return dc::bits::hamming(u, v) == 1;
   }
 
+  std::size_t neighbor_count(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    return d_;
+  }
+
   /// Dimension count d.
   unsigned dimensions() const { return d_; }
 

@@ -56,6 +56,11 @@ class Metacube final : public Topology {
     return i >= base && i < base + m_;  // cube edge in the selected field
   }
 
+  std::size_t neighbor_count(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    return m_ + k_;
+  }
+
   unsigned k() const { return k_; }
   unsigned m() const { return m_; }
   unsigned label_bits() const {

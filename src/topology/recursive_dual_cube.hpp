@@ -50,6 +50,11 @@ class RecursiveDualCube final : public Topology {
   std::vector<NodeId> neighbors(NodeId u) const override;
   bool has_edge(NodeId u, NodeId v) const override;
 
+  std::size_t neighbor_count(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    return n_;  // n of the 2n-1 dimensions are directly linked per node
+  }
+
   /// The order n.
   unsigned order() const { return n_; }
   /// Number of label bits, 2n-1.

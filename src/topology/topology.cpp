@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "topology/flat_adjacency.hpp"
+
 namespace dc::net {
+
+Topology::~Topology() = default;
 
 bool Topology::has_edge(NodeId u, NodeId v) const {
   DC_REQUIRE(u < node_count() && v < node_count(), "node out of range");
@@ -16,6 +20,12 @@ dc::u64 Topology::edge_count() const {
   for (NodeId u = 0; u < node_count(); ++u) twice += degree(u);
   DC_CHECK(twice % 2 == 0, "degree sum must be even in an undirected graph");
   return twice / 2;
+}
+
+const FlatAdjacency& Topology::flat_adjacency() const {
+  std::scoped_lock lock(adjacency_mutex_);
+  if (!adjacency_) adjacency_ = std::make_shared<FlatAdjacency>(*this);
+  return *adjacency_;
 }
 
 bool is_valid_path(const Topology& t, const std::vector<NodeId>& path) {

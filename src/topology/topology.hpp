@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,13 +18,21 @@
 
 namespace dc::net {
 
+class FlatAdjacency;
+
 /// Dense vertex label.
 using NodeId = dc::u64;
 
 /// An undirected, simple graph with dense vertex labels.
 class Topology {
  public:
-  virtual ~Topology() = default;
+  Topology() = default;
+  virtual ~Topology();
+
+  // Copies and moves never carry the lazily built adjacency cache; each
+  // instance rebuilds its own on first use.
+  Topology(const Topology&) {}
+  Topology& operator=(const Topology&) { return *this; }
 
   /// Human-readable name, e.g. "D_3" or "Q_5".
   virtual std::string name() const = 0;
@@ -38,11 +48,28 @@ class Topology {
   /// topologies override with an O(1) test where possible.
   virtual bool has_edge(NodeId u, NodeId v) const;
 
+  /// Number of neighbors of `u`. The default materializes neighbors(u);
+  /// concrete topologies override with an O(1) count where possible so that
+  /// degree() and edge_count() never allocate.
+  virtual std::size_t neighbor_count(NodeId u) const {
+    return neighbors(u).size();
+  }
+
   /// Degree of `u`.
-  std::size_t degree(NodeId u) const { return neighbors(u).size(); }
+  std::size_t degree(NodeId u) const { return neighbor_count(u); }
 
   /// Total number of undirected edges (sum of degrees / 2).
   dc::u64 edge_count() const;
+
+  /// CSR snapshot of the whole adjacency, built on first call and cached
+  /// for the lifetime of this object. Thread-safe. The simulator validates
+  /// messages against this snapshot, giving allocation-free O(log degree)
+  /// link checks without any virtual dispatch in the hot path.
+  const FlatAdjacency& flat_adjacency() const;
+
+ private:
+  mutable std::mutex adjacency_mutex_;
+  mutable std::shared_ptr<const FlatAdjacency> adjacency_;
 };
 
 /// Validates that `path` is a walk in `t` (consecutive vertices adjacent and

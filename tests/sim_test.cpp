@@ -3,10 +3,47 @@
 // per cycle) and counts steps faithfully.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "sim/machine.hpp"
+#include "support/thread_pool.hpp"
 #include "topology/dual_cube.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/recursive_dual_cube.hpp"
+
+// Allocation counter backing the zero-allocation steady-state tests below.
+// Replacing the global (unaligned) operator new/delete pair is enough: all
+// of the simulator's scratch — vectors of optionals, the atomic claim
+// arrays, the pooled inbox buffers — goes through these.
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+}  // namespace
+
+namespace {
+void* counted_alloc(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+// GCC pairs allocation with deallocation functions by name and warns that
+// our replacements hand malloc'd pointers to free; that pairing is the
+// whole point here, so silence the check for these definitions.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace dc::sim {
 namespace {
@@ -133,6 +170,169 @@ TEST(Machine, PairwiseExchangeOnDualCubeCross) {
     ASSERT_TRUE(inbox[u].has_value());
     EXPECT_EQ(*inbox[u], d.cross_neighbor(u));
   }
+}
+
+TEST(Machine, NonEdgeSendMessageIsExact) {
+  const net::Hypercube q(3);
+  Machine m(q);
+  try {
+    m.comm_cycle<int>([&](net::NodeId u) -> std::optional<Send<int>> {
+      if (u != 0) return std::nullopt;
+      return Send<int>{3, 1};  // 0 -> 3 differs in two bits
+    });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_STREQ(e.what(), "node 0 sent to 3 but Q_3 has no such link");
+  }
+}
+
+TEST(Machine, OutOfRangeSendMessageIsExact) {
+  const net::Hypercube q(2);
+  Machine m(q);
+  try {
+    m.comm_cycle<int>([&](net::NodeId u) -> std::optional<Send<int>> {
+      if (u != 1) return std::nullopt;
+      return Send<int>{99, 1};
+    });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_STREQ(e.what(), "node 1 sent to out-of-range node 99");
+  }
+}
+
+TEST(Machine, OnePortViolationReportsLowestSenderPair) {
+  const net::Hypercube q(3);
+  Machine m(q);
+  // Nodes 1, 2 and 4 all target node 0. The violation re-scan walks senders
+  // in ascending order, so node 1 claims port 0 first and the conflict is
+  // charged to receiver 0 — the same message every time.
+  try {
+    m.comm_cycle<int>([&](net::NodeId u) -> std::optional<Send<int>> {
+      if (u == 1 || u == 2 || u == 4) return Send<int>{0, 7};
+      return std::nullopt;
+    });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_STREQ(
+        e.what(),
+        "1-port violation: node 0 would receive two messages in one cycle");
+  }
+}
+
+TEST(Machine, OnePortViolationIsDeterministicUnderConcurrency) {
+  const net::Hypercube q(5);
+  ThreadPool pool(4);
+  Machine m(q);
+  m.set_thread_pool(&pool);
+  m.set_parallel_grain(1);  // force parallel delivery even for 32 nodes
+  // Every node > 0 sends to itself with the lowest set bit cleared (always
+  // a hypercube edge). Node 0 is targeted by all five powers of two, nodes
+  // like 2 by one sender — plenty of conflicts racing across workers. The
+  // reported violation must nevertheless be the one the sequential re-scan
+  // finds first, independent of thread interleaving.
+  for (int rep = 0; rep < 10; ++rep) {
+    try {
+      m.comm_cycle<int>([&](net::NodeId u) -> std::optional<Send<int>> {
+        if (u == 0) return std::nullopt;
+        return Send<int>{u & (u - 1), 1};
+      });
+      FAIL() << "expected SimError";
+    } catch (const SimError& e) {
+      EXPECT_STREQ(
+          e.what(),
+          "1-port violation: node 0 would receive two messages in one cycle");
+    }
+  }
+}
+
+TEST(Machine, EdgeLoadCountsUnderConcurrentDelivery) {
+  const net::Hypercube q(6);
+  ThreadPool pool(4);
+  Machine m(q);
+  m.set_thread_pool(&pool);
+  m.set_parallel_grain(1);  // force parallel delivery
+  m.enable_edge_load();
+  constexpr std::uint64_t kRounds = 5;
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    for (unsigned i = 0; i < q.dimensions(); ++i) {
+      m.comm_cycle<int>(
+          [&](net::NodeId u) { return Send<int>{q.neighbor(u, i), 0}; });
+    }
+  }
+  for (net::NodeId u = 0; u < q.node_count(); ++u) {
+    for (unsigned i = 0; i < q.dimensions(); ++i) {
+      EXPECT_EQ(m.edge_load(u, q.neighbor(u, i)), kRounds);
+    }
+  }
+  EXPECT_EQ(m.edge_load(0, 3), 0u);  // not an edge
+}
+
+TEST(Machine, ConcurrentlyLiveInboxesKeepDistinctStorage) {
+  const net::Hypercube q(2);
+  Machine m(q);
+  auto first = m.comm_cycle<int>([&](net::NodeId u) {
+    return Send<int>{q.neighbor(u, 0), static_cast<int>(u)};
+  });
+  auto second = m.comm_cycle<int>([&](net::NodeId u) {
+    return Send<int>{q.neighbor(u, 1), static_cast<int>(u) + 100};
+  });
+  for (net::NodeId u = 0; u < q.node_count(); ++u) {
+    ASSERT_TRUE(first[u].has_value());
+    ASSERT_TRUE(second[u].has_value());
+    EXPECT_EQ(*first[u], static_cast<int>(bits::flip(u, 0)));
+    EXPECT_EQ(*second[u], static_cast<int>(bits::flip(u, 1)) + 100);
+  }
+}
+
+TEST(Machine, SteadyStateCommCycleDoesNotAllocate) {
+  const net::Hypercube q(6);
+  Machine m(q);
+  // Warm-up builds the adjacency snapshot, the typed arena and one pooled
+  // inbox buffer; every later cycle must reuse them.
+  for (unsigned i = 0; i < q.dimensions(); ++i) {
+    auto warm = m.comm_cycle<std::uint64_t>([&](net::NodeId u) {
+      return Send<std::uint64_t>{q.neighbor(u, i), u};
+    });
+  }
+  const std::uint64_t before = g_allocation_count.load();
+  std::uint64_t delivered = 0;
+  for (unsigned rep = 0; rep < 4; ++rep) {
+    for (unsigned i = 0; i < q.dimensions(); ++i) {
+      auto inbox = m.comm_cycle<std::uint64_t>([&](net::NodeId u) {
+        return Send<std::uint64_t>{q.neighbor(u, i), u + 1};
+      });
+      for (net::NodeId u = 0; u < q.node_count(); ++u) {
+        delivered += inbox[u].has_value() ? 1u : 0u;
+      }
+    }
+  }
+  EXPECT_EQ(g_allocation_count.load(), before);
+  EXPECT_EQ(delivered, 4u * q.dimensions() * q.node_count());
+}
+
+TEST(Machine, ArenaReuseAcrossPayloadTypesDoesNotAllocate) {
+  const net::Hypercube q(4);
+  Machine m(q);
+  const auto int_plan = [&](net::NodeId u) {
+    return Send<int>{q.neighbor(u, 0), static_cast<int>(u)};
+  };
+  const auto double_plan = [&](net::NodeId u) {
+    return Send<double>{q.neighbor(u, 1), static_cast<double>(u) * 0.5};
+  };
+  // Warm-up: one cycle per payload type creates that type's arena.
+  { auto warm = m.comm_cycle<int>(int_plan); }
+  { auto warm = m.comm_cycle<double>(double_plan); }
+  const std::uint64_t before = g_allocation_count.load();
+  for (int rep = 0; rep < 8; ++rep) {
+    auto ints = m.comm_cycle<int>(int_plan);
+    auto doubles = m.comm_cycle<double>(double_plan);
+    ASSERT_TRUE(ints[0].has_value());
+    ASSERT_TRUE(doubles[0].has_value());
+    EXPECT_EQ(*ints[0], static_cast<int>(bits::flip(net::NodeId{0}, 0)));
+    EXPECT_EQ(*doubles[0],
+              static_cast<double>(bits::flip(net::NodeId{0}, 1)) * 0.5);
+  }
+  EXPECT_EQ(g_allocation_count.load(), before);
 }
 
 TEST(Machine, MovesNonCopyablePayloads) {

@@ -193,18 +193,105 @@ TEST(ParallelFor, PropagatesExceptions) {
 }
 
 TEST(ThreadPool, RunsSubmittedTasks) {
-  ThreadPool pool(2);
   std::atomic<int> count{0};
-  std::mutex mtx;
-  std::condition_variable cv;
-  for (int i = 0; i < 50; ++i) {
-    pool.submit([&] {
-      if (count.fetch_add(1) + 1 == 50) cv.notify_one();
-    });
-  }
-  std::unique_lock lock(mtx);
-  cv.wait(lock, [&] { return count.load() == 50; });
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // the destructor completes pending tasks before joining
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ExecutesTasksInSubmissionOrder) {
+  std::atomic<bool> release{false};
+  std::vector<int> order;
+  constexpr int kTasks = 16;
+  {
+    ThreadPool pool(1);  // one worker makes FIFO order observable
+    // Park the worker so every numbered task is queued before any runs.
+    pool.submit([&] {
+      while (!release.load()) std::this_thread::yield();
+    });
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&, i] { order.push_back(i); });
+    }
+    release.store(true);
+  }  // join synchronizes: the single worker wrote `order` in queue order
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPool, WorkerSlotIsZeroForNonWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_slot(), 0u);
+  ThreadPool other(2);
+  // A worker of one pool is not a worker of another.
+  std::atomic<std::size_t> cross_slot{99};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    cross_slot.store(other.worker_slot());
+    done.store(true);
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_EQ(cross_slot.load(), 0u);
+}
+
+TEST(ParallelFor, ChunkedCoversRangeAndReportsWorkerSlots) {
+  ThreadPool pool(4);
+  constexpr std::size_t n = 1 << 14;
+  std::vector<std::atomic<int>> hits(n);
+  std::mutex mtx;
+  std::set<std::size_t> slots;
+  parallel_for_chunked(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        {
+          std::scoped_lock lock(mtx);
+          slots.insert(pool.worker_slot());
+        }
+        for (std::size_t i = lo; i < hi; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      /*grain=*/1, &pool);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+  ASSERT_FALSE(slots.empty());
+  for (const std::size_t s : slots) EXPECT_LE(s, pool.size());
+}
+
+TEST(ParallelFor, ChunkedPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for_chunked(
+                   0, 1 << 14,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo == 0) throw std::runtime_error("boom");
+                   },
+                   /*grain=*/1, &pool),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, WillDispatchMatchesInlineRules) {
+  ThreadPool pool(4);
+  // Below the grain: runs inline regardless of pool size.
+  EXPECT_FALSE(parallel_will_dispatch(10, /*grain=*/1000, &pool));
+  EXPECT_TRUE(parallel_will_dispatch(10, /*grain=*/1, &pool));
+  ThreadPool single(1);
+  EXPECT_FALSE(parallel_will_dispatch(1 << 20, /*grain=*/1, &single));
+  // From inside a worker of the same pool, a nested loop never dispatches.
+  std::atomic<bool> nested_dispatch{false};
+  parallel_for_chunked(
+      0, 1 << 12,
+      [&](std::size_t, std::size_t) {
+        if (pool.worker_slot() != 0 &&
+            parallel_will_dispatch(1 << 20, 1, &pool)) {
+          nested_dispatch.store(true);
+        }
+      },
+      /*grain=*/1, &pool);
+  EXPECT_FALSE(nested_dispatch.load());
 }
 
 TEST(Table, AlignsAndCounts) {

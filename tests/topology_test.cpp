@@ -9,6 +9,7 @@
 #include "topology/cube_connected_cycles.hpp"
 #include "topology/de_bruijn.hpp"
 #include "topology/dual_cube.hpp"
+#include "topology/flat_adjacency.hpp"
 #include "topology/graph.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/recursive_dual_cube.hpp"
@@ -400,6 +401,107 @@ TEST(Graph, ValidatePathChecksEdges) {
   EXPECT_FALSE(is_valid_path(q, {}));
   EXPECT_TRUE(is_valid_path(q, {5}));
   EXPECT_FALSE(is_valid_path(q, {0, 8}));
+}
+
+// ----------------------------------------------------------- flat adjacency
+
+TEST(FlatAdjacency, MatchesVirtualInterfaceOnDualCube) {
+  const DualCube d(3);
+  const FlatAdjacency& adj = d.flat_adjacency();
+  EXPECT_EQ(adj.node_count(), d.node_count());
+  std::size_t total = 0;
+  for (NodeId u = 0; u < d.node_count(); ++u) {
+    auto expected = d.neighbors(u);
+    std::sort(expected.begin(), expected.end());
+    const auto row = adj.row(u);
+    ASSERT_EQ(row.size(), expected.size());
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), expected.begin()));
+    EXPECT_EQ(adj.degree(u), expected.size());
+    EXPECT_EQ(d.neighbor_count(u), expected.size());
+    for (const NodeId v : expected) {
+      EXPECT_TRUE(adj.has_edge(u, v));
+      EXPECT_TRUE(d.has_edge(u, v));
+    }
+    total += expected.size();
+  }
+  EXPECT_EQ(adj.directed_edge_count(), total);
+  EXPECT_EQ(adj.directed_edge_count(), 2 * d.edge_count());
+}
+
+TEST(FlatAdjacency, EdgeSlotsAreDenseAndUnique) {
+  const Hypercube q(4);
+  const FlatAdjacency& adj = q.flat_adjacency();
+  std::vector<char> seen(adj.directed_edge_count(), 0);
+  for (NodeId u = 0; u < q.node_count(); ++u) {
+    for (const NodeId v : adj.row(u)) {
+      const std::size_t s = adj.edge_slot(u, v);
+      ASSERT_LT(s, adj.directed_edge_count());
+      EXPECT_FALSE(seen[s]) << "slot " << s << " assigned twice";
+      seen[s] = 1;
+    }
+  }
+  for (const char used : seen) EXPECT_TRUE(used);
+  EXPECT_EQ(adj.edge_slot(0, 3), FlatAdjacency::npos);
+  EXPECT_FALSE(adj.has_edge(0, 3));
+  EXPECT_FALSE(adj.has_edge(0, 0));
+}
+
+namespace {
+
+// Complete graph on n vertices: the smallest way to get rows longer than
+// FlatAdjacency::kLinearScanMax, forcing edge_slot onto its binary-search
+// path (library topologies all have short rows).
+class CompleteGraph final : public Topology {
+ public:
+  explicit CompleteGraph(NodeId n) : n_(n) {}
+  std::string name() const override { return "K_" + std::to_string(n_); }
+  NodeId node_count() const override { return n_; }
+  std::vector<NodeId> neighbors(NodeId u) const override {
+    std::vector<NodeId> out;
+    out.reserve(static_cast<std::size_t>(n_) - 1);
+    for (NodeId v = 0; v < n_; ++v)
+      if (v != u) out.push_back(v);
+    return out;
+  }
+
+ private:
+  NodeId n_;
+};
+
+}  // namespace
+
+TEST(FlatAdjacency, BinarySearchPathOnLongRows) {
+  const CompleteGraph k(FlatAdjacency::kLinearScanMax + 8);
+  const FlatAdjacency& adj = k.flat_adjacency();
+  std::vector<char> seen(adj.directed_edge_count(), 0);
+  for (NodeId u = 0; u < k.node_count(); ++u) {
+    ASSERT_GT(adj.degree(u), FlatAdjacency::kLinearScanMax);
+    EXPECT_FALSE(adj.has_edge(u, u));
+    EXPECT_EQ(adj.edge_slot(u, k.node_count() + 5), FlatAdjacency::npos);
+    for (NodeId v = 0; v < k.node_count(); ++v) {
+      if (v == u) continue;
+      const std::size_t s = adj.edge_slot(u, v);
+      ASSERT_LT(s, adj.directed_edge_count());
+      EXPECT_FALSE(seen[s]);
+      seen[s] = 1;
+    }
+  }
+  for (const char used : seen) EXPECT_TRUE(used);
+}
+
+TEST(FlatAdjacency, NeighborCountAgreesAcrossTopologies) {
+  const Hypercube q(5);
+  const RecursiveDualCube r(3);
+  const CubeConnectedCycles c(3);
+  const auto check = [](const Topology& t) {
+    for (NodeId u = 0; u < t.node_count(); ++u) {
+      EXPECT_EQ(t.neighbor_count(u), t.neighbors(u).size()) << t.name();
+      EXPECT_EQ(t.degree(u), t.flat_adjacency().degree(u)) << t.name();
+    }
+  };
+  check(q);
+  check(r);
+  check(c);
 }
 
 }  // namespace
