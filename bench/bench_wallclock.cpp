@@ -20,6 +20,7 @@
 #include "core/dual_prefix.hpp"
 #include "core/dual_sort.hpp"
 #include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "topology/hypercube.hpp"
@@ -116,6 +117,8 @@ void BM_DualBroadcast(benchmark::State& state) {
     dc::sim::Machine m(d);
     benchmark::DoNotOptimize(dc::collectives::dual_broadcast<u64>(m, d, 0, 1));
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.node_count()));
 }
 BENCHMARK(BM_DualBroadcast)->DenseRange(2, 6, 2)->Unit(benchmark::kMicrosecond);
 
@@ -140,6 +143,40 @@ void BM_CommCycle(benchmark::State& state) {
                           static_cast<std::int64_t>(q.node_count()));
 }
 BENCHMARK(BM_CommCycle)->DenseRange(7, 15, 4)->Unit(benchmark::kMicrosecond);
+
+// The compiled counterpart of BM_CommCycle: the same rotating-dimension
+// exchange, but replayed through Machine::comm_cycle_scheduled from a
+// schedule recorded once before the timing loop. The gap between the two
+// benchmarks is the per-cycle cost of planning + validation + claiming.
+void BM_CommCycleScheduled(benchmark::State& state) {
+  const unsigned d = static_cast<unsigned>(state.range(0));
+  const dc::net::Hypercube q(d);
+  dc::sim::Machine m(q);
+  m.set_schedule_path(dc::sim::SchedulePath::kCompiled);
+  dc::sim::ObliviousSection sec(m, "bench_comm_cycle", {d});
+  if (!sec.replaying()) {
+    for (unsigned j = 0; j < d; ++j) {
+      auto inbox = sec.exchange<u64>(
+          [&](dc::net::NodeId u) { return q.neighbor(u, j); },
+          [](dc::net::NodeId u) { return static_cast<u64>(u); });
+      benchmark::DoNotOptimize(inbox[0]);
+    }
+    sec.commit();
+  }
+  const auto sched = dc::sim::ScheduleCache::instance().find(sec.key());
+  unsigned i = 0;
+  for (auto _ : state) {
+    auto inbox = m.comm_cycle_scheduled<u64>(
+        sched->cycle(i), [](dc::net::NodeId u) { return static_cast<u64>(u); });
+    benchmark::DoNotOptimize(inbox[0]);
+    i = (i + 1 == d) ? 0 : i + 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(q.node_count()));
+}
+BENCHMARK(BM_CommCycleScheduled)
+    ->DenseRange(7, 15, 4)
+    ->Unit(benchmark::kMicrosecond);
 
 // Chunked parallel-loop dispatch: per-index accumulate into a flat array.
 // Ranges at or below the inline threshold measure the pure loop; larger

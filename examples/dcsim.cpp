@@ -9,9 +9,16 @@
 //   ./dcsim --algo=broadcast --n=4 --root=5
 //   ./dcsim --algo=allreduce --n=4
 //   ./dcsim --algo=route     --n=4 --pattern=random
+//
+// --schedule=compiled|interpreted selects the communication path: compiled
+// (default) records + caches each algorithm's oblivious schedule and runs a
+// warm-up so the reported run replays it; interpreted plans and validates
+// every cycle. Counters and results are identical either way.
 #include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <numeric>
+#include <string_view>
 
 #include "collectives/broadcast.hpp"
 #include "collectives/reduce.hpp"
@@ -32,6 +39,19 @@ namespace {
 using dc::u64;
 using dc::net::NodeId;
 
+dc::sim::SchedulePath g_schedule = dc::sim::SchedulePath::kCompiled;
+
+void print_schedule_path(const dc::sim::Machine& m) {
+  if (m.replayed_cycles() > 0) {
+    std::cout << "schedule path: compiled (replayed " << m.replayed_cycles()
+              << " cycles)\n";
+  } else if (m.schedule_path() == dc::sim::SchedulePath::kCompiled) {
+    std::cout << "schedule path: compiled (recorded; cached for replay)\n";
+  } else {
+    std::cout << "schedule path: interpreted\n";
+  }
+}
+
 void print_counters(const dc::sim::Counters& c) {
   dc::Table t("model step counters");
   t.header({"counter", "value"});
@@ -45,28 +65,31 @@ void print_counters(const dc::sim::Counters& c) {
 int run_prefix(unsigned n, const std::string& op_name, u64 seed) {
   const dc::net::DualCube d(n);
   dc::sim::Machine m(d);
+  m.set_schedule_path(g_schedule);
   dc::Rng rng(seed);
   std::vector<u64> data(d.node_count());
   for (auto& x : data) x = rng.below(1000);
 
   std::vector<u64> out;
   std::vector<u64> expected;
+  const auto run_with = [&](const auto& op) {
+    if (g_schedule == dc::sim::SchedulePath::kCompiled) {
+      // Warm-up records and caches the schedule so the reported run replays.
+      dc::sim::Machine warm(d);
+      warm.set_schedule_path(g_schedule);
+      (void)dc::core::dual_prefix(warm, d, op, data);
+    }
+    out = dc::core::dual_prefix(m, d, op, data);
+    expected = dc::core::seq_inclusive_scan(op, data);
+  };
   if (op_name == "plus") {
-    const dc::core::Plus<u64> op;
-    out = dc::core::dual_prefix(m, d, op, data);
-    expected = dc::core::seq_inclusive_scan(op, data);
+    run_with(dc::core::Plus<u64>{});
   } else if (op_name == "min") {
-    const dc::core::Min<u64> op;
-    out = dc::core::dual_prefix(m, d, op, data);
-    expected = dc::core::seq_inclusive_scan(op, data);
+    run_with(dc::core::Min<u64>{});
   } else if (op_name == "max") {
-    const dc::core::Max<u64> op;
-    out = dc::core::dual_prefix(m, d, op, data);
-    expected = dc::core::seq_inclusive_scan(op, data);
+    run_with(dc::core::Max<u64>{});
   } else if (op_name == "xor") {
-    const dc::core::Xor<u64> op;
-    out = dc::core::dual_prefix(m, d, op, data);
-    expected = dc::core::seq_inclusive_scan(op, data);
+    run_with(dc::core::Xor<u64>{});
   } else {
     std::cout << "unknown --op '" << op_name << "' (plus|min|max|xor)\n";
     return 2;
@@ -76,6 +99,7 @@ int run_prefix(unsigned n, const std::string& op_name, u64 seed) {
             << (ok ? "correct" : "WRONG") << "; last prefix = " << out.back()
             << "\n";
   print_counters(m.counters());
+  print_schedule_path(m);
   std::cout << "Theorem 1 bounds: comm <= "
             << dc::core::formulas::dual_prefix_comm_paper(n) << ", comp <= "
             << dc::core::formulas::dual_prefix_comp(n) << "\n";
@@ -85,15 +109,23 @@ int run_prefix(unsigned n, const std::string& op_name, u64 seed) {
 int run_sort(unsigned n, const std::string& dist_name, u64 seed) {
   const dc::net::RecursiveDualCube r(n);
   dc::sim::Machine m(r);
+  m.set_schedule_path(g_schedule);
   dc::KeyDistribution dist = dc::KeyDistribution::kUniform;
   for (const auto d : dc::all_key_distributions())
     if (dc::to_string(d) == dist_name) dist = d;
   auto keys = dc::generate_keys(dist, r.node_count(), seed);
+  if (g_schedule == dc::sim::SchedulePath::kCompiled) {
+    dc::sim::Machine warm(r);
+    warm.set_schedule_path(g_schedule);
+    auto warm_keys = keys;
+    dc::core::dual_sort(warm, r, warm_keys);
+  }
   dc::core::dual_sort(m, r, keys);
   const bool ok = std::is_sorted(keys.begin(), keys.end());
   std::cout << "D_sort on " << r.name() << " (" << dc::to_string(dist)
             << "): " << (ok ? "sorted" : "NOT SORTED") << "\n";
   print_counters(m.counters());
+  print_schedule_path(m);
   std::cout << "Theorem 2 exact: comm = "
             << dc::core::formulas::dual_sort_comm_exact(n) << ", comp = "
             << dc::core::formulas::dual_sort_comp_exact(n) << "\n";
@@ -136,12 +168,19 @@ int run_enum(unsigned n, u64 seed) {
 int run_broadcast(unsigned n, NodeId root) {
   const dc::net::DualCube d(n);
   dc::sim::Machine m(d);
+  m.set_schedule_path(g_schedule);
+  if (g_schedule == dc::sim::SchedulePath::kCompiled) {
+    dc::sim::Machine warm(d);
+    warm.set_schedule_path(g_schedule);
+    (void)dc::collectives::dual_broadcast<u64>(warm, d, root, 42);
+  }
   const auto out = dc::collectives::dual_broadcast<u64>(m, d, root, 42);
   const bool ok =
       std::all_of(out.begin(), out.end(), [](u64 v) { return v == 42; });
   std::cout << "broadcast from node " << root << " on " << d.name() << ": "
             << (ok ? "complete" : "INCOMPLETE") << "\n";
   print_counters(m.counters());
+  print_schedule_path(m);
   std::cout << "diameter: " << d.diameter() << "\n";
   return ok ? 0 : 1;
 }
@@ -149,11 +188,17 @@ int run_broadcast(unsigned n, NodeId root) {
 int run_allreduce(unsigned n, u64 seed) {
   const dc::net::DualCube d(n);
   dc::sim::Machine m(d);
+  m.set_schedule_path(g_schedule);
   dc::Rng rng(seed);
   std::vector<u64> values(d.node_count());
   for (auto& v : values) v = rng.below(100);
   const u64 expected = std::accumulate(values.begin(), values.end(), u64{0});
   const dc::core::Plus<u64> op;
+  if (g_schedule == dc::sim::SchedulePath::kCompiled) {
+    dc::sim::Machine warm(d);
+    warm.set_schedule_path(g_schedule);
+    (void)dc::collectives::dual_allreduce(warm, d, op, values);
+  }
   const auto out = dc::collectives::dual_allreduce(m, d, op, values);
   const bool ok = std::all_of(out.begin(), out.end(),
                               [&](u64 v) { return v == expected; });
@@ -161,6 +206,7 @@ int run_allreduce(unsigned n, u64 seed) {
             << (ok ? "agrees everywhere" : "DISAGREES") << "; total "
             << expected << "\n";
   print_counters(m.counters());
+  print_schedule_path(m);
   return ok ? 0 : 1;
 }
 
@@ -208,7 +254,24 @@ int main(int argc, char** argv) {
   const unsigned bits = static_cast<unsigned>(cli.get_int("bits", 8));
   const NodeId root = static_cast<NodeId>(cli.get_int("root", 0));
   const std::string pattern = cli.get_string("pattern", "random");
+  // The flag's default follows the process-wide DC_SCHEDULE override so
+  // the environment variable keeps working when --schedule is not given.
+  const char* env = std::getenv("DC_SCHEDULE");
+  const std::string schedule = cli.get_string(
+      "schedule", env && std::string_view(env) == "interpreted"
+                      ? "interpreted"
+                      : "compiled");
   cli.finish();
+
+  if (schedule == "compiled") {
+    g_schedule = dc::sim::SchedulePath::kCompiled;
+  } else if (schedule == "interpreted") {
+    g_schedule = dc::sim::SchedulePath::kInterpreted;
+  } else {
+    std::cout << "unknown --schedule '" << schedule
+              << "' (compiled|interpreted)\n";
+    return 2;
+  }
 
   if (algo == "prefix") return run_prefix(n, op, seed);
   if (algo == "sort") return run_sort(n, dist, seed);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
 #include "topology/dual_cube.hpp"
 
 namespace dc::collectives {
@@ -37,65 +38,75 @@ std::vector<V> dual_broadcast(sim::Machine& m, const net::DualCube& d,
   std::vector<std::optional<V>> have(n_nodes);
   have[root] = value;
 
+  // All 2n cycles are fixed by (order, root) — the holder set evolves
+  // deterministically — so the broadcast compiles to one schedule per root.
+  sim::ObliviousSection sched(m, "dual_broadcast", {root});
+  const auto absorb = [&](sim::Inbox<V>& inbox) {
+    m.for_each_node([&](net::NodeId u) {
+      if (inbox[u]) have[u] = *inbox[u];
+    });
+  };
+
   // Phase 1: binomial tree inside the root's cluster. After step i, the
   // holders are the nodes whose node-ID differs from the root's only in
   // bits below i.
   for (unsigned i = 0; i < w; ++i) {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      if (!have[u]) return std::nullopt;
-      const auto a = d.decode(u);
-      if (a.cls != root_addr.cls || a.cluster != root_addr.cluster)
-        return std::nullopt;
-      const dc::u64 rel = a.node ^ root_addr.node;
-      if (rel >= dc::bits::pow2(i)) return std::nullopt;
-      return sim::Send<V>{d.cluster_neighbor(u, i), value};
-    });
-    m.for_each_node([&](net::NodeId u) {
-      if (inbox[u]) have[u] = *inbox[u];
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) -> net::NodeId {
+          if (!have[u]) return sim::kNoSend;
+          const auto a = d.decode(u);
+          if (a.cls != root_addr.cls || a.cluster != root_addr.cluster)
+            return sim::kNoSend;
+          const dc::u64 rel = a.node ^ root_addr.node;
+          if (rel >= dc::bits::pow2(i)) return sim::kNoSend;
+          return d.cluster_neighbor(u, i);
+        },
+        [&](net::NodeId) { return value; });
+    absorb(inbox);
   }
 
   // Phase 2: the root cluster crosses into one node of every foreign
   // cluster.
   {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      if (!have[u]) return std::nullopt;
-      return sim::Send<V>{d.cross_neighbor(u), value};
-    });
-    m.for_each_node([&](net::NodeId u) {
-      if (inbox[u]) have[u] = *inbox[u];
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) -> net::NodeId {
+          if (!have[u]) return sim::kNoSend;
+          return d.cross_neighbor(u);
+        },
+        [&](net::NodeId) { return value; });
+    absorb(inbox);
   }
 
   // Phase 3: binomial tree inside every foreign-class cluster. Each such
   // cluster holds exactly one copy, at the node whose node-ID equals the
   // root's cluster ID.
   for (unsigned i = 0; i < w; ++i) {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      if (!have[u]) return std::nullopt;
-      const auto a = d.decode(u);
-      if (a.cls == root_addr.cls) return std::nullopt;
-      const dc::u64 rel = a.node ^ root_addr.cluster;
-      if (rel >= dc::bits::pow2(i)) return std::nullopt;
-      return sim::Send<V>{d.cluster_neighbor(u, i), value};
-    });
-    m.for_each_node([&](net::NodeId u) {
-      if (inbox[u]) have[u] = *inbox[u];
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) -> net::NodeId {
+          if (!have[u]) return sim::kNoSend;
+          const auto a = d.decode(u);
+          if (a.cls == root_addr.cls) return sim::kNoSend;
+          const dc::u64 rel = a.node ^ root_addr.cluster;
+          if (rel >= dc::bits::pow2(i)) return sim::kNoSend;
+          return d.cluster_neighbor(u, i);
+        },
+        [&](net::NodeId) { return value; });
+    absorb(inbox);
   }
 
   // Phase 4: the whole foreign class crosses back.
   {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      if (!have[u]) return std::nullopt;
-      const auto a = d.decode(u);
-      if (a.cls == root_addr.cls) return std::nullopt;
-      return sim::Send<V>{d.cross_neighbor(u), value};
-    });
-    m.for_each_node([&](net::NodeId u) {
-      if (inbox[u]) have[u] = *inbox[u];
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) -> net::NodeId {
+          if (!have[u]) return sim::kNoSend;
+          const auto a = d.decode(u);
+          if (a.cls == root_addr.cls) return sim::kNoSend;
+          return d.cross_neighbor(u);
+        },
+        [&](net::NodeId) { return value; });
+    absorb(inbox);
   }
+  sched.commit();
 
   std::vector<V> out;
   out.reserve(n_nodes);
@@ -116,16 +127,20 @@ std::vector<V> cube_broadcast(sim::Machine& m, const net::Hypercube& q,
   // memory locations.
   std::vector<std::uint8_t> have(n_nodes, 0);
   have[root] = 1;
+  sim::ObliviousSection sched(m, "cube_broadcast", {root});
   for (unsigned i = 0; i < q.dimensions(); ++i) {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      if (!have[u]) return std::nullopt;
-      if ((u ^ root) >= dc::bits::pow2(i)) return std::nullopt;
-      return sim::Send<V>{q.neighbor(u, i), value};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) -> net::NodeId {
+          if (!have[u]) return sim::kNoSend;
+          if ((u ^ root) >= dc::bits::pow2(i)) return sim::kNoSend;
+          return q.neighbor(u, i);
+        },
+        [&](net::NodeId) { return value; });
     m.for_each_node([&](net::NodeId u) {
       if (inbox[u]) have[u] = 1;
     });
   }
+  sched.commit();
   std::vector<V> out(n_nodes, value);
   for (net::NodeId u = 0; u < n_nodes; ++u)
     DC_CHECK(have[u], "broadcast failed to reach node " << u);

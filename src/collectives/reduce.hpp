@@ -10,6 +10,7 @@
 
 #include "core/ops.hpp"
 #include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
 #include "topology/dual_cube.hpp"
 #include "topology/hypercube.hpp"
 
@@ -29,13 +30,19 @@ typename M::value_type dual_reduce(sim::Machine& m, const net::DualCube& d,
   const unsigned w = d.order() - 1;
   const auto root_addr = d.decode(root);
 
+  // The 2n-cycle fold pattern is fixed by (order, root) — one compiled
+  // schedule per root, shared with every later reduce to that root.
+  sim::ObliviousSection sched(m, "dual_reduce", {root});
+
   // Phase 1 (mirror of broadcast phase 4): every root-class node folds its
   // value into its cross partner.
   {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      if (d.node_class(u) != root_addr.cls) return std::nullopt;
-      return sim::Send<V>{d.cross_neighbor(u), values[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) -> net::NodeId {
+          if (d.node_class(u) != root_addr.cls) return sim::kNoSend;
+          return d.cross_neighbor(u);
+        },
+        [&](net::NodeId u) { return values[u]; });
     m.compute_step([&](net::NodeId u) {
       if (inbox[u]) {
         values[u] = op.combine(values[u], *inbox[u]);
@@ -47,14 +54,16 @@ typename M::value_type dual_reduce(sim::Machine& m, const net::DualCube& d,
   // Phase 2 (mirror of phase 3): binomial reduce inside every foreign-class
   // cluster toward the node whose node-ID equals the root's cluster ID.
   for (unsigned i = w; i-- > 0;) {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      const auto a = d.decode(u);
-      if (a.cls == root_addr.cls) return std::nullopt;
-      const dc::u64 rel = a.node ^ root_addr.cluster;
-      if (rel < dc::bits::pow2(i) || rel >= dc::bits::pow2(i + 1))
-        return std::nullopt;
-      return sim::Send<V>{d.cluster_neighbor(u, i), values[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) -> net::NodeId {
+          const auto a = d.decode(u);
+          if (a.cls == root_addr.cls) return sim::kNoSend;
+          const dc::u64 rel = a.node ^ root_addr.cluster;
+          if (rel < dc::bits::pow2(i) || rel >= dc::bits::pow2(i + 1))
+            return sim::kNoSend;
+          return d.cluster_neighbor(u, i);
+        },
+        [&](net::NodeId u) { return values[u]; });
     m.compute_step([&](net::NodeId u) {
       if (inbox[u]) {
         values[u] = op.combine(values[u], *inbox[u]);
@@ -66,12 +75,14 @@ typename M::value_type dual_reduce(sim::Machine& m, const net::DualCube& d,
   // Phase 3 (mirror of phase 2): every foreign-class collector crosses back
   // into the root's cluster.
   {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      const auto a = d.decode(u);
-      if (a.cls == root_addr.cls) return std::nullopt;
-      if (a.node != root_addr.cluster) return std::nullopt;
-      return sim::Send<V>{d.cross_neighbor(u), values[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) -> net::NodeId {
+          const auto a = d.decode(u);
+          if (a.cls == root_addr.cls) return sim::kNoSend;
+          if (a.node != root_addr.cluster) return sim::kNoSend;
+          return d.cross_neighbor(u);
+        },
+        [&](net::NodeId u) { return values[u]; });
     // The receiver's own contribution already left in phase 1, so this is a
     // replacement, not a combine (avoids double counting).
     m.for_each_node([&](net::NodeId u) {
@@ -81,15 +92,17 @@ typename M::value_type dual_reduce(sim::Machine& m, const net::DualCube& d,
 
   // Phase 4 (mirror of phase 1): binomial reduce inside the root's cluster.
   for (unsigned i = w; i-- > 0;) {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      const auto a = d.decode(u);
-      if (a.cls != root_addr.cls || a.cluster != root_addr.cluster)
-        return std::nullopt;
-      const dc::u64 rel = a.node ^ root_addr.node;
-      if (rel < dc::bits::pow2(i) || rel >= dc::bits::pow2(i + 1))
-        return std::nullopt;
-      return sim::Send<V>{d.cluster_neighbor(u, i), values[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) -> net::NodeId {
+          const auto a = d.decode(u);
+          if (a.cls != root_addr.cls || a.cluster != root_addr.cluster)
+            return sim::kNoSend;
+          const dc::u64 rel = a.node ^ root_addr.node;
+          if (rel < dc::bits::pow2(i) || rel >= dc::bits::pow2(i + 1))
+            return sim::kNoSend;
+          return d.cluster_neighbor(u, i);
+        },
+        [&](net::NodeId u) { return values[u]; });
     m.compute_step([&](net::NodeId u) {
       if (inbox[u]) {
         values[u] = op.combine(values[u], *inbox[u]);
@@ -97,6 +110,7 @@ typename M::value_type dual_reduce(sim::Machine& m, const net::DualCube& d,
       }
     });
   }
+  sched.commit();
   return values[root];
 }
 
@@ -118,11 +132,15 @@ std::vector<typename M::value_type> dual_allreduce(
   DC_REQUIRE(values.size() == d.node_count(), "one value per node required");
   const unsigned w = d.order() - 1;
 
+  // Root-free: the 2n cycles depend on the order alone, so every allreduce
+  // on this dual-cube replays one schedule.
+  sim::ObliviousSection sched(m, "dual_allreduce", {});
+
   const auto cluster_allreduce = [&](std::vector<V>& vals) {
     for (unsigned i = 0; i < w; ++i) {
-      auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
-        return sim::Send<V>{d.cluster_neighbor(u, i), vals[u]};
-      });
+      auto inbox = sched.exchange<V>(
+          [&](net::NodeId u) { return d.cluster_neighbor(u, i); },
+          [&](net::NodeId u) { return vals[u]; });
       m.compute_step([&](net::NodeId u) {
         vals[u] = op.combine(vals[u], *inbox[u]);
         m.add_ops(1);
@@ -134,24 +152,25 @@ std::vector<typename M::value_type> dual_allreduce(
 
   std::vector<V> foreign(values.size(), op.identity());
   {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
-      return sim::Send<V>{d.cross_neighbor(u), values[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) { return d.cross_neighbor(u); },
+        [&](net::NodeId u) { return values[u]; });
     m.for_each_node([&](net::NodeId u) { foreign[u] = *inbox[u]; });
   }
 
   cluster_allreduce(foreign);  // every node: foreign class grand total
 
   {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
-      return sim::Send<V>{d.cross_neighbor(u), foreign[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) { return d.cross_neighbor(u); },
+        [&](net::NodeId u) { return foreign[u]; });
     // inbox[u] is u's own class's grand total.
     m.compute_step([&](net::NodeId u) {
       values[u] = op.combine(*inbox[u], foreign[u]);
       m.add_ops(1);
     });
   }
+  sched.commit();
   return values;
 }
 
@@ -163,13 +182,16 @@ typename M::value_type cube_reduce(sim::Machine& m, const net::Hypercube& q,
   using V = typename M::value_type;
   DC_REQUIRE(root < q.node_count(), "root out of range");
   DC_REQUIRE(values.size() == q.node_count(), "one value per node required");
+  sim::ObliviousSection sched(m, "cube_reduce", {root});
   for (unsigned i = q.dimensions(); i-- > 0;) {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      const dc::u64 rel = u ^ root;
-      if (rel < dc::bits::pow2(i) || rel >= dc::bits::pow2(i + 1))
-        return std::nullopt;
-      return sim::Send<V>{q.neighbor(u, i), values[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) -> net::NodeId {
+          const dc::u64 rel = u ^ root;
+          if (rel < dc::bits::pow2(i) || rel >= dc::bits::pow2(i + 1))
+            return sim::kNoSend;
+          return q.neighbor(u, i);
+        },
+        [&](net::NodeId u) { return values[u]; });
     m.compute_step([&](net::NodeId u) {
       if (inbox[u]) {
         values[u] = op.combine(values[u], *inbox[u]);
@@ -177,6 +199,7 @@ typename M::value_type cube_reduce(sim::Machine& m, const net::Hypercube& q,
       }
     });
   }
+  sched.commit();
   return values[root];
 }
 

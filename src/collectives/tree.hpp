@@ -15,6 +15,7 @@
 
 #include "core/ops.hpp"
 #include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
 #include "topology/graph.hpp"
 
 namespace dc::collectives {
@@ -42,16 +43,21 @@ std::vector<V> tree_broadcast(sim::Machine& m, const net::Topology& t,
     }
   }
 
+  // The flood order is a pure function of the tree (hence of topology and
+  // root), so the whole serial-children schedule compiles per root.
+  sim::ObliviousSection sched(m, "tree_broadcast", {root});
   std::vector<std::uint8_t> have(n, 0);
   std::vector<std::size_t> next_child(n, 0);
   have[root] = 1;
   std::size_t covered = 1;
   while (covered < n) {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      if (!have[u] || next_child[u] >= children[u].size())
-        return std::nullopt;
-      return sim::Send<V>{children[u][next_child[u]], value};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) -> net::NodeId {
+          if (!have[u] || next_child[u] >= children[u].size())
+            return sim::kNoSend;
+          return children[u][next_child[u]];
+        },
+        [&](net::NodeId) { return value; });
     for (net::NodeId u = 0; u < n; ++u) {
       if (have[u] && next_child[u] < children[u].size()) ++next_child[u];
     }
@@ -62,6 +68,7 @@ std::vector<V> tree_broadcast(sim::Machine& m, const net::Topology& t,
       }
     }
   }
+  sched.commit();
   return std::vector<V>(n, value);
 }
 
@@ -91,6 +98,10 @@ typename M::value_type tree_reduce(sim::Machine& m, const net::Topology& t,
     }
   }
 
+  // The up-sweep order is likewise fixed by the tree: per-cycle sender
+  // sets depend only on which ranks drained in earlier (deterministic)
+  // cycles, never on the values.
+  sim::ObliviousSection sched(m, "tree_reduce", {root});
   std::vector<std::uint8_t> sent(n, 0);
   std::size_t remaining = n - 1;
   while (remaining > 0) {
@@ -104,10 +115,12 @@ typename M::value_type tree_reduce(sim::Machine& m, const net::Topology& t,
       rx_claimed[parent[u]] = 1;
       sends[u] = 1;
     }
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      if (!sends[u]) return std::nullopt;
-      return sim::Send<V>{parent[u], values[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) -> net::NodeId {
+          if (!sends[u]) return sim::kNoSend;
+          return parent[u];
+        },
+        [&](net::NodeId u) { return values[u]; });
     m.compute_step([&](net::NodeId u) {
       if (inbox[u]) {
         values[u] = op.combine(values[u], *inbox[u]);
@@ -122,6 +135,7 @@ typename M::value_type tree_reduce(sim::Machine& m, const net::Topology& t,
       }
     }
   }
+  sched.commit();
   return values[root];
 }
 

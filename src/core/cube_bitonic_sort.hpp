@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
 #include "topology/hypercube.hpp"
 
 namespace dc::core {
@@ -28,12 +29,16 @@ void cube_bitonic_sort(sim::Machine& m, const net::Hypercube& q,
   DC_REQUIRE(keys.size() == q.node_count(), "one key per node required");
   const unsigned d = q.dimensions();
 
+  // The d(d+1)/2 pairwise exchanges are fixed by the dimension sequence
+  // alone (direction only affects which end keeps the minimum), so the
+  // whole sorting network compiles to one cached schedule per cube order.
+  sim::ObliviousSection sched(m, "cube_bitonic_sort", {d});
   for (unsigned k = 1; k <= d; ++k) {
     for (unsigned jj = k; jj-- > 0;) {
       const unsigned j = jj;
-      auto inbox = m.comm_cycle<Key>([&](net::NodeId u) {
-        return sim::Send<Key>{q.neighbor(u, j), keys[u]};
-      });
+      auto inbox = sched.exchange<Key>(
+          [&](net::NodeId u) { return q.neighbor(u, j); },
+          [&](net::NodeId u) { return keys[u]; });
       m.compute_step([&](net::NodeId u) {
         const bool ascending =
             k == d ? !descending : dc::bits::get(u, k) == 0;
@@ -46,6 +51,7 @@ void cube_bitonic_sort(sim::Machine& m, const net::Hypercube& q,
       });
     }
   }
+  sched.commit();
 }
 
 }  // namespace dc::core

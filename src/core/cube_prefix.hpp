@@ -15,6 +15,7 @@
 
 #include "core/ops.hpp"
 #include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
 #include "topology/hypercube.hpp"
 
 namespace dc::core {
@@ -43,10 +44,13 @@ PrefixOutput<typename M::value_type> cube_prefix(
   auto& t = out.total;
   auto& s = out.prefix;
 
+  // The exchange pattern per dimension is a fixed pairing, so the whole
+  // run compiles to one cached schedule per cube order.
+  sim::ObliviousSection sched(m, "cube_prefix", {q.dimensions()});
   for (unsigned i = 0; i < q.dimensions(); ++i) {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
-      return sim::Send<V>{q.neighbor(u, i), t[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) { return q.neighbor(u, i); },
+        [&](net::NodeId u) { return t[u]; });
     m.compute_step([&](net::NodeId u) {
       const V& temp = *inbox[u];
       if (dc::bits::get(u, i) == 1) {
@@ -60,6 +64,7 @@ PrefixOutput<typename M::value_type> cube_prefix(
       }
     });
   }
+  sched.commit();
   return out;
 }
 

@@ -18,22 +18,28 @@
 // which the simulator enforces. Dimension 0 is a plain one-cycle exchange.
 //
 // This primitive carries both the dual-cube bitonic sort (Algorithm 3) and
-// the naive hypercube-emulation ablation.
+// the naive hypercube-emulation ablation. The relay pattern is oblivious —
+// it depends only on j — so all cycles run through an ObliviousSection:
+// callers composing many dimension steps (the sorts) pass their own
+// section so the whole composite run compiles to one schedule; the
+// standalone overload opens a per-(order, j) section itself.
 #pragma once
 
 #include <utility>
 #include <vector>
 
 #include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
 #include "topology/recursive_dual_cube.hpp"
 
 namespace dc::core {
 
-/// Exchanges `value` across dimension `j` for every node simultaneously:
-/// returns recv with recv[u] = value[u ^ (1<<j)]. Costs 1 communication
-/// cycle when j == 0 (or when every node has a direct link), 3 otherwise.
+/// Exchanges `value` across dimension `j` for every node simultaneously,
+/// issuing the cycles into the caller's oblivious section: returns recv
+/// with recv[u] = value[u ^ (1<<j)]. Costs 1 communication cycle when
+/// j == 0, 3 otherwise.
 template <typename V>
-std::vector<V> dimension_exchange(sim::Machine& m,
+std::vector<V> dimension_exchange(sim::Machine& m, sim::ObliviousSection& sched,
                                   const net::RecursiveDualCube& r, unsigned j,
                                   const std::vector<V>& value) {
   DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&r),
@@ -44,9 +50,9 @@ std::vector<V> dimension_exchange(sim::Machine& m,
   std::vector<V> recv(n_nodes);
 
   if (j == 0) {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
-      return sim::Send<V>{dc::bits::flip(u, 0), value[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [](net::NodeId u) { return dc::bits::flip(u, 0); },
+        [&](net::NodeId u) { return value[u]; });
     m.for_each_node([&](net::NodeId u) { recv[u] = std::move(*inbox[u]); });
     return recv;
   }
@@ -55,24 +61,30 @@ std::vector<V> dimension_exchange(sim::Machine& m,
   const unsigned direct0 = j % 2 == 0 ? 0u : 1u;
 
   // Cycle 1: indirect nodes ship their value across the cross-edge.
-  auto gathered = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-    if (dc::bits::get(u, 0) == direct0) return std::nullopt;
-    return sim::Send<V>{dc::bits::flip(u, 0), value[u]};
-  });
+  auto gathered = sched.exchange<V>(
+      [&](net::NodeId u) -> net::NodeId {
+        if (dc::bits::get(u, 0) == direct0) return sim::kNoSend;
+        return dc::bits::flip(u, 0);
+      },
+      [&](net::NodeId u) { return value[u]; });
 
   // Cycle 2: direct nodes exchange (own value, neighbor's value) pairs.
   using Pair = std::pair<V, V>;
-  auto pairs = m.comm_cycle<Pair>([&](net::NodeId u) -> std::optional<sim::Send<Pair>> {
-    if (dc::bits::get(u, 0) != direct0) return std::nullopt;
-    return sim::Send<Pair>{dc::bits::flip(u, j), Pair{value[u], *gathered[u]}};
-  });
+  auto pairs = sched.exchange<Pair>(
+      [&](net::NodeId u) -> net::NodeId {
+        if (dc::bits::get(u, 0) != direct0) return sim::kNoSend;
+        return dc::bits::flip(u, j);
+      },
+      [&](net::NodeId u) { return Pair{value[u], *gathered[u]}; });
 
   // Cycle 3: direct nodes keep the first component and return the second
   // to their cross neighbor.
-  auto returned = m.comm_cycle<V>([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-    if (dc::bits::get(u, 0) != direct0) return std::nullopt;
-    return sim::Send<V>{dc::bits::flip(u, 0), pairs[u]->second};
-  });
+  auto returned = sched.exchange<V>(
+      [&](net::NodeId u) -> net::NodeId {
+        if (dc::bits::get(u, 0) != direct0) return sim::kNoSend;
+        return dc::bits::flip(u, 0);
+      },
+      [&](net::NodeId u) { return pairs[u]->second; });
   m.for_each_node([&](net::NodeId u) {
     if (dc::bits::get(u, 0) == direct0) {
       recv[u] = std::move(pairs[u]->first);
@@ -80,6 +92,20 @@ std::vector<V> dimension_exchange(sim::Machine& m,
       recv[u] = std::move(*returned[u]);
     }
   });
+  return recv;
+}
+
+/// Standalone form: opens (and commits) its own schedule section keyed by
+/// (order, j), so repeated exchanges along one dimension replay a cached
+/// schedule.
+template <typename V>
+std::vector<V> dimension_exchange(sim::Machine& m,
+                                  const net::RecursiveDualCube& r, unsigned j,
+                                  const std::vector<V>& value) {
+  DC_REQUIRE(j < r.label_bits(), "dimension out of range");
+  sim::ObliviousSection sched(m, "dimension_exchange", {r.order(), j});
+  auto recv = dimension_exchange(m, sched, r, j, value);
+  sched.commit();
   return recv;
 }
 

@@ -35,6 +35,7 @@
 
 #include "core/ops.hpp"
 #include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
 #include "topology/dual_cube.hpp"
 
 namespace dc::core {
@@ -73,7 +74,8 @@ namespace detail {
 /// ordered by node ID within each cluster. Writes per-node totals into `t`
 /// and prefixes into `s`. Costs n-1 comm cycles and n-1 comp steps.
 template <Monoid M>
-void cluster_prefix(sim::Machine& m, const net::DualCube& d, const M& op,
+void cluster_prefix(sim::Machine& m, sim::ObliviousSection& sched,
+                    const net::DualCube& d, const M& op,
                     const std::vector<typename M::value_type>& value,
                     bool inclusive, std::vector<typename M::value_type>& t,
                     std::vector<typename M::value_type>& s) {
@@ -86,9 +88,9 @@ void cluster_prefix(sim::Machine& m, const net::DualCube& d, const M& op,
     s.assign(n_nodes, op.identity());
   }
   for (unsigned i = 0; i + 1 < d.order(); ++i) {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
-      return sim::Send<V>{d.cluster_neighbor(u, i), t[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) { return d.cluster_neighbor(u, i); },
+        [&](net::NodeId u) { return t[u]; });
     m.compute_step([&](net::NodeId u) {
       const V& temp = *inbox[u];
       // Bit i of u's node ID is the flipped label bit of this exchange.
@@ -133,35 +135,40 @@ std::vector<typename M::value_type> dual_prefix(
   });
   if (observer) observer("(a) original data distribution", {{"c", c}});
 
+  // All 2n cycles (two cluster passes + two cross-edge exchanges) share one
+  // compiled schedule keyed by the dual-cube order; neither the monoid nor
+  // the inclusive flag changes any destination.
+  sim::ObliviousSection sched(m, "dual_prefix", {d.order()});
+
   // Step 1: prefix inside every cluster (diminished when tag = 0; the rest
   // of the algorithm only prepends totals of *preceding* nodes, so the
   // inclusive/diminished choice is decided entirely here).
   std::vector<V> t, s;
-  detail::cluster_prefix(m, d, op, c, inclusive, t, s);
+  detail::cluster_prefix(m, sched, d, op, c, inclusive, t, s);
   if (observer) observer("(b) prefix inside cluster", {{"t", t}, {"s", s}});
 
   // Step 2: exchange cluster totals over the cross-edges.
   std::vector<V> temp(n_nodes, op.identity());
   {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
-      return sim::Send<V>{d.cross_neighbor(u), t[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) { return d.cross_neighbor(u); },
+        [&](net::NodeId u) { return t[u]; });
     m.for_each_node([&](net::NodeId u) { temp[u] = *inbox[u]; });
   }
   if (observer) observer("(c) exchange t via cross-edge", {{"temp", temp}});
 
   // Step 3: diminished prefix of the gathered totals inside every cluster.
   std::vector<V> t2, s2;
-  detail::cluster_prefix(m, d, op, temp, /*inclusive=*/false, t2, s2);
+  detail::cluster_prefix(m, sched, d, op, temp, /*inclusive=*/false, t2, s2);
   if (observer)
     observer("(d) prefix inside cluster over totals", {{"t'", t2}, {"s'", s2}});
 
   // Step 4: route each node's same-class preceding-cluster total back to it
   // and fold it in on the left.
   {
-    auto inbox = m.comm_cycle<V>([&](net::NodeId u) {
-      return sim::Send<V>{d.cross_neighbor(u), s2[u]};
-    });
+    auto inbox = sched.exchange<V>(
+        [&](net::NodeId u) { return d.cross_neighbor(u); },
+        [&](net::NodeId u) { return s2[u]; });
     m.compute_step([&](net::NodeId u) {
       s[u] = op.combine(*inbox[u], s[u]);
       m.add_ops(1);
@@ -177,6 +184,7 @@ std::vector<typename M::value_type> dual_prefix(
     }
   });
   if (observer) observer("(f) final result", {{"s", s}});
+  sched.commit();
 
   // Copy out in index order (uncounted).
   std::vector<V> out(n_nodes, op.identity());

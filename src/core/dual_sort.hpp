@@ -61,8 +61,13 @@ void dual_bitonic_network(sim::Machine& m, const net::RecursiveDualCube& r,
   DC_REQUIRE(values.size() == r.node_count(), "one value per node required");
   const unsigned n = r.order();
 
+  // The whole network — every relayed dimension exchange of every level —
+  // is one compiled schedule per order: the dimension sequence is fixed
+  // and the merge direction only affects the compute side.
+  sim::ObliviousSection sched(m, "dual_bitonic_network", {n});
+
   const auto dimension_step = [&](unsigned j, unsigned k, bool half_merge) {
-    auto recv = dimension_exchange(m, r, j, values);
+    auto recv = dimension_exchange(m, sched, r, j, values);
     m.compute_step([&](net::NodeId u) {
       bool ascending;
       if (half_merge) {
@@ -90,6 +95,7 @@ void dual_bitonic_network(sim::Machine& m, const net::RecursiveDualCube& r,
     for (unsigned jj = 2 * k - 1; jj-- > 0;)
       dimension_step(jj, k, /*half_merge=*/false);
   }
+  sched.commit();
 }
 
 /// Sorts `keys` (index = recursive-presentation node label) in place;

@@ -37,18 +37,27 @@
 // worker flags a violation, the machine re-scans the outbox sequentially in
 // sender order and throws the exact error the sequential path would have
 // thrown (lowest sender wins), keeping SimError reporting deterministic.
+//
+// Because every algorithm here is communication-oblivious, the machine also
+// offers a compiled replay path: comm_cycle_scheduled executes a cycle that
+// was recorded and validated once (sim/schedule.hpp) as a single gather
+// pass with no planning, validation, or port claiming. Algorithms select
+// between the paths through ObliviousSection (sim/oblivious.hpp).
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "sim/arena.hpp"
 #include "sim/counters.hpp"
+#include "sim/schedule.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 #include "topology/flat_adjacency.hpp"
@@ -75,6 +84,18 @@ class Machine {
 
   const net::Topology& topology() const { return topo_; }
   net::NodeId node_count() const { return topo_.node_count(); }
+  bool validating() const { return validate_; }
+
+  /// Path the oblivious algorithms take (see sim/oblivious.hpp). Defaults
+  /// to compiled replay; set DC_SCHEDULE=interpreted to flip the process
+  /// default, or call set_schedule_path per machine.
+  SchedulePath schedule_path() const { return schedule_path_; }
+  void set_schedule_path(SchedulePath p) { schedule_path_ = p; }
+
+  /// Number of comm cycles this machine executed through the compiled
+  /// replay path (comm_cycle_scheduled). Zero on a machine that only ever
+  /// interpreted or recorded.
+  std::uint64_t replayed_cycles() const { return replayed_cycles_; }
 
   /// Run parallel steps on `pool` instead of the shared pool. Call before
   /// the first cycle / before enable_edge_load.
@@ -219,6 +240,59 @@ class Machine {
     return Inbox<P>(std::move(arena), std::move(buf));
   }
 
+  /// Replays one compiled communication cycle (see sim/schedule.hpp): a
+  /// single chunked parallel gather slots[v] = payload(recv_from[v]) with
+  /// no planning lambdas, no adjacency lookups and no claim CAS — the
+  /// record run already validated link existence and the 1-port rule.
+  /// `payload(u)` is invoked exactly once per delivered message, with u the
+  /// sender; it must only read state (any node's), like a plan callback.
+  /// Counter, trace and edge-load semantics are identical to comm_cycle:
+  /// edge slots were resolved at record time, so hot-spot accounting is a
+  /// plain indexed add. Steady-state replays perform zero heap allocations
+  /// while tracing is off.
+  template <typename P, typename PayloadFn>
+  Inbox<P> comm_cycle_scheduled(const ScheduleCycle& cyc,
+                                PayloadFn&& payload) {
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    DC_REQUIRE(cyc.recv_from.size() == n,
+               "schedule cycle was compiled for a different node count");
+    auto arena = arena_.get<P>(n);
+    auto buf = arena->acquire();
+
+    std::optional<P>* const slots = buf->slots.data();
+    const net::NodeId* const from = cyc.recv_from.data();
+    const std::uint32_t* const edge = cyc.recv_slot.data();
+    const bool loads_on = edge_load_.enabled();
+    parallel_for_chunked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          std::uint64_t* const loads =
+              loads_on ? edge_load_.row(pool().worker_slot()) : nullptr;
+          for (std::size_t v = lo; v < hi; ++v) {
+            const net::NodeId u = from[v];
+            if (u == kNoSender) {
+              slots[v].reset();
+              continue;
+            }
+            slots[v] = payload(u);
+            if (loads) {
+              if (edge[v] != kNoEdgeSlot) {
+                ++loads[edge[v]];
+              } else {
+                edge_load_.add_off_csr(u * n + v);
+              }
+            }
+          }
+        },
+        grain_, pool_);
+
+    ++counters_.comm_cycles;
+    counters_.messages += cyc.message_count;
+    ++replayed_cycles_;
+    if (tracing_) messages_per_cycle_.push_back(cyc.message_count);
+    return Inbox<P>(std::move(arena), std::move(buf));
+  }
+
   /// One parallel computation step: f(u) for every node. f must only write
   /// state owned by node u.
   template <typename F>
@@ -319,9 +393,21 @@ class Machine {
     std::uint64_t v = 0;
   };
 
+  static SchedulePath default_schedule_path() {
+    static const SchedulePath p = [] {
+      const char* e = std::getenv("DC_SCHEDULE");
+      return e && std::string_view(e) == "interpreted"
+                 ? SchedulePath::kInterpreted
+                 : SchedulePath::kCompiled;
+    }();
+    return p;
+  }
+
   const net::Topology& topo_;
   bool validate_;
   bool tracing_ = false;
+  SchedulePath schedule_path_ = default_schedule_path();
+  std::uint64_t replayed_cycles_ = 0;
   Counters counters_;
   ThreadPool* pool_;  // never null; set at construction
   std::vector<OpsCell> ops_cells_;

@@ -1,0 +1,116 @@
+// ObliviousSection — the driver oblivious algorithms route their
+// communication through. One section covers one algorithm run; every
+// comm cycle goes through exchange(dest_of, payload_of), where dest_of
+// depends only on the topology and the cycle index (that is what makes the
+// algorithm oblivious) and payload_of reads the data to ship.
+//
+// The section picks the execution path once, at construction:
+//
+//   * interpreted (Machine::schedule_path() == kInterpreted) — every
+//     exchange is a plain comm_cycle; nothing is recorded or cached.
+//   * record (compiled path, cache miss) — every exchange still runs
+//     through comm_cycle, so validation, SimError messages, counters,
+//     traces and edge loads are byte-identical to the interpreted path,
+//     but the destinations are captured as they are planned. commit()
+//     compiles and publishes the schedule; a run that throws never
+//     commits, so invalid plans are never cached.
+//   * replay (compiled path, cache hit) — exchange skips dest_of entirely
+//     and calls Machine::comm_cycle_scheduled: one gather pass, no
+//     validation, no claims (see sim/schedule.hpp).
+//
+// Replay is only correct because the recorded plan is a pure function of
+// (topology, algorithm, params): the cache key carries all three plus the
+// machine's validation flag, and the topology identity includes the
+// adjacency fingerprint so same-named graphs with different edges can
+// never share a schedule.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/schedule.hpp"
+
+namespace dc::sim {
+
+class ObliviousSection {
+ public:
+  /// Opens a section for `algorithm` with schedule-relevant `params` (any
+  /// inputs the destination pattern depends on: order, dimension, root...).
+  ObliviousSection(Machine& m, std::string algorithm,
+                   std::vector<dc::u64> params)
+      : m_(m) {
+    if (m_.schedule_path() == SchedulePath::kInterpreted) return;
+    key_ = ScheduleKey{topology_identity(m_.topology()), std::move(algorithm),
+                       std::move(params), m_.validating()};
+    replay_ = ScheduleCache::instance().find(key_);
+    if (!replay_) {
+      recorder_ = std::make_unique<ScheduleRecorder>(
+          static_cast<std::size_t>(m_.node_count()));
+    }
+  }
+
+  /// True iff this section replays a cached compiled schedule.
+  bool replaying() const { return replay_ != nullptr; }
+
+  const ScheduleKey& key() const { return key_; }
+
+  /// One oblivious communication cycle. `dest_of(u)` returns the
+  /// destination node or kNoSend; `payload_of(u)` the payload node u ships.
+  /// payload_of is evaluated once per sender on every path; dest_of is not
+  /// called at all when replaying.
+  template <typename P, typename DestFn, typename PayloadFn>
+  Inbox<P> exchange(DestFn&& dest_of, PayloadFn&& payload_of) {
+    if (replay_) {
+      DC_CHECK(next_cycle_ < replay_->cycle_count(),
+               "algorithm issued more cycles than its compiled schedule");
+      return m_.comm_cycle_scheduled<P>(replay_->cycle(next_cycle_++),
+                                        payload_of);
+    }
+    if (recorder_) {
+      net::NodeId* const dest = recorder_->new_cycle().data();
+      return m_.comm_cycle<P>(
+          [&](net::NodeId u) -> std::optional<Send<P>> {
+            const net::NodeId to = dest_of(u);
+            dest[static_cast<std::size_t>(u)] = to;
+            if (to == kNoSend) return std::nullopt;
+            return Send<P>{to, payload_of(u)};
+          });
+    }
+    return m_.comm_cycle<P>([&](net::NodeId u) -> std::optional<Send<P>> {
+      const net::NodeId to = dest_of(u);
+      if (to == kNoSend) return std::nullopt;
+      return Send<P>{to, payload_of(u)};
+    });
+  }
+
+  /// Compiles and publishes the recorded schedule. Call once, after the
+  /// run's last cycle; no-op when replaying or interpreting. Skipping it
+  /// merely forfeits caching — the run itself was already correct.
+  void commit() {
+    if (!recorder_) return;
+    replay_ = ScheduleCache::instance().store(
+        key_, std::move(*recorder_).finalize(m_.topology().flat_adjacency()));
+    recorder_.reset();
+  }
+
+  /// Topology identity used in schedule keys: the display name plus the
+  /// adjacency fingerprint.
+  static std::string topology_identity(const net::Topology& t) {
+    return t.name() + "#" + std::to_string(t.flat_adjacency().fingerprint());
+  }
+
+ private:
+  Machine& m_;
+  ScheduleKey key_;
+  std::shared_ptr<const Schedule> replay_;
+  // unique_ptr (not optional): record-mode-only state, and GCC 12's
+  // -Wmaybe-uninitialized misfires on optional's inlined payload destructor.
+  std::unique_ptr<ScheduleRecorder> recorder_;
+  std::size_t next_cycle_ = 0;
+};
+
+}  // namespace dc::sim

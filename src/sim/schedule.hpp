@@ -1,0 +1,208 @@
+// Compiled oblivious communication schedules: record once, validate once,
+// replay as dense permutations.
+//
+// Every algorithm in this repository is *communication-oblivious*: the
+// destination of each node in each cycle depends only on the topology and
+// the cycle index, never on the payloads (the same data-independence that
+// makes a sorting network a network). The interpreted comm_cycle pays for
+// that obliviousness every cycle anyway — it re-derives destinations
+// through the planning lambdas, re-validates every message against the CSR
+// adjacency, and claims receive ports. A Schedule removes all of that from
+// the steady state:
+//
+//   * record — the first run of an algorithm executes through the normal
+//     interpreted comm_cycle (so link and 1-port validation, SimError
+//     messages, counters, traces and edge loads are byte-identical to the
+//     historical path) while capturing each cycle's dense destination
+//     array;
+//   * compile — on commit, each recorded cycle is inverted into
+//     receiver-major form: recv_from[v] = the sender delivering to v (or
+//     kNoSender), plus the CSR edge slot of that directed edge, resolved
+//     once so hot-spot accounting becomes a plain indexed add;
+//   * replay — Machine::comm_cycle_scheduled walks the receiver arrays in
+//     one chunked parallel pass: slots[v] = payload(recv_from[v]). No
+//     planning lambdas, no adjacency lookups, no claim CAS, no per-message
+//     validation — the cycle is a dense permutation application.
+//
+// Schedules are cached process-wide, keyed by (topology identity, algorithm
+// tag, parameters, validation flag); the topology identity is the name plus
+// the FlatAdjacency fingerprint, so two different graphs can never share a
+// schedule. A run that throws SimError never commits, so invalid plans are
+// never cached. See sim/oblivious.hpp for the driver algorithms use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+#include "topology/flat_adjacency.hpp"
+#include "topology/topology.hpp"
+
+namespace dc::sim {
+
+/// Destination sentinel: the node sends nothing this cycle.
+inline constexpr net::NodeId kNoSend = ~net::NodeId{0};
+/// Receiver-side sentinel: nothing arrives at this node this cycle.
+inline constexpr net::NodeId kNoSender = ~net::NodeId{0};
+/// Edge-slot sentinel: the recorded message does not traverse a CSR edge
+/// (possible only when link validation is disabled).
+inline constexpr std::uint32_t kNoEdgeSlot = 0xFFFFFFFFu;
+
+/// Which execution path oblivious algorithms take on a Machine.
+enum class SchedulePath {
+  kCompiled,     ///< record + cache on first run, replay afterwards
+  kInterpreted,  ///< plan / validate / claim every cycle
+};
+
+/// One compiled cycle in receiver-major ("gather") form. All three fields
+/// are derived from a validated record run, so replay needs no checks: each
+/// receiver has at most one sender by construction.
+struct ScheduleCycle {
+  std::vector<net::NodeId> recv_from;     ///< per receiver: sender or kNoSender
+  std::vector<std::uint32_t> recv_slot;   ///< CSR slot of (sender -> receiver)
+  std::uint64_t message_count = 0;        ///< messages delivered this cycle
+};
+
+/// An immutable compiled schedule: the full cycle sequence of one
+/// algorithm's run on one topology.
+class Schedule {
+ public:
+  explicit Schedule(std::vector<ScheduleCycle> cycles)
+      : cycles_(std::move(cycles)) {}
+
+  std::size_t cycle_count() const { return cycles_.size(); }
+  const ScheduleCycle& cycle(std::size_t i) const {
+    DC_REQUIRE(i < cycles_.size(), "schedule cycle index out of range");
+    return cycles_[i];
+  }
+
+ private:
+  std::vector<ScheduleCycle> cycles_;
+};
+
+/// Cache key. `topology` must identify the graph, not just the family —
+/// ObliviousSection uses name() + the adjacency fingerprint. `validate`
+/// participates because a schedule recorded with link validation off may
+/// contain non-edges a validating machine must keep rejecting.
+struct ScheduleKey {
+  std::string topology;
+  std::string algorithm;
+  std::vector<dc::u64> params;
+  bool validate = true;
+
+  friend bool operator==(const ScheduleKey&, const ScheduleKey&) = default;
+};
+
+struct ScheduleKeyHash {
+  std::size_t operator()(const ScheduleKey& k) const {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(std::hash<std::string>{}(k.topology));
+    mix(std::hash<std::string>{}(k.algorithm));
+    for (const dc::u64 p : k.params) mix(p);
+    mix(k.validate ? 1u : 0u);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Process-wide schedule registry. Lookups happen once per algorithm run
+/// (not per cycle), so a mutex is plenty; entries are shared_ptr-to-const,
+/// so concurrent replays never copy or mutate a schedule.
+class ScheduleCache {
+ public:
+  static ScheduleCache& instance() {
+    static ScheduleCache cache;
+    return cache;
+  }
+
+  std::shared_ptr<const Schedule> find(const ScheduleKey& key) const {
+    std::scoped_lock lock(mutex_);
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : it->second;
+  }
+
+  /// Publishes a schedule; if two recorders race on one key the first
+  /// writer wins (both recorded the same deterministic plan). Returns the
+  /// cached entry.
+  std::shared_ptr<const Schedule> store(const ScheduleKey& key,
+                                        std::shared_ptr<const Schedule> s) {
+    std::scoped_lock lock(mutex_);
+    return map_.emplace(key, std::move(s)).first->second;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return map_.size();
+  }
+
+  /// Drops every cached schedule (tests use this to force re-recording).
+  void clear() {
+    std::scoped_lock lock(mutex_);
+    map_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<ScheduleKey, std::shared_ptr<const Schedule>,
+                     ScheduleKeyHash>
+      map_;
+};
+
+/// Accumulates one destination array per recorded cycle; finalize inverts
+/// them into receiver-major ScheduleCycles with resolved CSR edge slots.
+/// The caller (ObliviousSection) guarantees every recorded cycle already
+/// passed the interpreted path's validation, so inversion cannot collide.
+class ScheduleRecorder {
+ public:
+  explicit ScheduleRecorder(std::size_t n) : n_(n) {}
+
+  /// Scratch for the next cycle's destinations, pre-filled with kNoSend.
+  /// The returned reference is valid until the next new_cycle call.
+  std::vector<net::NodeId>& new_cycle() {
+    raw_.emplace_back(n_, kNoSend);
+    return raw_.back();
+  }
+
+  std::size_t cycle_count() const { return raw_.size(); }
+
+  std::shared_ptr<const Schedule> finalize(const net::FlatAdjacency& adj) && {
+    DC_CHECK(adj.directed_edge_count() < kNoEdgeSlot,
+             "edge count overflows the 32-bit schedule slot index");
+    std::vector<ScheduleCycle> cycles;
+    cycles.reserve(raw_.size());
+    for (const std::vector<net::NodeId>& dest : raw_) {
+      ScheduleCycle c;
+      c.recv_from.assign(n_, kNoSender);
+      c.recv_slot.assign(n_, kNoEdgeSlot);
+      for (std::size_t u = 0; u < n_; ++u) {
+        const net::NodeId to = dest[u];
+        if (to == kNoSend) continue;
+        const std::size_t v = static_cast<std::size_t>(to);
+        DC_CHECK(v < n_ && c.recv_from[v] == kNoSender,
+                 "recorded cycle escaped validation");
+        c.recv_from[v] = static_cast<net::NodeId>(u);
+        const std::size_t slot = adj.edge_slot(static_cast<net::NodeId>(u), to);
+        if (slot != net::FlatAdjacency::npos) {
+          c.recv_slot[v] = static_cast<std::uint32_t>(slot);
+        }
+        ++c.message_count;
+      }
+      cycles.push_back(std::move(c));
+    }
+    return std::make_shared<const Schedule>(std::move(cycles));
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<net::NodeId>> raw_;
+};
+
+}  // namespace dc::sim

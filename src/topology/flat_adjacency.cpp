@@ -16,6 +16,15 @@ FlatAdjacency::FlatAdjacency(const Topology& t) : n_(t.node_count()) {
     neighbors_.insert(neighbors_.end(), row.begin(), row.end());
     offsets_[static_cast<std::size_t>(u) + 1] = neighbors_.size();
   }
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(n_);
+  for (const std::size_t o : offsets_) mix(o);
+  for (const NodeId v : neighbors_) mix(v);
+  fingerprint_ = h;
 }
 
 }  // namespace dc::net

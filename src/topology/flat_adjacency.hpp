@@ -7,7 +7,13 @@
 //   * degree(u)     — O(1),
 //   * has_edge(u,v) — O(log degree) binary search,
 //   * edge_slot(u,v)— O(log degree) dense index of the *directed* edge
-//                     u -> v in [0, directed_edge_count()), or npos.
+//                     u -> v in [0, directed_edge_count()), or npos,
+//   * fingerprint() — O(1) content hash of the whole edge set, computed at
+//                     build time. Two topologies with equal fingerprints
+//                     share their adjacency for all practical purposes;
+//                     the schedule cache uses name() + fingerprint as the
+//                     topology identity so graphs that merely share a name
+//                     can never share a compiled schedule.
 // The edge-slot indexing is what lets the simulator keep per-worker
 // edge-load counters in flat u64 arrays instead of a hash map.
 //
@@ -85,10 +91,15 @@ class FlatAdjacency {
   /// Rows at or below this length use the linear scan in edge_slot.
   static constexpr std::size_t kLinearScanMax = 32;
 
+  /// FNV-1a hash of (node count, row offsets, neighbor labels) — a stable
+  /// identity of the exact edge set, computed once at construction.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   NodeId n_;
   std::vector<std::size_t> offsets_;  // size n_ + 1
   std::vector<NodeId> neighbors_;     // sorted within each row
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace dc::net

@@ -1,0 +1,305 @@
+// Compiled-schedule tests: replaying a cached oblivious schedule must be
+// observationally identical to the interpreted path — same results, same
+// Counters, same per-cycle message trace, same per-edge loads — and
+// record-time validation must fail with the interpreted path's exact
+// SimError messages while caching nothing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "collectives/broadcast.hpp"
+#include "collectives/reduce.hpp"
+#include "collectives/tree.hpp"
+#include "core/cube_bitonic_sort.hpp"
+#include "core/cube_prefix.hpp"
+#include "core/dimension_exchange.hpp"
+#include "core/dual_prefix.hpp"
+#include "core/dual_sort.hpp"
+#include "core/ops.hpp"
+#include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
+#include "sim/schedule.hpp"
+#include "support/rng.hpp"
+#include "topology/dual_cube.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/recursive_dual_cube.hpp"
+
+namespace dc::sim {
+namespace {
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  // Each test records its own schedules from scratch.
+  void SetUp() override { ScheduleCache::instance().clear(); }
+};
+
+// Per-directed-edge load vector in a deterministic (CSR) order.
+std::vector<std::uint64_t> edge_loads(const Machine& m,
+                                      const net::Topology& t) {
+  std::vector<std::uint64_t> loads;
+  for (net::NodeId u = 0; u < t.node_count(); ++u) {
+    for (const net::NodeId v : t.neighbors(u)) loads.push_back(m.edge_load(u, v));
+  }
+  return loads;
+}
+
+// Runs `algo` three ways — interpreted, compiled-record, compiled-replay —
+// and checks both compiled runs reproduce the interpreted run's result,
+// Counters, per-cycle message trace and per-edge loads exactly.
+template <typename Algo>
+void expect_parity(const net::Topology& t, Algo&& algo) {
+  Machine interp(t);
+  interp.set_schedule_path(SchedulePath::kInterpreted);
+  interp.enable_trace();
+  interp.enable_edge_load();
+  const auto expected = algo(interp);
+
+  Machine record(t);
+  record.set_schedule_path(SchedulePath::kCompiled);
+  record.enable_trace();
+  record.enable_edge_load();
+  const auto recorded = algo(record);
+  EXPECT_EQ(record.replayed_cycles(), 0u) << "record run must not replay";
+  EXPECT_EQ(recorded, expected);
+  EXPECT_EQ(record.counters(), interp.counters());
+  EXPECT_EQ(record.messages_per_cycle(), interp.messages_per_cycle());
+  EXPECT_EQ(edge_loads(record, t), edge_loads(interp, t));
+
+  Machine replay(t);
+  replay.set_schedule_path(SchedulePath::kCompiled);
+  replay.enable_trace();
+  replay.enable_edge_load();
+  const auto replayed = algo(replay);
+  EXPECT_GT(replay.replayed_cycles(), 0u) << "replay run must hit the cache";
+  EXPECT_EQ(replayed, expected);
+  EXPECT_EQ(replay.counters(), interp.counters());
+  EXPECT_EQ(replay.messages_per_cycle(), interp.messages_per_cycle());
+  EXPECT_EQ(edge_loads(replay, t), edge_loads(interp, t));
+}
+
+std::vector<u64> random_values(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<u64> data(n);
+  for (auto& x : data) x = rng.below(1000);
+  return data;
+}
+
+TEST_F(ScheduleTest, DualPrefixParity) {
+  const net::DualCube d(3);
+  const auto data = random_values(d.node_count(), 1);
+  expect_parity(d, [&](Machine& m) {
+    return core::dual_prefix(m, d, core::Plus<u64>{}, data);
+  });
+}
+
+TEST_F(ScheduleTest, CubePrefixParity) {
+  const net::Hypercube q(4);
+  const auto data = random_values(q.node_count(), 2);
+  expect_parity(q, [&](Machine& m) {
+    auto out = core::cube_prefix(m, q, core::Plus<u64>{}, data, true);
+    return std::pair{std::move(out.total), std::move(out.prefix)};
+  });
+}
+
+TEST_F(ScheduleTest, CubeBitonicSortParity) {
+  const net::Hypercube q(4);
+  const auto input = generate_keys(KeyDistribution::kUniform, q.node_count(), 3);
+  expect_parity(q, [&](Machine& m) {
+    auto keys = input;
+    core::cube_bitonic_sort(m, q, keys);
+    return keys;
+  });
+}
+
+TEST_F(ScheduleTest, DualSortParity) {
+  const net::RecursiveDualCube r(2);
+  const auto input = generate_keys(KeyDistribution::kUniform, r.node_count(), 4);
+  expect_parity(r, [&](Machine& m) {
+    auto keys = input;
+    core::dual_sort(m, r, keys);
+    return keys;
+  });
+}
+
+TEST_F(ScheduleTest, DimensionExchangeParity) {
+  const net::RecursiveDualCube r(2);
+  const auto data = random_values(r.node_count(), 5);
+  // j = 2 > 0 exercises the 3-cycle relayed schedule.
+  expect_parity(r, [&](Machine& m) {
+    return core::dimension_exchange(m, r, 2, data);
+  });
+}
+
+TEST_F(ScheduleTest, DualBroadcastParity) {
+  const net::DualCube d(3);
+  expect_parity(d, [&](Machine& m) {
+    return collectives::dual_broadcast<u64>(m, d, net::NodeId{5}, 42);
+  });
+}
+
+TEST_F(ScheduleTest, CubeBroadcastParity) {
+  const net::Hypercube q(4);
+  expect_parity(q, [&](Machine& m) {
+    return collectives::cube_broadcast<u64>(m, q, net::NodeId{3}, 7);
+  });
+}
+
+TEST_F(ScheduleTest, TreeCollectivesParity) {
+  const net::DualCube d(2);
+  const auto values = random_values(d.node_count(), 6);
+  expect_parity(d, [&](Machine& m) {
+    return collectives::tree_broadcast<u64>(m, d, net::NodeId{1}, 9);
+  });
+  ScheduleCache::instance().clear();
+  expect_parity(d, [&](Machine& m) {
+    return collectives::tree_reduce(m, d, net::NodeId{1}, core::Plus<u64>{},
+                                    values);
+  });
+}
+
+TEST_F(ScheduleTest, ReduceCollectivesParity) {
+  const net::DualCube d(3);
+  const auto values = random_values(d.node_count(), 7);
+  expect_parity(d, [&](Machine& m) {
+    return collectives::dual_reduce(m, d, net::NodeId{2}, core::Plus<u64>{},
+                                    values);
+  });
+  ScheduleCache::instance().clear();
+  expect_parity(d, [&](Machine& m) {
+    return collectives::dual_allreduce(m, d, core::Plus<u64>{}, values);
+  });
+  const net::Hypercube q(4);
+  const auto qvalues = random_values(q.node_count(), 8);
+  expect_parity(q, [&](Machine& m) {
+    return collectives::cube_reduce(m, q, net::NodeId{1}, core::Plus<u64>{},
+                                    qvalues);
+  });
+}
+
+TEST_F(ScheduleTest, CacheIsReusedAcrossRuns) {
+  const net::DualCube d(2);
+  const auto data = random_values(d.node_count(), 9);
+  const auto run = [&] {
+    Machine m(d);
+    m.set_schedule_path(SchedulePath::kCompiled);
+    return core::dual_prefix(m, d, core::Plus<u64>{}, data);
+  };
+  const auto first = run();
+  const std::size_t cached = ScheduleCache::instance().size();
+  EXPECT_GT(cached, 0u);
+  EXPECT_EQ(run(), first);
+  EXPECT_EQ(ScheduleCache::instance().size(), cached)
+      << "second run must replay, not re-record";
+}
+
+// Record-time validation reuses the interpreted path verbatim, so the
+// SimError messages match tests/sim_test.cpp byte for byte — and a run
+// that throws must cache nothing.
+TEST_F(ScheduleTest, RecordTimeNonEdgeSendMessageIsExact) {
+  const net::Hypercube q(3);
+  Machine m(q);
+  m.set_schedule_path(SchedulePath::kCompiled);
+  try {
+    ObliviousSection sched(m, "bad_nonedge", {});
+    (void)sched.exchange<int>(
+        [](net::NodeId u) { return u == 0 ? net::NodeId{3} : kNoSend; },
+        [](net::NodeId) { return 1; });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_STREQ(e.what(), "node 0 sent to 3 but Q_3 has no such link");
+  }
+  EXPECT_EQ(ScheduleCache::instance().size(), 0u);
+}
+
+TEST_F(ScheduleTest, RecordTimeOutOfRangeSendMessageIsExact) {
+  const net::Hypercube q(2);
+  Machine m(q);
+  m.set_schedule_path(SchedulePath::kCompiled);
+  try {
+    ObliviousSection sched(m, "bad_range", {});
+    (void)sched.exchange<int>(
+        [](net::NodeId u) { return u == 1 ? net::NodeId{99} : kNoSend; },
+        [](net::NodeId) { return 1; });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_STREQ(e.what(), "node 1 sent to out-of-range node 99");
+  }
+  EXPECT_EQ(ScheduleCache::instance().size(), 0u);
+}
+
+TEST_F(ScheduleTest, RecordTimeOnePortViolationMessageIsExact) {
+  const net::Hypercube q(3);
+  Machine m(q);
+  m.set_schedule_path(SchedulePath::kCompiled);
+  try {
+    ObliviousSection sched(m, "bad_port", {});
+    (void)sched.exchange<int>(
+        [](net::NodeId u) {
+          return (u == 1 || u == 2 || u == 4) ? net::NodeId{0} : kNoSend;
+        },
+        [](net::NodeId) { return 7; });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_STREQ(
+        e.what(),
+        "1-port violation: node 0 would receive two messages in one cycle");
+  }
+  EXPECT_EQ(ScheduleCache::instance().size(), 0u);
+}
+
+TEST_F(ScheduleTest, ReplayRejectsExtraCycles) {
+  const net::Hypercube q(2);
+  const auto one_cycle = [&](Machine& m) {
+    ObliviousSection sched(m, "short", {});
+    (void)sched.exchange<int>(
+        [](net::NodeId u) { return bits::flip(u, 0); },
+        [](net::NodeId u) { return static_cast<int>(u); });
+    sched.commit();
+  };
+  Machine a(q);
+  a.set_schedule_path(SchedulePath::kCompiled);
+  one_cycle(a);
+
+  Machine b(q);
+  b.set_schedule_path(SchedulePath::kCompiled);
+  ObliviousSection sched(b, "short", {});
+  ASSERT_TRUE(sched.replaying());
+  (void)sched.exchange<int>(
+      [](net::NodeId u) { return bits::flip(u, 0); },
+      [](net::NodeId u) { return static_cast<int>(u); });
+  EXPECT_THROW((void)sched.exchange<int>(
+                   [](net::NodeId u) { return bits::flip(u, 0); },
+                   [](net::NodeId u) { return static_cast<int>(u); }),
+               CheckError);
+}
+
+// The validation flag is part of the cache key: a schedule recorded with
+// link validation off (and containing a non-edge hop) replays only on
+// non-validating machines; a validating machine records afresh and throws.
+TEST_F(ScheduleTest, ValidationFlagSeparatesCacheEntries) {
+  const net::Hypercube q(3);
+  const auto warp = [&](Machine& m) {
+    ObliviousSection sched(m, "warp", {});
+    auto inbox = sched.exchange<int>(
+        [](net::NodeId u) { return u == 0 ? net::NodeId{7} : kNoSend; },
+        [](net::NodeId) { return 5; });
+    sched.commit();
+    return inbox[7].has_value();
+  };
+  Machine loose(q, /*validate=*/false);
+  loose.set_schedule_path(SchedulePath::kCompiled);
+  EXPECT_TRUE(warp(loose));
+
+  Machine loose_replay(q, /*validate=*/false);
+  loose_replay.set_schedule_path(SchedulePath::kCompiled);
+  EXPECT_TRUE(warp(loose_replay));
+  EXPECT_EQ(loose_replay.replayed_cycles(), 1u);
+
+  Machine strict(q);
+  strict.set_schedule_path(SchedulePath::kCompiled);
+  EXPECT_THROW(warp(strict), SimError);
+}
+
+}  // namespace
+}  // namespace dc::sim

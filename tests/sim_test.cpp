@@ -8,6 +8,7 @@
 #include <new>
 
 #include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
 #include "support/thread_pool.hpp"
 #include "topology/dual_cube.hpp"
 #include "topology/hypercube.hpp"
@@ -301,6 +302,38 @@ TEST(Machine, SteadyStateCommCycleDoesNotAllocate) {
       auto inbox = m.comm_cycle<std::uint64_t>([&](net::NodeId u) {
         return Send<std::uint64_t>{q.neighbor(u, i), u + 1};
       });
+      for (net::NodeId u = 0; u < q.node_count(); ++u) {
+        delivered += inbox[u].has_value() ? 1u : 0u;
+      }
+    }
+  }
+  EXPECT_EQ(g_allocation_count.load(), before);
+  EXPECT_EQ(delivered, 4u * q.dimensions() * q.node_count());
+}
+
+TEST(Machine, ScheduledReplayDoesNotAllocate) {
+  const net::Hypercube q(6);
+  Machine m(q);
+  m.set_schedule_path(SchedulePath::kCompiled);
+  // Record the rotating-dimension exchange once (cache key built here, so
+  // its strings stay outside the counted loop) and fetch the compiled
+  // schedule; warm-up also pools the inbox buffer.
+  ObliviousSection section(m, "sim_test_scheduled_alloc", {});
+  for (unsigned i = 0; i < q.dimensions(); ++i) {
+    auto warm = section.exchange<std::uint64_t>(
+        [&](net::NodeId u) { return q.neighbor(u, i); },
+        [](net::NodeId u) { return u; });
+  }
+  section.commit();
+  const auto schedule = ScheduleCache::instance().find(section.key());
+  ASSERT_NE(schedule, nullptr);
+  ASSERT_EQ(schedule->cycle_count(), q.dimensions());
+  const std::uint64_t before = g_allocation_count.load();
+  std::uint64_t delivered = 0;
+  for (unsigned rep = 0; rep < 4; ++rep) {
+    for (unsigned i = 0; i < q.dimensions(); ++i) {
+      auto inbox = m.comm_cycle_scheduled<std::uint64_t>(
+          schedule->cycle(i), [](net::NodeId u) { return u + 1; });
       for (net::NodeId u = 0; u < q.node_count(); ++u) {
         delivered += inbox[u].has_value() ? 1u : 0u;
       }

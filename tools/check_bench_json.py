@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Schema check for the bench_wallclock summary JSON (CI bench smoke).
+
+Usage: check_bench_json.py [path]   (default: BENCH_sim.json)
+
+Verifies the file is a non-empty JSON array in which every row carries a
+non-empty "name" plus numeric "ns_per_op" and "items_per_sec" keys, with
+ns_per_op > 0 and items_per_sec > 0 for every measurement row. Spread
+aggregates ("_stddev", "_cv" rows) are exempt from the positivity checks —
+a perfectly stable run legitimately reports 0 spread. Stdlib only.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sim.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+
+    if not isinstance(rows, list) or not rows:
+        print(f"{path}: expected a non-empty JSON array", file=sys.stderr)
+        return 1
+
+    errors = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append(f"row {i}: not an object")
+            continue
+        name = row.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"row {i}: missing or empty 'name'")
+            continue
+        for key in ("ns_per_op", "items_per_sec"):
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"{name}: missing or non-numeric '{key}'")
+        if any(tag in name for tag in ("_stddev", "_cv")):
+            continue
+        if not row.get("ns_per_op", 0) > 0:
+            errors.append(f"{name}: ns_per_op must be > 0")
+        if not row.get("items_per_sec", 0) > 0:
+            errors.append(
+                f"{name}: items_per_sec must be > 0 "
+                "(did the bench call SetItemsProcessed?)"
+            )
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"{path}: {len(errors)} problem(s) in {len(rows)} rows",
+              file=sys.stderr)
+        return 1
+    print(f"{path}: {len(rows)} rows OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
