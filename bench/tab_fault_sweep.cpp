@@ -1,0 +1,136 @@
+// Robustness table: graceful degradation of the fault-tolerant prefix and
+// broadcast as the number of random node faults grows from 0 to n-1 (the
+// n-connectivity guarantee) on D_2..D_4. For each (n, k) cell the sweep
+// averages over several seeded fault draws and reports the total
+// communication cycles, repair cycles, and rerouted hops paid to the
+// faults — healthy runs must cost exactly the 2n-cycle optimum.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "collectives/ft_broadcast.hpp"
+#include "core/dual_prefix.hpp"
+#include "core/ft_dual_prefix.hpp"
+#include "sim/faults.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using dc::u64;
+using dc::net::NodeId;
+
+struct Cell {
+  u64 comm_cycles = 0;
+  u64 repair_cycles = 0;
+  u64 rerouted_hops = 0;
+  u64 trials = 0;
+};
+
+}  // namespace
+
+int main() {
+  dc::bench::Acceptance acc;
+  constexpr std::uint64_t kEver = ~std::uint64_t{0};
+  constexpr u64 kTrials = 5;
+  const dc::core::Plus<u64> plus;
+
+  dc::Table t("Fault sweep: degradation vs. node-fault count (avg over seeds)");
+  t.header({"n", "k faults", "algo", "comm cycles", "repair cycles",
+            "rerouted hops", "healthy 2n"});
+
+  for (unsigned n = 2; n <= 4; ++n) {
+    const dc::net::DualCube d(n);
+    std::vector<u64> data(d.node_count());
+    dc::Rng rng(77 + n);
+    for (auto& x : data) x = rng.below(1000);
+
+    for (std::size_t k = 0; k < n; ++k) {
+      Cell pc, bc;
+      for (u64 trial = 0; trial < kTrials; ++trial) {
+        const u64 seed = 1000 * n + 10 * static_cast<u64>(k) + trial;
+        const auto plan = dc::sim::FaultPlan::random_nodes(d, k, seed);
+
+        // Prefix: every live node must hold the masked scan of live inputs.
+        {
+          dc::sim::Machine m(d);
+          m.attach_faults(std::make_shared<dc::sim::FaultPlan>(plan),
+                          dc::sim::FaultPolicy::kStrict);
+          dc::sim::FtReport rep;
+          const auto out = dc::core::ft_dual_prefix(m, d, plus, data, plan,
+                                                    /*inclusive=*/true, &rep);
+          std::vector<bool> dead_index(d.node_count(), false);
+          for (const auto u : plan.dead_nodes())
+            dead_index[dc::core::dual_prefix_index_of_node(d, u)] = true;
+          u64 accum = 0;
+          bool ok = true;
+          for (std::size_t i = 0; i < data.size(); ++i) {
+            if (!dead_index[i]) accum += data[i];
+            if (dead_index[i]) {
+              ok = ok && !out[i].has_value();
+            } else {
+              ok = ok && out[i].has_value() && *out[i] == accum;
+            }
+          }
+          acc.expect(ok, "prefix correct n=" + std::to_string(n) +
+                             " k=" + std::to_string(k) +
+                             " seed=" + std::to_string(seed));
+          if (k == 0) {
+            acc.expect(m.counters().comm_cycles == 2 * n,
+                       "healthy prefix costs 2n, n=" + std::to_string(n));
+            acc.expect(rep.repair_cycles == 0 && rep.rerouted_hops == 0,
+                       "healthy prefix pays no repair, n=" + std::to_string(n));
+          }
+          pc.comm_cycles += m.counters().comm_cycles;
+          pc.repair_cycles += rep.repair_cycles;
+          pc.rerouted_hops += rep.rerouted_hops;
+          ++pc.trials;
+        }
+
+        // Broadcast: root must survive the draw; redraw excluding it.
+        {
+          const auto bplan =
+              dc::sim::FaultPlan::random_nodes(d, k, seed, {NodeId{0}});
+          dc::sim::Machine m(d);
+          m.attach_faults(std::make_shared<dc::sim::FaultPlan>(bplan),
+                          dc::sim::FaultPolicy::kStrict);
+          dc::sim::FtReport rep;
+          const auto out =
+              dc::collectives::ft_dual_broadcast<u64>(m, d, 0, 42, bplan, &rep);
+          bool ok = true;
+          for (NodeId u = 0; u < d.node_count(); ++u) {
+            if (bplan.node_dead(u, kEver)) {
+              ok = ok && !out[u].has_value();
+            } else {
+              ok = ok && out[u].has_value() && *out[u] == 42;
+            }
+          }
+          acc.expect(ok, "broadcast reaches live nodes n=" + std::to_string(n) +
+                             " k=" + std::to_string(k) +
+                             " seed=" + std::to_string(seed));
+          if (k == 0) {
+            acc.expect(m.counters().comm_cycles == 2 * n,
+                       "healthy broadcast costs 2n, n=" + std::to_string(n));
+          }
+          bc.comm_cycles += m.counters().comm_cycles;
+          bc.repair_cycles += rep.repair_cycles;
+          bc.rerouted_hops += rep.rerouted_hops;
+          ++bc.trials;
+        }
+      }
+      t.add(n, k, "prefix", pc.comm_cycles / pc.trials,
+            pc.repair_cycles / pc.trials, pc.rerouted_hops / pc.trials, 2 * n);
+      t.add(n, k, "broadcast", bc.comm_cycles / bc.trials,
+            bc.repair_cycles / bc.trials, bc.rerouted_hops / bc.trials, 2 * n);
+    }
+  }
+  std::cout << t << "\n";
+  std::cout << "k=0 rows sit exactly on the 2n-cycle optimum; each added\n"
+               "fault buys a bounded batch of detour cycles, never a wrong\n"
+               "or missing answer on a live node.\n";
+  return acc.finish("tab_fault_sweep");
+}

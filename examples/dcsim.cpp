@@ -9,25 +9,41 @@
 //   ./dcsim --algo=broadcast --n=4 --root=5
 //   ./dcsim --algo=allreduce --n=4
 //   ./dcsim --algo=route     --n=4 --pattern=random
+//   ./dcsim --algo=prefix    --n=3 --faults=random:2,7
+//   ./dcsim --algo=broadcast --n=3 --faults=nodes:3,17 --fault-policy=degrade
 //
 // --schedule=compiled|interpreted selects the communication path: compiled
 // (default) records + caches each algorithm's oblivious schedule and runs a
 // warm-up so the reported run replays it; interpreted plans and validates
 // every cycle. Counters and results are identical either way.
+//
+// --faults=nodes:a,b,c | random:k[,seed] injects a fault scenario and runs
+// the fault-tolerant variant (prefix and broadcast only), printing a
+// graceful-degradation report. --fault-policy=strict (default) attaches the
+// plan to the machine so any unplanned touch of a dead node throws;
+// degrade drops such messages and counts them instead. Strict mode rejects
+// specs with n or more node faults up front (the n-connectivity guarantee
+// covers only fewer than n).
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <numeric>
+#include <optional>
 #include <string_view>
 
 #include "collectives/broadcast.hpp"
+#include "collectives/ft_broadcast.hpp"
 #include "collectives/reduce.hpp"
 #include "core/dual_prefix.hpp"
+#include "core/ft_dual_prefix.hpp"
 #include "core/dual_sort.hpp"
 #include "core/enumeration_sort.hpp"
 #include "core/formulas.hpp"
 #include "core/radix_sort.hpp"
 #include "core/sequential.hpp"
+#include "sim/fault_transport.hpp"
+#include "sim/faults.hpp"
 #include "sim/store_forward.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
@@ -59,7 +75,31 @@ void print_counters(const dc::sim::Counters& c) {
   t.add("computation steps", c.comp_steps);
   t.add("messages delivered", c.messages);
   t.add("op applications", c.ops);
+  if (c.messages_lost > 0) t.add("messages lost", c.messages_lost);
+  if (c.messages_rerouted > 0) t.add("messages rerouted", c.messages_rerouted);
+  if (c.fault_cycles > 0) t.add("fault-active cycles", c.fault_cycles);
   std::cout << t;
+}
+
+void print_fault_report(const dc::sim::FaultPlan& plan,
+                        const dc::sim::FtReport& rep,
+                        dc::sim::FaultPolicy policy) {
+  dc::Table t("graceful degradation report");
+  t.header({"metric", "value"});
+  t.add("policy", policy == dc::sim::FaultPolicy::kStrict ? "strict"
+                                                          : "degrade");
+  t.add("node faults", plan.node_fault_count());
+  t.add("link faults", plan.link_fault_count());
+  t.add("healthy-schedule cycles", rep.base_cycles);
+  t.add("repair cycles", rep.repair_cycles);
+  t.add("messages repaired by detour", rep.repaired);
+  t.add("extra hops beyond one link", rep.rerouted_hops);
+  t.add("BFS fallback routes", rep.bfs_fallbacks);
+  std::cout << t;
+  const auto dead = plan.dead_nodes();
+  std::cout << "dead nodes:";
+  for (const auto u : dead) std::cout << ' ' << u;
+  std::cout << "\n";
 }
 
 int run_prefix(unsigned n, const std::string& op_name, u64 seed) {
@@ -210,6 +250,134 @@ int run_allreduce(unsigned n, u64 seed) {
   return ok ? 0 : 1;
 }
 
+int run_ft_prefix(unsigned n, const std::string& op_name, u64 seed,
+                  const dc::sim::FaultPlan& plan,
+                  dc::sim::FaultPolicy policy) {
+  const dc::net::DualCube d(n);
+  dc::sim::Machine m(d);
+  m.attach_faults(std::make_shared<dc::sim::FaultPlan>(plan), policy);
+  dc::Rng rng(seed);
+  std::vector<u64> data(d.node_count());
+  for (auto& x : data) x = rng.below(1000);
+
+  // Which prefix-order indices lost their input with the node that owned
+  // them: those contribute the identity and report no output.
+  std::vector<bool> dead_index(d.node_count(), false);
+  for (const auto u : plan.dead_nodes())
+    dead_index[dc::core::dual_prefix_index_of_node(d, u)] = true;
+
+  std::vector<std::optional<u64>> out;
+  std::vector<u64> expected;
+  dc::sim::FtReport rep;
+  const auto run_with = [&](const auto& op) {
+    out = dc::core::ft_dual_prefix(m, d, op, data, plan,
+                                   /*inclusive=*/true, &rep);
+    u64 acc = op.identity();
+    expected.resize(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (!dead_index[i]) acc = op.combine(acc, data[i]);
+      expected[i] = acc;
+    }
+  };
+  if (op_name == "plus") {
+    run_with(dc::core::Plus<u64>{});
+  } else if (op_name == "min") {
+    run_with(dc::core::Min<u64>{});
+  } else if (op_name == "max") {
+    run_with(dc::core::Max<u64>{});
+  } else if (op_name == "xor") {
+    run_with(dc::core::Xor<u64>{});
+  } else {
+    std::cout << "unknown --op '" << op_name << "' (plus|min|max|xor)\n";
+    return 2;
+  }
+  bool ok = true;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (dead_index[i]) {
+      ok = ok && !out[i].has_value();
+    } else {
+      ok = ok && out[i].has_value() && *out[i] == expected[i];
+    }
+  }
+  std::cout << "fault-tolerant D_prefix(" << op_name << ") on " << d.name()
+            << ": " << (ok ? "correct on every live node" : "WRONG") << "\n";
+  print_fault_report(plan, rep, policy);
+  print_counters(m.counters());
+  return ok ? 0 : 1;
+}
+
+int run_ft_broadcast(unsigned n, NodeId root, const dc::sim::FaultPlan& plan,
+                     dc::sim::FaultPolicy policy) {
+  const dc::net::DualCube d(n);
+  dc::sim::Machine m(d);
+  m.attach_faults(std::make_shared<dc::sim::FaultPlan>(plan), policy);
+  dc::sim::FtReport rep;
+  const auto out =
+      dc::collectives::ft_dual_broadcast<u64>(m, d, root, 42, plan, &rep);
+  bool ok = true;
+  constexpr std::uint64_t kEver = ~std::uint64_t{0};
+  for (NodeId u = 0; u < d.node_count(); ++u) {
+    if (plan.node_dead(u, kEver)) {
+      ok = ok && !out[u].has_value();
+    } else {
+      ok = ok && out[u].has_value() && *out[u] == 42;
+    }
+  }
+  std::cout << "fault-tolerant broadcast from node " << root << " on "
+            << d.name() << ": "
+            << (ok ? "reached every live node" : "INCOMPLETE") << "\n";
+  print_fault_report(plan, rep, policy);
+  print_counters(m.counters());
+  return ok ? 0 : 1;
+}
+
+int run_with_faults(const std::string& algo, unsigned n,
+                    const std::string& spec, const std::string& policy_name,
+                    const std::string& op, NodeId root, u64 seed) {
+  dc::sim::FaultPolicy policy = dc::sim::FaultPolicy::kStrict;
+  if (policy_name == "degrade") {
+    policy = dc::sim::FaultPolicy::kDegrade;
+  } else if (policy_name != "strict") {
+    std::cout << "unknown --fault-policy '" << policy_name
+              << "' (strict|degrade)\n";
+    return 2;
+  }
+  if (algo != "prefix" && algo != "broadcast") {
+    std::cout << "--faults supports only --algo=prefix|broadcast (got '"
+              << algo << "')\n";
+    return 2;
+  }
+  const dc::net::DualCube d(n);
+  dc::sim::FaultPlan plan;
+  try {
+    plan = dc::sim::parse_fault_spec(spec, d, seed);
+  } catch (const dc::CheckError& e) {
+    std::cout << "bad --faults spec: " << e.what() << "\n";
+    return 2;
+  }
+  if (policy == dc::sim::FaultPolicy::kStrict &&
+      plan.node_fault_count() >= n) {
+    std::cout << "strict policy covers only fewer than n=" << n
+              << " node faults (" << d.name() << " is " << n
+              << "-connected); got " << plan.node_fault_count()
+              << ". Use --fault-policy=degrade to attempt the run anyway.\n";
+    return 2;
+  }
+  constexpr std::uint64_t kEver = ~std::uint64_t{0};
+  if (algo == "broadcast" && plan.node_dead(root, kEver)) {
+    std::cout << "fault spec kills the broadcast root " << root
+              << "; pick a live --root\n";
+    return 2;
+  }
+  try {
+    if (algo == "prefix") return run_ft_prefix(n, op, seed, plan, policy);
+    return run_ft_broadcast(n, root, plan, policy);
+  } catch (const dc::sim::FaultError& e) {
+    std::cout << "fault-tolerant run failed: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 int run_route(unsigned n, const std::string& pattern, u64 seed) {
   const dc::net::DualCube d(n);
   dc::sim::Machine m(d);
@@ -254,6 +422,8 @@ int main(int argc, char** argv) {
   const unsigned bits = static_cast<unsigned>(cli.get_int("bits", 8));
   const NodeId root = static_cast<NodeId>(cli.get_int("root", 0));
   const std::string pattern = cli.get_string("pattern", "random");
+  const std::string faults = cli.get_string("faults", "");
+  const std::string fault_policy = cli.get_string("fault-policy", "strict");
   // The flag's default follows the process-wide DC_SCHEDULE override so
   // the environment variable keeps working when --schedule is not given.
   const char* env = std::getenv("DC_SCHEDULE");
@@ -272,6 +442,9 @@ int main(int argc, char** argv) {
               << "' (compiled|interpreted)\n";
     return 2;
   }
+
+  if (!faults.empty())
+    return run_with_faults(algo, n, faults, fault_policy, op, root, seed);
 
   if (algo == "prefix") return run_prefix(n, op, seed);
   if (algo == "sort") return run_sort(n, dist, seed);

@@ -1,0 +1,186 @@
+// Payload-carrying detour transport for fault-tolerant collectives.
+//
+// The fault-tolerant collectives (collectives/ft_broadcast.hpp,
+// core/ft_dual_prefix.hpp) express their communication as *logical*
+// messages between nodes of the healthy algorithm; when faults kill the
+// single healthy link (or one endpoint's role has moved to a live proxy),
+// the logical message must travel a multi-hop fault-free detour instead.
+// This header ships those messages through the store-and-forward drain
+// (sim/store_forward.hpp) as DetourPackets, so every hop is still a
+// validated 1-port machine transfer and contention on shared detour links
+// is resolved by the usual deterministic rules.
+//
+// Detour paths come from route_dual_cube_fault_tolerant (node faults);
+// when the plan also kills links, any tier-1/2 route that crosses a dead
+// link is replaced by a BFS shortest path on the FaultyTopology view.
+// Faults are taken at their final extent (a fault scheduled for any cycle
+// counts as present), so a plan's timed faults are handled conservatively.
+//
+// Costs are reported per batch: the comm cycles the drain consumed, the
+// hops actually walked, and — separately — the hops that would not exist
+// in a healthy run (deviated hops, mirrored into
+// Counters::messages_rerouted via Machine::note_rerouted).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/faults.hpp"
+#include "sim/store_forward.hpp"
+#include "support/rng.hpp"
+#include "topology/dual_cube.hpp"
+#include "topology/fault_routing.hpp"
+
+namespace dc::sim {
+
+/// A store-and-forward packet that carries a value to a *logical*
+/// destination (the healthy algorithm's addressee, which may differ from
+/// the physical node at the back of the path when a proxy stands in).
+template <typename V>
+struct DetourPacket {
+  net::NodeId origin = 0;
+  std::vector<net::NodeId> path;  ///< front = current node (drain contract)
+  std::uint64_t injected_at = 0;
+  std::uint64_t arrived_at = 0;
+  net::NodeId logical_dst = 0;
+  V payload{};
+};
+
+/// One message of the healthy schedule, re-addressed to the physical
+/// endpoints that hold the logical endpoints' state under the fault set.
+template <typename V>
+struct LogicalMessage {
+  net::NodeId phys_src = 0;
+  net::NodeId phys_dst = 0;
+  net::NodeId logical_src = 0;
+  net::NodeId logical_dst = 0;
+  V payload{};
+  /// Repair traffic with no healthy counterpart (counted as rerouted even
+  /// when it happens to fit in one hop).
+  bool forced_detour = false;
+};
+
+/// Cost report for one detour batch / one fault-tolerant collective.
+struct FtReport {
+  std::uint64_t base_cycles = 0;     ///< cycles the healthy schedule costs
+  std::uint64_t repair_cycles = 0;   ///< extra comm cycles paid to faults
+  std::uint64_t repaired = 0;        ///< logical messages carried by detour
+  std::uint64_t rerouted_hops = 0;   ///< hops beyond the healthy single link
+  std::uint64_t bfs_fallbacks = 0;   ///< routes that needed tier-2 BFS
+};
+
+namespace detail {
+
+/// BFS shortest path src -> dst on any topology (used when dead links make
+/// the dual-cube router's path invalid). Empty iff disconnected.
+inline std::vector<net::NodeId> bfs_path(const net::Topology& t,
+                                         net::NodeId src, net::NodeId dst) {
+  if (src == dst) return {src};
+  const net::NodeId n = t.node_count();
+  std::vector<net::NodeId> parent(n, n);  // n = unvisited
+  std::deque<net::NodeId> frontier{src};
+  parent[src] = src;
+  while (!frontier.empty()) {
+    const net::NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const net::NodeId v : t.neighbors(u)) {
+      if (parent[v] != n) continue;
+      parent[v] = u;
+      if (v == dst) {
+        std::vector<net::NodeId> path{dst};
+        for (net::NodeId at = dst; at != src; at = parent[at])
+          path.push_back(parent[at]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(v);
+    }
+  }
+  return {};
+}
+
+}  // namespace detail
+
+/// Delivers a batch of logical messages over fault-free paths, writing
+/// each payload into recv[logical_dst]. Messages whose physical endpoints
+/// coincide (a proxy talking to itself) are delivered host-side for free,
+/// like the healthy algorithm's local state handoffs. Throws FaultError if
+/// some message's endpoints are disconnected in the fault-free subgraph —
+/// impossible for fewer than n node faults in D_n.
+template <typename V>
+FtReport deliver_with_detours(Machine& m, const net::DualCube& d,
+                              const FaultPlan& plan,
+                              std::vector<LogicalMessage<V>> msgs,
+                              dc::Rng& rng,
+                              std::vector<std::optional<V>>& recv) {
+  if (m.fault_plan() != nullptr) {
+    // The drain's queue bookkeeping assumes every machine-accepted send is
+    // delivered; a transient drop would strand the packet forever.
+    DC_REQUIRE(m.fault_plan()->drop_permille() == 0,
+               "fault-tolerant collectives require a drop-free fault plan");
+  }
+  const std::unordered_set<net::NodeId> dead = plan.dead_node_set();
+  const bool has_link_faults = plan.link_fault_count() > 0;
+  std::optional<FaultyTopology> view;
+  if (has_link_faults) view.emplace(d, plan);
+
+  const auto crosses_dead_link = [&](const std::vector<net::NodeId>& path) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+      if (plan.link_dead(path[i], path[i + 1], ~std::uint64_t{0})) return true;
+    return false;
+  };
+
+  FtReport rep;
+  std::vector<DetourPacket<V>> packets;
+  packets.reserve(msgs.size());
+  for (auto& msg : msgs) {
+    if (msg.phys_src == msg.phys_dst) {
+      // One physical node holds both logical endpoints: no message.
+      recv[msg.logical_dst] = std::move(msg.payload);
+      continue;
+    }
+    auto route = net::route_dual_cube_fault_tolerant(d, msg.phys_src,
+                                                     msg.phys_dst, dead, rng);
+    if (has_link_faults && !route.path.empty() &&
+        crosses_dead_link(route.path)) {
+      route.path = detail::bfs_path(*view, msg.phys_src, msg.phys_dst);
+      route.used_fallback = true;
+    }
+    if (route.path.empty())
+      throw FaultError("fault set disconnects node " +
+                       std::to_string(msg.phys_dst) + " from node " +
+                       std::to_string(msg.phys_src));
+    if (route.used_fallback) ++rep.bfs_fallbacks;
+    const std::uint64_t hops = route.path.size() - 1;
+    // A logical message "deviates" when it is not the healthy single hop
+    // between its own logical endpoints.
+    const bool deviated = msg.forced_detour ||
+                          msg.phys_src != msg.logical_src ||
+                          msg.phys_dst != msg.logical_dst || hops > 1;
+    if (deviated) {
+      rep.rerouted_hops += hops;
+      ++rep.repaired;
+    }
+    packets.push_back(DetourPacket<V>{msg.phys_src, std::move(route.path), 0,
+                                      0, msg.logical_dst,
+                                      std::move(msg.payload)});
+  }
+  if (!packets.empty()) {
+    const RoutingReport drained = drain_packet_list(
+        m, std::move(packets),
+        [&](DetourPacket<V>&& p, std::uint64_t) {
+          recv[p.logical_dst] = std::move(p.payload);
+        });
+    rep.repair_cycles = drained.cycles;
+  }
+  if (rep.rerouted_hops > 0) m.note_rerouted(rep.rerouted_hops);
+  return rep;
+}
+
+}  // namespace dc::sim

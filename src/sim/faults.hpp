@@ -1,0 +1,320 @@
+// Deterministic fault injection for the synchronous machine.
+//
+// The dual-cube is n-regular and n-connected, so any fault set of fewer
+// than n nodes leaves it connected — the property the fault-tolerant
+// collectives (collectives/ft_broadcast.hpp, core/ft_dual_prefix.hpp)
+// exploit. This header supplies the model those algorithms run against:
+//
+//   * FaultPlan — a seeded, reproducible description of what breaks and
+//     when: permanent node deaths, permanent link deaths (either may be
+//     scheduled for a chosen cycle; cycle 0 means "dead from the start"),
+//     and transient per-cycle message drops decided by a stateless hash of
+//     (seed, cycle, sender), so two runs with the same plan lose exactly
+//     the same messages.
+//   * FaultPolicy — how a Machine with an attached plan reacts when a
+//     message touches a fault: kStrict throws FaultError (the algorithm
+//     claimed to be fault-aware and was not), kDegrade silently drops the
+//     message and counts it in Counters::messages_lost.
+//   * FaultyTopology — a Topology view over any base graph with a plan's
+//     dead nodes and links filtered out. Because it is a distinct Topology
+//     object, its FlatAdjacency CSR — and therefore its fingerprint — is
+//     rebuilt from the filtered edge set, so the schedule cache can never
+//     serve a schedule compiled for the healthy graph to a faulted one
+//     (the cache key is name() + fingerprint; see sim/oblivious.hpp).
+//
+// The fault model governs communication only: a dead node can neither
+// send nor receive, a dead link carries nothing, and a transient drop
+// loses one message. Host-side state owned by algorithms (the per-node
+// arrays) is the algorithms' responsibility — the fault-tolerant
+// collectives emulate dead nodes' roles at live proxies explicitly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "topology/topology.hpp"
+
+namespace dc::sim {
+
+/// Thrown by a Machine under FaultPolicy::kStrict when a message touches a
+/// dead node or link, and by fault-tolerant collectives when a fault set
+/// disconnects the nodes they must reach.
+class FaultError : public dc::CheckError {
+ public:
+  explicit FaultError(const std::string& what) : dc::CheckError(what) {}
+};
+
+/// How an attached Machine reacts when a message touches a fault.
+enum class FaultPolicy {
+  kStrict,   ///< throw FaultError — the algorithm must route around faults
+  kDegrade,  ///< drop the message, count it in Counters::messages_lost
+};
+
+namespace detail {
+/// Canonical (min, max) key of an undirected link, by value.
+inline std::pair<net::NodeId, net::NodeId> ordered_link(net::NodeId u,
+                                                        net::NodeId v) {
+  return u < v ? std::pair{u, v} : std::pair{v, u};
+}
+}  // namespace detail
+
+/// A deterministic, reproducible fault scenario. Build one with the
+/// fluent kill_* / drop_messages calls (or random_nodes), then attach it
+/// to a Machine or wrap a topology in a FaultyTopology. Cycles are the
+/// machine's comm-cycle indices: a node killed `at_cycle` c is healthy for
+/// cycles 0..c-1 and dead from cycle c on.
+class FaultPlan {
+ public:
+  static constexpr std::uint64_t kFromStart = 0;
+
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  /// Kills node `u` permanently from comm cycle `at_cycle` on.
+  FaultPlan& kill_node(net::NodeId u, std::uint64_t at_cycle = kFromStart) {
+    const auto [it, inserted] = node_at_.emplace(u, at_cycle);
+    if (!inserted) it->second = std::min(it->second, at_cycle);
+    earliest_ = std::min(earliest_, at_cycle);
+    return *this;
+  }
+
+  /// Kills the undirected link {u, v} permanently from `at_cycle` on.
+  FaultPlan& kill_link(net::NodeId u, net::NodeId v,
+                       std::uint64_t at_cycle = kFromStart) {
+    DC_REQUIRE(u != v, "a link joins two distinct nodes");
+    const auto [it, inserted] =
+        link_at_.emplace(detail::ordered_link(u, v), at_cycle);
+    if (!inserted) it->second = std::min(it->second, at_cycle);
+    earliest_ = std::min(earliest_, at_cycle);
+    return *this;
+  }
+
+  /// Transient faults: every cycle, each planned message is independently
+  /// dropped with probability permille/1000, decided by a stateless hash
+  /// of (seed, cycle, sender) — reproducible across runs and thread
+  /// counts. Applied under both policies (a flaky link is degradation,
+  /// not an algorithmic error) and counted in messages_lost.
+  FaultPlan& drop_messages(unsigned permille) {
+    DC_REQUIRE(permille <= 1000, "drop rate is per mille");
+    drop_permille_ = permille;
+    if (permille > 0) earliest_ = 0;
+    return *this;
+  }
+
+  /// `k` distinct nodes of `t` killed from the start, drawn with the
+  /// plan's own seeded generator; nodes in `exclude` are never chosen.
+  static FaultPlan random_nodes(const net::Topology& t, std::size_t k,
+                                std::uint64_t seed,
+                                const std::vector<net::NodeId>& exclude = {}) {
+    DC_REQUIRE(k + exclude.size() <= t.node_count(),
+               "cannot kill " << k << " of " << t.node_count() << " nodes");
+    FaultPlan plan(seed);
+    dc::Rng rng(seed);
+    std::unordered_set<net::NodeId> taken(exclude.begin(), exclude.end());
+    while (plan.node_at_.size() < k) {
+      const net::NodeId u = rng.below(t.node_count());
+      if (taken.contains(u)) continue;
+      taken.insert(u);
+      plan.kill_node(u);
+    }
+    return plan;
+  }
+
+  bool empty() const {
+    return node_at_.empty() && link_at_.empty() && drop_permille_ == 0;
+  }
+  std::uint64_t seed() const { return seed_; }
+  unsigned drop_permille() const { return drop_permille_; }
+  std::size_t node_fault_count() const { return node_at_.size(); }
+  std::size_t link_fault_count() const { return link_at_.size(); }
+
+  /// True iff node `u` is dead at comm cycle `cycle`.
+  bool node_dead(net::NodeId u, std::uint64_t cycle) const {
+    const auto it = node_at_.find(u);
+    return it != node_at_.end() && it->second <= cycle;
+  }
+
+  /// True iff the undirected link {u, v} is dead at `cycle` (dead
+  /// endpoints are accounted separately by node_dead).
+  bool link_dead(net::NodeId u, net::NodeId v, std::uint64_t cycle) const {
+    if (link_at_.empty()) return false;
+    const auto it = link_at_.find(detail::ordered_link(u, v));
+    return it != link_at_.end() && it->second <= cycle;
+  }
+
+  /// True iff the transient-drop hash claims the message `sender` planned
+  /// at `cycle`. Pure function of (seed, cycle, sender).
+  bool drops_message(std::uint64_t cycle, net::NodeId sender) const {
+    if (drop_permille_ == 0) return false;
+    std::uint64_t h = seed_ ^ (cycle * 0x9e3779b97f4a7c15ull) ^
+                      (sender + 0x2545f4914f6cdd1dull);
+    return dc::splitmix64(h) % 1000 < drop_permille_;
+  }
+
+  /// True iff any fault (permanent or transient) is live at `cycle`.
+  bool any_active(std::uint64_t cycle) const { return earliest_ <= cycle; }
+
+  /// Nodes that are dead at `cycle` (default: ever dead), ascending.
+  std::vector<net::NodeId> dead_nodes(
+      std::uint64_t cycle = ~std::uint64_t{0}) const {
+    std::vector<net::NodeId> out;
+    for (const auto& [u, at] : node_at_)
+      if (at <= cycle) out.push_back(u);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Same set as dead_nodes, as a hash set (the shape the fault-tolerant
+  /// router consumes).
+  std::unordered_set<net::NodeId> dead_node_set(
+      std::uint64_t cycle = ~std::uint64_t{0}) const {
+    std::unordered_set<net::NodeId> out;
+    for (const auto& [u, at] : node_at_)
+      if (at <= cycle) out.insert(u);
+    return out;
+  }
+
+  /// Dead undirected links at `cycle` (default: ever dead), min-endpoint
+  /// first, ascending.
+  std::vector<std::pair<net::NodeId, net::NodeId>> dead_links(
+      std::uint64_t cycle = ~std::uint64_t{0}) const {
+    std::vector<std::pair<net::NodeId, net::NodeId>> out;
+    for (const auto& [uv, at] : link_at_)
+      if (at <= cycle) out.push_back(uv);
+    return out;
+  }
+
+ private:
+  std::uint64_t seed_ = 0;
+  unsigned drop_permille_ = 0;
+  std::unordered_map<net::NodeId, std::uint64_t> node_at_;
+  // Ordered map: link faults are rare and cold, and NodeId pairs (labels
+  // up to 40 bits) do not pack into a single hashable word.
+  std::map<std::pair<net::NodeId, net::NodeId>, std::uint64_t> link_at_;
+  std::uint64_t earliest_ = ~std::uint64_t{0};
+};
+
+/// A Topology view with a plan's faults (as of `at_cycle`, default: all of
+/// them) removed: dead nodes lose every incident edge, dead links
+/// disappear. node_count() and name() match the base — the graphs are
+/// deliberately distinguishable only by their edge sets, which is exactly
+/// what the FlatAdjacency fingerprint captures, so a compiled schedule
+/// recorded on the healthy base can never replay here.
+class FaultyTopology final : public net::Topology {
+ public:
+  FaultyTopology(const net::Topology& base, const FaultPlan& plan,
+                 std::uint64_t at_cycle = ~std::uint64_t{0})
+      : base_(&base), dead_(plan.dead_node_set(at_cycle)) {
+    for (const auto& uv : plan.dead_links(at_cycle)) dead_links_.insert(uv);
+    for (const net::NodeId u : dead_)
+      DC_REQUIRE(u < base.node_count(),
+                 "fault plan kills node " << u << " outside " << base.name());
+  }
+
+  std::string name() const override { return base_->name(); }
+  net::NodeId node_count() const override { return base_->node_count(); }
+
+  std::vector<net::NodeId> neighbors(net::NodeId u) const override {
+    if (dead_.contains(u)) return {};
+    std::vector<net::NodeId> out;
+    for (const net::NodeId v : base_->neighbors(u)) {
+      if (dead_.contains(v)) continue;
+      if (!dead_links_.empty() && dead_links_.contains(detail::ordered_link(u, v)))
+        continue;
+      out.push_back(v);
+    }
+    return out;
+  }
+
+  bool has_edge(net::NodeId u, net::NodeId v) const override {
+    if (dead_.contains(u) || dead_.contains(v)) return false;
+    if (!dead_links_.empty() && dead_links_.contains(detail::ordered_link(u, v)))
+      return false;
+    return base_->has_edge(u, v);
+  }
+
+  const net::Topology& base() const { return *base_; }
+  bool node_alive(net::NodeId u) const { return !dead_.contains(u); }
+  std::size_t dead_node_count() const { return dead_.size(); }
+
+ private:
+  const net::Topology* base_;
+  std::unordered_set<net::NodeId> dead_;
+  std::set<std::pair<net::NodeId, net::NodeId>> dead_links_;
+};
+
+/// Parses a dcsim-style fault spec into a plan:
+///   "nodes:a,b,c"    — kill the listed node labels from the start;
+///   "random:k"       — kill k random nodes seeded with default_seed;
+///   "random:k,seed"  — same with an explicit seed.
+/// Returns the plan, or throws CheckError naming the malformed piece.
+inline FaultPlan parse_fault_spec(std::string_view spec,
+                                  const net::Topology& t,
+                                  std::uint64_t default_seed = 1) {
+  const auto parse_u64 = [&](std::string_view s) -> std::uint64_t {
+    DC_REQUIRE(!s.empty(), "empty number in fault spec '" << spec << "'");
+    std::uint64_t v = 0;
+    for (const char c : s) {
+      DC_REQUIRE(c >= '0' && c <= '9',
+                 "bad number '" << std::string(s) << "' in fault spec");
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return v;
+  };
+  const auto split = [](std::string_view s, char sep) {
+    std::vector<std::string_view> parts;
+    while (true) {
+      const auto pos = s.find(sep);
+      parts.push_back(s.substr(0, pos));
+      if (pos == std::string_view::npos) break;
+      s.remove_prefix(pos + 1);
+    }
+    return parts;
+  };
+
+  const auto colon = spec.find(':');
+  DC_REQUIRE(colon != std::string_view::npos,
+             "fault spec must be nodes:a,b,... or random:k[,seed], got '"
+                 << spec << "'");
+  const std::string_view kind = spec.substr(0, colon);
+  const std::string_view rest = spec.substr(colon + 1);
+  if (kind == "nodes") {
+    FaultPlan plan(default_seed);
+    for (const std::string_view part : split(rest, ',')) {
+      const std::uint64_t u = parse_u64(part);
+      DC_REQUIRE(u < t.node_count(), "fault spec names node "
+                                         << u << " but " << t.name()
+                                         << " has " << t.node_count()
+                                         << " nodes");
+      plan.kill_node(u);
+    }
+    DC_REQUIRE(plan.node_fault_count() > 0, "fault spec names no nodes");
+    return plan;
+  }
+  if (kind == "random") {
+    const auto parts = split(rest, ',');
+    DC_REQUIRE(parts.size() <= 2, "random fault spec is random:k[,seed]");
+    const std::uint64_t k = parse_u64(parts[0]);
+    const std::uint64_t seed =
+        parts.size() == 2 ? parse_u64(parts[1]) : default_seed;
+    DC_REQUIRE(k <= t.node_count(), "cannot kill " << k << " of "
+                                                   << t.node_count()
+                                                   << " nodes");
+    return FaultPlan::random_nodes(t, k, seed);
+  }
+  DC_REQUIRE(false, "unknown fault spec kind '" << std::string(kind)
+                                                << "' (nodes|random)");
+  return FaultPlan{};  // unreachable: DC_REQUIRE throws
+}
+
+}  // namespace dc::sim

@@ -57,6 +57,7 @@
 
 #include "sim/arena.hpp"
 #include "sim/counters.hpp"
+#include "sim/faults.hpp"
 #include "sim/schedule.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
@@ -88,9 +89,37 @@ class Machine {
 
   /// Path the oblivious algorithms take (see sim/oblivious.hpp). Defaults
   /// to compiled replay; set DC_SCHEDULE=interpreted to flip the process
-  /// default, or call set_schedule_path per machine.
-  SchedulePath schedule_path() const { return schedule_path_; }
+  /// default, or call set_schedule_path per machine. A machine with an
+  /// attached FaultPlan always reports kInterpreted: a compiled schedule
+  /// captures the healthy pattern, and replaying it would skip the
+  /// per-message fault checks (and record runs under faults could observe
+  /// fault-dependent plans), so fault runs interpret every cycle.
+  SchedulePath schedule_path() const {
+    return faults_ ? SchedulePath::kInterpreted : schedule_path_;
+  }
   void set_schedule_path(SchedulePath p) { schedule_path_ = p; }
+
+  /// Attaches a fault scenario. Every subsequent comm_cycle checks each
+  /// planned message against the plan: under kStrict any touch of a dead
+  /// node or link throws FaultError; under kDegrade the message is dropped
+  /// and counted in Counters::messages_lost. Transient drops apply under
+  /// both policies. Attach before running an algorithm — never between the
+  /// cycles of one run. With no plan attached the comm path is untouched.
+  void attach_faults(std::shared_ptr<const FaultPlan> plan,
+                     FaultPolicy policy = FaultPolicy::kStrict) {
+    faults_ = std::move(plan);
+    fault_policy_ = policy;
+  }
+  void clear_faults() { faults_.reset(); }
+  const FaultPlan* fault_plan() const { return faults_.get(); }
+  bool has_faults() const { return faults_ != nullptr; }
+  FaultPolicy fault_policy() const { return fault_policy_; }
+
+  /// Credits `k` messages carried on fault-detour routes (multi-hop
+  /// repairs, proxy-redirected exchanges). Called by the fault-tolerant
+  /// collectives; the machine itself cannot tell a detour hop from any
+  /// other message.
+  void note_rerouted(std::uint64_t k) { counters_.messages_rerouted += k; }
 
   /// Number of comm cycles this machine executed through the compiled
   /// replay path (comm_cycle_scheduled). Zero on a machine that only ever
@@ -157,6 +186,12 @@ class Machine {
           }
         },
         grain_, pool_);
+
+    // Fault filter: only with a plan attached does any message get a
+    // fault check; the healthy path is untouched. Runs sequentially (and
+    // deterministically) between planning and delivery, so a degraded
+    // message is simply absent from the delivery pass below.
+    if (faults_) filter_faults(arena->outbox);
 
     const net::FlatAdjacency* adj = nullptr;
     if (validate_ || edge_load_.enabled()) adj = &adjacency();
@@ -254,6 +289,9 @@ class Machine {
   Inbox<P> comm_cycle_scheduled(const ScheduleCycle& cyc,
                                 PayloadFn&& payload) {
     const std::size_t n = static_cast<std::size_t>(node_count());
+    DC_REQUIRE(!faults_,
+               "compiled replay skips per-message fault checks; a machine "
+               "with an attached FaultPlan must interpret every cycle");
     DC_REQUIRE(cyc.recv_from.size() == n,
                "schedule cycle was compiled for a different node count");
     auto arena = arena_.get<P>(n);
@@ -356,6 +394,46 @@ class Machine {
     return *adj_;
   }
 
+  /// Applies the attached FaultPlan to this cycle's planned outbox, in
+  /// ascending sender order (so strict-mode errors are deterministic).
+  /// Under kStrict, the first message touching a dead node or link throws
+  /// FaultError; under kDegrade it is cleared and counted as lost.
+  /// Transient drops are cleared and counted under both policies.
+  template <typename P>
+  void filter_faults(std::vector<std::optional<Send<P>>>& outbox) {
+    const FaultPlan& f = *faults_;
+    const std::uint64_t cyc = counters_.comm_cycles;  // index of this cycle
+    if (f.any_active(cyc)) ++counters_.fault_cycles;
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    const bool strict = fault_policy_ == FaultPolicy::kStrict;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (!outbox[u]) continue;
+      const net::NodeId to = outbox[u]->to;
+      std::string error;
+      if (f.node_dead(static_cast<net::NodeId>(u), cyc)) {
+        error = "faulty node " + std::to_string(u) + " cannot send (cycle " +
+                std::to_string(cyc) + ")";
+      } else if (to < n && f.node_dead(to, cyc)) {
+        error = "node " + std::to_string(u) + " sent to faulty node " +
+                std::to_string(to) + " (cycle " + std::to_string(cyc) + ")";
+      } else if (to < n &&
+                 f.link_dead(static_cast<net::NodeId>(u), to, cyc)) {
+        error = "node " + std::to_string(u) + " sent over faulty link to " +
+                std::to_string(to) + " (cycle " + std::to_string(cyc) + ")";
+      }
+      if (!error.empty()) {
+        if (strict) throw FaultError(error);
+        outbox[u].reset();
+        ++counters_.messages_lost;
+        continue;
+      }
+      if (f.drops_message(cyc, static_cast<net::NodeId>(u))) {
+        outbox[u].reset();
+        ++counters_.messages_lost;
+      }
+    }
+  }
+
   /// Replays the sequential validation over the planned outbox and throws
   /// the first violation in sender order — byte-identical to the historical
   /// sequential delivery loop, and deterministic under concurrent
@@ -416,6 +494,8 @@ class Machine {
   mutable const net::FlatAdjacency* adj_ = nullptr;
   std::size_t grain_ = 0;
   EdgeLoadCounters edge_load_;
+  std::shared_ptr<const FaultPlan> faults_;
+  FaultPolicy fault_policy_ = FaultPolicy::kStrict;
 };
 
 }  // namespace dc::sim

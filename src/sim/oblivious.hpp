@@ -92,6 +92,16 @@ class ObliviousSection {
   /// merely forfeits caching — the run itself was already correct.
   void commit() {
     if (!recorder_) return;
+    // A plan recorded while a FaultPlan was attached may have observed
+    // fault-dependent state (lost deliveries feed back into dest_of), so
+    // it must never be published under the healthy topology's key. The
+    // section can only get here if faults were attached mid-run —
+    // schedule_path() already reports kInterpreted when a machine carries
+    // faults at construction time.
+    if (m_.has_faults()) {
+      recorder_.reset();
+      return;
+    }
     replay_ = ScheduleCache::instance().store(
         key_, std::move(*recorder_).finalize(m_.topology().flat_adjacency()));
     recorder_.reset();

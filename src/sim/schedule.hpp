@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -73,7 +74,14 @@ struct ScheduleCycle {
 class Schedule {
  public:
   explicit Schedule(std::vector<ScheduleCycle> cycles)
-      : cycles_(std::move(cycles)) {}
+      : cycles_(std::move(cycles)) {
+    byte_size_ = sizeof(Schedule);
+    for (const ScheduleCycle& c : cycles_) {
+      byte_size_ += sizeof(ScheduleCycle);
+      byte_size_ += c.recv_from.capacity() * sizeof(net::NodeId);
+      byte_size_ += c.recv_slot.capacity() * sizeof(std::uint32_t);
+    }
+  }
 
   std::size_t cycle_count() const { return cycles_.size(); }
   const ScheduleCycle& cycle(std::size_t i) const {
@@ -81,8 +89,13 @@ class Schedule {
     return cycles_[i];
   }
 
+  /// Resident bytes of this schedule (arrays + bookkeeping), computed once
+  /// at construction — the unit ScheduleCache budgets in.
+  std::size_t byte_size() const { return byte_size_; }
+
  private:
   std::vector<ScheduleCycle> cycles_;
+  std::size_t byte_size_ = 0;
 };
 
 /// Cache key. `topology` must identify the graph, not just the family —
@@ -113,20 +126,49 @@ struct ScheduleKeyHash {
   }
 };
 
-/// Process-wide schedule registry. Lookups happen once per algorithm run
-/// (not per cycle), so a mutex is plenty; entries are shared_ptr-to-const,
-/// so concurrent replays never copy or mutate a schedule.
+/// Process-wide schedule registry with a memory budget. Lookups happen
+/// once per algorithm run (not per cycle), so a mutex is plenty; entries
+/// are shared_ptr-to-const, so concurrent replays never copy or mutate a
+/// schedule — eviction only drops the cache's reference, replays in
+/// flight keep theirs alive.
+///
+/// Budgeting: every entry is accounted at Schedule::byte_size(); when a
+/// store pushes the total past the capacity, least-recently-used entries
+/// are evicted until the total fits. The entry being stored is never
+/// evicted on its own insert, even if it alone exceeds the capacity —
+/// dropping it immediately would force an infinite record/re-record loop.
 class ScheduleCache {
  public:
+  /// Default capacity: 512 MiB — far above the whole test/bench suite's
+  /// working set, so eviction only triggers when explicitly configured.
+  static constexpr std::size_t kDefaultCapacityBytes =
+      std::size_t{512} * 1024 * 1024;
+
+  /// Point-in-time cache statistics.
+  struct Stats {
+    std::size_t entries = 0;         ///< schedules currently cached
+    std::size_t bytes = 0;           ///< their accounted resident bytes
+    std::size_t capacity_bytes = 0;  ///< the eviction threshold
+    std::uint64_t hits = 0;          ///< find() calls that returned a schedule
+    std::uint64_t misses = 0;        ///< find() calls that returned nullptr
+    std::uint64_t evictions = 0;     ///< entries dropped by the budget
+  };
+
   static ScheduleCache& instance() {
     static ScheduleCache cache;
     return cache;
   }
 
-  std::shared_ptr<const Schedule> find(const ScheduleKey& key) const {
+  std::shared_ptr<const Schedule> find(const ScheduleKey& key) {
     std::scoped_lock lock(mutex_);
     const auto it = map_.find(key);
-    return it == map_.end() ? nullptr : it->second;
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // mark most recent
+    return it->second.schedule;
   }
 
   /// Publishes a schedule; if two recorders race on one key the first
@@ -135,7 +177,19 @@ class ScheduleCache {
   std::shared_ptr<const Schedule> store(const ScheduleKey& key,
                                         std::shared_ptr<const Schedule> s) {
     std::scoped_lock lock(mutex_);
-    return map_.emplace(key, std::move(s)).first->second;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.schedule;
+    }
+    const std::size_t entry_bytes = s->byte_size();
+    lru_.push_front(key);
+    auto cached = map_.emplace(key, Entry{std::move(s), lru_.begin(),
+                                          entry_bytes})
+                      .first->second.schedule;
+    bytes_ += entry_bytes;
+    evict_over_capacity();
+    return cached;
   }
 
   std::size_t size() const {
@@ -143,17 +197,54 @@ class ScheduleCache {
     return map_.size();
   }
 
-  /// Drops every cached schedule (tests use this to force re-recording).
+  Stats stats() const {
+    std::scoped_lock lock(mutex_);
+    return Stats{map_.size(), bytes_,   capacity_,
+                 hits_,       misses_,  evictions_};
+  }
+
+  /// Sets the process-wide budget and evicts immediately if over it.
+  void set_capacity_bytes(std::size_t capacity) {
+    std::scoped_lock lock(mutex_);
+    capacity_ = capacity;
+    evict_over_capacity();
+  }
+
+  /// Drops every cached schedule and resets the statistics (tests use this
+  /// to force re-recording). The capacity is left as configured.
   void clear() {
     std::scoped_lock lock(mutex_);
     map_.clear();
+    lru_.clear();
+    bytes_ = 0;
+    hits_ = misses_ = evictions_ = 0;
   }
 
  private:
+  struct Entry {
+    std::shared_ptr<const Schedule> schedule;
+    std::list<ScheduleKey>::iterator lru_it;
+    std::size_t bytes = 0;
+  };
+
+  void evict_over_capacity() {
+    while (bytes_ > capacity_ && lru_.size() > 1) {
+      const auto victim = map_.find(lru_.back());
+      bytes_ -= victim->second.bytes;
+      map_.erase(victim);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
   mutable std::mutex mutex_;
-  std::unordered_map<ScheduleKey, std::shared_ptr<const Schedule>,
-                     ScheduleKeyHash>
-      map_;
+  std::unordered_map<ScheduleKey, Entry, ScheduleKeyHash> map_;
+  std::list<ScheduleKey> lru_;  ///< front = most recently used
+  std::size_t bytes_ = 0;
+  std::size_t capacity_ = kDefaultCapacityBytes;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 /// Accumulates one destination array per recorded cycle; finalize inverts

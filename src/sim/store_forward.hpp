@@ -40,12 +40,19 @@ struct RoutingReport {
   std::uint64_t packets = 0;
 };
 
-/// Drains an arbitrary packet list to their destinations. Each packet's
-/// path must be a walk (validated by the machine hop by hop); packets that
-/// start at their destination are delivered at cycle 0.
-inline RoutingReport route_packet_list(Machine& m, std::vector<Packet> packets) {
+/// Drains an arbitrary packet list to their destinations. Generic over the
+/// packet type so fault-tolerant collectives can ship payload-carrying
+/// packets through the same validated store-and-forward machinery; PacketT
+/// must expose Packet's `path` / `arrived_at` members. Each packet's path
+/// must be a walk (validated by the machine hop by hop); packets that
+/// start at their destination are delivered at cycle 0. `on_arrive(p,
+/// cycle)` is invoked once per packet, when it reaches the back of its
+/// path.
+template <typename PacketT, typename OnArrive>
+RoutingReport drain_packet_list(Machine& m, std::vector<PacketT> packets,
+                                OnArrive&& on_arrive) {
   const std::size_t n = m.node_count();
-  std::vector<std::deque<Packet>> queue(n);
+  std::vector<std::deque<PacketT>> queue(n);
   RoutingReport report;
   std::uint64_t in_flight = 0;
   double latency_sum = 0.0;
@@ -53,7 +60,10 @@ inline RoutingReport route_packet_list(Machine& m, std::vector<Packet> packets) 
   for (auto& p : packets) {
     DC_REQUIRE(!p.path.empty() && p.path.front() < n, "bad packet path");
     ++report.packets;
-    if (p.path.size() <= 1) continue;  // already home
+    if (p.path.size() <= 1) {  // already home
+      on_arrive(std::move(p), 0);
+      continue;
+    }
     report.total_hops += p.path.size() - 1;
     const net::NodeId at = p.path.front();
     queue[at].push_back(std::move(p));
@@ -82,12 +92,12 @@ inline RoutingReport route_packet_list(Machine& m, std::vector<Packet> packets) 
         break;
       }
     }
-    auto inbox = m.comm_cycle<Packet>(
-        [&](net::NodeId u) -> std::optional<Send<Packet>> {
+    auto inbox = m.comm_cycle<PacketT>(
+        [&](net::NodeId u) -> std::optional<Send<PacketT>> {
           if (!sending[u]) return std::nullopt;
-          Packet p = queue[u][*sending[u]];
+          PacketT p = queue[u][*sending[u]];
           p.path.erase(p.path.begin());
-          return Send<Packet>{p.path.front(), std::move(p)};
+          return Send<PacketT>{p.path.front(), std::move(p)};
         });
     for (net::NodeId u = 0; u < n; ++u) {
       if (sending[u]) {
@@ -97,11 +107,12 @@ inline RoutingReport route_packet_list(Machine& m, std::vector<Packet> packets) 
     }
     for (net::NodeId u = 0; u < n; ++u) {
       if (!inbox[u]) continue;
-      Packet p = std::move(*inbox[u]);
+      PacketT p = std::move(*inbox[u]);
       if (p.path.size() <= 1) {
         p.arrived_at = cycle;
         latency_sum += static_cast<double>(cycle);
         --in_flight;
+        on_arrive(std::move(p), cycle);
       } else {
         queue[u].push_back(std::move(p));
       }
@@ -111,6 +122,12 @@ inline RoutingReport route_packet_list(Machine& m, std::vector<Packet> packets) 
   report.avg_latency =
       report.packets == 0 ? 0.0 : latency_sum / static_cast<double>(report.packets);
   return report;
+}
+
+/// The historical plain-Packet entry point (metric collection only).
+inline RoutingReport route_packet_list(Machine& m, std::vector<Packet> packets) {
+  return drain_packet_list(m, std::move(packets),
+                           [](Packet&&, std::uint64_t) {});
 }
 
 /// Routes one packet per (src, dst) pair along `path_of(src, dst)` — the

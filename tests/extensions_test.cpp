@@ -253,6 +253,69 @@ TEST(FaultRouting, RejectsFaultyEndpoints) {
                CheckError);
 }
 
+TEST(FaultRouting, NeighborhoodCutIsCertifiedByTier2OnD3AndD4) {
+  // Removing a node's full neighbor set (n faults) isolates it; only the
+  // tier-2 BFS can prove that, so the result must report used_fallback and
+  // an empty path — in both directions.
+  for (unsigned n : {3u, 4u}) {
+    const net::DualCube d(n);
+    Rng rng(n);
+    const NodeId victim = 5;
+    std::unordered_set<NodeId> cut;
+    for (const NodeId v : d.neighbors(victim)) cut.insert(v);
+    ASSERT_EQ(cut.size(), n);
+    const NodeId far = static_cast<NodeId>(d.node_count() - 1);
+    const auto out = net::route_dual_cube_fault_tolerant(d, victim, far, cut, rng);
+    EXPECT_TRUE(out.path.empty()) << "n=" << n;
+    EXPECT_TRUE(out.used_fallback) << "disconnection is a tier-2 verdict";
+    const auto in = net::route_dual_cube_fault_tolerant(d, far, victim, cut, rng);
+    EXPECT_TRUE(in.path.empty()) << "n=" << n;
+    EXPECT_TRUE(in.used_fallback);
+  }
+}
+
+TEST(FaultRouting, RetriesAndFallbackAreReportedConsistently) {
+  // Across a seeded sweep with n-1 faults, the report must be internally
+  // consistent: retries == 0 means the plain cluster route sufficed;
+  // tier-1b successes consumed 1..max_retries attempts; used_fallback
+  // implies every tier-1 attempt was spent first. Any returned path must
+  // be a fault-free walk between the endpoints.
+  constexpr unsigned kMaxRetries = 16;
+  for (unsigned n : {3u, 4u}) {
+    const net::DualCube d(n);
+    Rng rng(17 * n);
+    std::size_t direct = 0, retried = 0, fallback = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+      std::unordered_set<NodeId> faulty;
+      while (faulty.size() < n - 1) faulty.insert(rng.below(d.node_count()));
+      NodeId u = rng.below(d.node_count());
+      NodeId v = rng.below(d.node_count());
+      while (faulty.contains(u)) u = rng.below(d.node_count());
+      while (faulty.contains(v) || v == u) v = rng.below(d.node_count());
+      const auto r = net::route_dual_cube_fault_tolerant(d, u, v, faulty, rng,
+                                                         kMaxRetries);
+      ASSERT_FALSE(r.path.empty()) << "n-1 faults cannot disconnect D_n";
+      EXPECT_TRUE(net::is_valid_path(d, r.path));
+      EXPECT_EQ(r.path.front(), u);
+      EXPECT_EQ(r.path.back(), v);
+      for (const NodeId w : r.path) EXPECT_FALSE(faulty.contains(w));
+      EXPECT_LE(r.retries, kMaxRetries);
+      if (r.used_fallback) {
+        EXPECT_EQ(r.retries, kMaxRetries)
+            << "fallback only after every tier-1 attempt";
+        ++fallback;
+      } else if (r.retries > 0) {
+        ++retried;
+      } else {
+        ++direct;
+      }
+    }
+    EXPECT_GT(direct, 0u) << "most fault sets miss the cluster route";
+    EXPECT_GT(direct + retried, fallback)
+        << "the cheap tier should dominate at n-1 faults";
+  }
+}
+
 TEST(FaultRouting, VertexConnectivityIsNForSmallOrders) {
   // Exhaustive for n=2 (remove any 1 node) and n=3 (remove any 2):
   // the graph stays connected, certifying connectivity >= n; and removing

@@ -1,0 +1,582 @@
+// Fault injection and fault-tolerant collectives.
+//
+// The load-bearing guarantees tested here:
+//   * FaultPlan is deterministic: same plan, same losses, every run;
+//   * a Machine with an attached plan enforces it exactly — kStrict
+//     throws FaultError with a message naming the first offender in
+//     sender order, kDegrade drops and counts;
+//   * a machine with NO plan attached is bit-identical to the historical
+//     healthy machine (counters equal, fault fields zero);
+//   * ft_dual_broadcast and ft_dual_prefix are correct for EVERY node
+//     fault set of size < n on D_2 and D_3 (exhaustive), and on seeded
+//     random sweeps on D_4 — under both policies (the paper's
+//     n-connectivity bound, Section 2, made executable);
+//   * with an empty plan the fault-tolerant collectives cost exactly the
+//     healthy schedules: 2n comm cycles, zero rerouted messages.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collectives/ft_broadcast.hpp"
+#include "core/dual_prefix.hpp"
+#include "core/ft_dual_prefix.hpp"
+#include "core/ops.hpp"
+#include "sim/fault_transport.hpp"
+#include "sim/faults.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+#include "topology/dual_cube.hpp"
+#include "topology/graph.hpp"
+
+namespace {
+
+using dc::CheckError;
+using dc::Rng;
+using dc::core::Concat;
+using dc::core::Plus;
+using dc::net::DualCube;
+using dc::net::NodeId;
+using dc::sim::FaultError;
+using dc::sim::FaultPlan;
+using dc::sim::FaultPolicy;
+using dc::sim::FaultyTopology;
+using dc::sim::Machine;
+
+// ------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, KillsAreTimedAndIdempotent) {
+  FaultPlan plan;
+  plan.kill_node(3, 5).kill_node(3, 2).kill_link(0, 1, 4);
+  EXPECT_FALSE(plan.node_dead(3, 1));
+  EXPECT_TRUE(plan.node_dead(3, 2));  // earliest kill wins
+  EXPECT_TRUE(plan.node_dead(3, 100));
+  EXPECT_FALSE(plan.node_dead(4, 100));
+  EXPECT_FALSE(plan.link_dead(1, 0, 3));
+  EXPECT_TRUE(plan.link_dead(1, 0, 4));  // orientation-free
+  EXPECT_EQ(plan.dead_nodes(), std::vector<NodeId>{3});
+  EXPECT_EQ(plan.node_fault_count(), 1u);
+  EXPECT_EQ(plan.link_fault_count(), 1u);
+  EXPECT_FALSE(plan.any_active(1));
+  EXPECT_TRUE(plan.any_active(2));
+}
+
+TEST(FaultPlan, TransientDropsAreAPureFunctionOfSeedCycleSender) {
+  const FaultPlan a = FaultPlan(42).drop_messages(250);
+  const FaultPlan b = FaultPlan(42).drop_messages(250);
+  const FaultPlan c = FaultPlan(43).drop_messages(250);
+  std::size_t drops = 0, differs = 0;
+  for (std::uint64_t cycle = 0; cycle < 64; ++cycle) {
+    for (NodeId u = 0; u < 64; ++u) {
+      EXPECT_EQ(a.drops_message(cycle, u), b.drops_message(cycle, u));
+      drops += a.drops_message(cycle, u);
+      differs += a.drops_message(cycle, u) != c.drops_message(cycle, u);
+    }
+  }
+  // ~25% of 4096 decisions; loose bounds, deterministic given the seed.
+  EXPECT_GT(drops, 4096 / 8);
+  EXPECT_LT(drops, 4096 / 2);
+  EXPECT_GT(differs, 0u) << "different seeds must lose different messages";
+  EXPECT_THROW(FaultPlan().drop_messages(1001), CheckError);
+}
+
+TEST(FaultPlan, RandomNodesIsSeededAndRespectsExclusions) {
+  const DualCube d(3);
+  const FaultPlan a = FaultPlan::random_nodes(d, 5, 7, {0, 1});
+  const FaultPlan b = FaultPlan::random_nodes(d, 5, 7, {0, 1});
+  EXPECT_EQ(a.dead_nodes(), b.dead_nodes());
+  EXPECT_EQ(a.node_fault_count(), 5u);
+  EXPECT_FALSE(a.node_dead(0, ~std::uint64_t{0}));
+  EXPECT_FALSE(a.node_dead(1, ~std::uint64_t{0}));
+  const FaultPlan c = FaultPlan::random_nodes(d, 5, 8, {0, 1});
+  EXPECT_NE(a.dead_nodes(), c.dead_nodes());
+}
+
+// -------------------------------------------------------- FaultyTopology
+
+TEST(FaultyTopologyTest, FiltersDeadNodesAndLinksButKeepsNameAndCount) {
+  const DualCube d(2);
+  FaultPlan plan;
+  plan.kill_node(3).kill_link(0, 1);
+  const FaultyTopology f(d, plan);
+  EXPECT_EQ(f.name(), d.name());
+  EXPECT_EQ(f.node_count(), d.node_count());
+  EXPECT_TRUE(f.neighbors(3).empty());
+  EXPECT_FALSE(f.has_edge(0, 1));
+  EXPECT_TRUE(d.has_edge(0, 1));
+  for (const NodeId v : f.neighbors(0)) EXPECT_NE(v, 3);
+  EXPECT_FALSE(f.node_alive(3));
+  EXPECT_TRUE(f.node_alive(0));
+  EXPECT_EQ(f.dead_node_count(), 1u);
+}
+
+TEST(FaultyTopologyTest, FingerprintDiffersFromHealthyBase) {
+  const DualCube d(3);
+  FaultPlan plan;
+  plan.kill_node(5);
+  const FaultyTopology f(d, plan);
+  EXPECT_NE(f.flat_adjacency().fingerprint(), d.flat_adjacency().fingerprint())
+      << "the adjacency fingerprint is what keeps cached schedules away "
+         "from faulted graphs";
+  // Different fault sets → different fingerprints too.
+  FaultPlan other;
+  other.kill_node(6);
+  const FaultyTopology g(d, other);
+  EXPECT_NE(f.flat_adjacency().fingerprint(),
+            g.flat_adjacency().fingerprint());
+}
+
+TEST(FaultyTopologyTest, RejectsOutOfRangeFaults) {
+  const DualCube d(2);
+  FaultPlan plan;
+  plan.kill_node(99);
+  EXPECT_THROW(FaultyTopology(d, plan), CheckError);
+}
+
+// ----------------------------------------------------- Machine with plan
+
+TEST(MachineFaults, StrictPolicyThrowsExactMessages) {
+  const DualCube d(2);  // nodes 0..7; 0-1 is a cluster link, 0-4 the cross
+  const auto run_one = [&](const FaultPlan& plan, NodeId from, NodeId to) {
+    Machine m(d);
+    m.attach_faults(std::make_shared<FaultPlan>(plan), FaultPolicy::kStrict);
+    m.comm_cycle<int>([&](NodeId u) -> std::optional<dc::sim::Send<int>> {
+      if (u != from) return std::nullopt;
+      return dc::sim::Send<int>{to, 1};
+    });
+  };
+  FaultPlan dead_sender;
+  dead_sender.kill_node(0);
+  try {
+    run_one(dead_sender, 0, 1);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_STREQ(e.what(), "faulty node 0 cannot send (cycle 0)");
+  }
+  FaultPlan dead_receiver;
+  dead_receiver.kill_node(1);
+  try {
+    run_one(dead_receiver, 0, 1);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_STREQ(e.what(), "node 0 sent to faulty node 1 (cycle 0)");
+  }
+  FaultPlan dead_link;
+  dead_link.kill_link(0, 1);
+  try {
+    run_one(dead_link, 0, 1);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_STREQ(e.what(), "node 0 sent over faulty link to 1 (cycle 0)");
+  }
+}
+
+TEST(MachineFaults, DegradePolicyDropsAndCounts) {
+  const DualCube d(2);
+  Machine m(d);
+  FaultPlan plan;
+  plan.kill_node(1);
+  m.attach_faults(std::make_shared<FaultPlan>(plan), FaultPolicy::kDegrade);
+  // 0 -> 1 dies; 4 -> 0 (the cross-edge) survives.
+  auto inbox = m.comm_cycle<int>([&](NodeId u) -> std::optional<dc::sim::Send<int>> {
+    if (u == 0) return dc::sim::Send<int>{1, 10};
+    if (u == 4) return dc::sim::Send<int>{0, 20};
+    return std::nullopt;
+  });
+  EXPECT_FALSE(inbox[1].has_value());
+  ASSERT_TRUE(inbox[0].has_value());
+  EXPECT_EQ(*inbox[0], 20);
+  const auto c = m.counters();
+  EXPECT_EQ(c.messages_lost, 1u);
+  EXPECT_EQ(c.messages, 1u);
+  EXPECT_EQ(c.fault_cycles, 1u);
+}
+
+TEST(MachineFaults, TimedFaultSparesEarlierCycles) {
+  const DualCube d(2);
+  Machine m(d);
+  FaultPlan plan;
+  plan.kill_node(1, /*at_cycle=*/2);
+  m.attach_faults(std::make_shared<FaultPlan>(plan), FaultPolicy::kDegrade);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    auto inbox =
+        m.comm_cycle<int>([&](NodeId u) -> std::optional<dc::sim::Send<int>> {
+          if (u != 0) return std::nullopt;
+          return dc::sim::Send<int>{1, cycle};
+        });
+    EXPECT_EQ(inbox[1].has_value(), cycle < 2) << "cycle " << cycle;
+  }
+  const auto c = m.counters();
+  EXPECT_EQ(c.messages_lost, 2u);
+  EXPECT_EQ(c.fault_cycles, 2u);
+}
+
+TEST(MachineFaults, TransientDropsMatchThePlanExactly) {
+  const DualCube d(2);
+  Machine m(d);
+  const auto plan = std::make_shared<FaultPlan>(FaultPlan(9).drop_messages(400));
+  m.attach_faults(plan, FaultPolicy::kStrict);  // drops apply under strict too
+  std::uint64_t lost = 0;
+  for (std::uint64_t cycle = 0; cycle < 32; ++cycle) {
+    auto inbox =
+        m.comm_cycle<int>([&](NodeId u) -> std::optional<dc::sim::Send<int>> {
+          if (u != 0) return std::nullopt;
+          return dc::sim::Send<int>{1, 1};
+        });
+    const bool dropped = plan->drops_message(cycle, 0);
+    EXPECT_EQ(inbox[1].has_value(), !dropped) << "cycle " << cycle;
+    lost += dropped;
+  }
+  EXPECT_GT(lost, 0u) << "seed 9 at 40% must drop something in 32 cycles";
+  EXPECT_EQ(m.counters().messages_lost, lost);
+}
+
+TEST(MachineFaults, NoPlanMeansHealthyCountersAndCompiledPath) {
+  const DualCube d(2);
+  Machine healthy(d);
+  Machine carrier(d);
+  carrier.attach_faults(std::make_shared<FaultPlan>(), FaultPolicy::kDegrade);
+  carrier.clear_faults();
+  for (Machine* m : {&healthy, &carrier}) {
+    m->comm_cycle<int>([&](NodeId u) -> std::optional<dc::sim::Send<int>> {
+      return dc::sim::Send<int>{d.cross_neighbor(u), int(u)};
+    });
+  }
+  EXPECT_EQ(healthy.counters(), carrier.counters());
+  EXPECT_EQ(healthy.counters().messages_lost, 0u);
+  EXPECT_EQ(healthy.counters().fault_cycles, 0u);
+  EXPECT_EQ(healthy.schedule_path(), carrier.schedule_path());
+}
+
+TEST(MachineFaults, AttachedPlanForcesInterpretedPathAndRefusesReplay) {
+  const DualCube d(2);
+  Machine m(d);
+  m.set_schedule_path(dc::sim::SchedulePath::kCompiled);
+  m.attach_faults(std::make_shared<FaultPlan>(FaultPlan().kill_node(7)));
+  EXPECT_EQ(m.schedule_path(), dc::sim::SchedulePath::kInterpreted);
+  dc::sim::ScheduleCycle cyc;
+  cyc.recv_from.assign(d.node_count(), dc::sim::kNoSender);
+  cyc.recv_slot.assign(d.node_count(), dc::sim::kNoEdgeSlot);
+  EXPECT_THROW(m.comm_cycle_scheduled<int>(cyc, [](NodeId) { return 0; }),
+               CheckError);
+  m.clear_faults();
+  EXPECT_EQ(m.schedule_path(), dc::sim::SchedulePath::kCompiled);
+}
+
+// ------------------------------------------------------ fault spec parse
+
+TEST(FaultSpec, ParsesNodesAndRandomForms) {
+  const DualCube d(3);
+  const FaultPlan nodes = dc::sim::parse_fault_spec("nodes:1,5,9", d);
+  EXPECT_EQ(nodes.dead_nodes(), (std::vector<NodeId>{1, 5, 9}));
+  const FaultPlan r1 = dc::sim::parse_fault_spec("random:4,77", d);
+  const FaultPlan r2 = dc::sim::parse_fault_spec("random:4,77", d);
+  EXPECT_EQ(r1.dead_nodes(), r2.dead_nodes());
+  EXPECT_EQ(r1.node_fault_count(), 4u);
+  const FaultPlan r3 = dc::sim::parse_fault_spec("random:4", d, /*seed=*/3);
+  EXPECT_EQ(r3.node_fault_count(), 4u);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  const DualCube d(2);
+  for (const char* bad : {"", "nodes", "nodes:", "nodes:x", "nodes:99",
+                          "random:1,2,3", "random:9", "bogus:1"}) {
+    EXPECT_THROW(dc::sim::parse_fault_spec(bad, d), CheckError) << bad;
+  }
+}
+
+// --------------------------------------------- fault-tolerant broadcast
+
+void expect_broadcast_correct(const DualCube& d, NodeId root,
+                              const FaultPlan& plan, FaultPolicy policy,
+                              bool attach) {
+  Machine m(d);
+  const auto shared = std::make_shared<FaultPlan>(plan);
+  if (attach) m.attach_faults(shared, policy);
+  dc::sim::FtReport rep;
+  const auto got =
+      dc::collectives::ft_dual_broadcast<int>(m, d, root, 42, plan, &rep);
+  for (NodeId u = 0; u < d.node_count(); ++u) {
+    if (plan.node_dead(u, ~std::uint64_t{0})) {
+      EXPECT_FALSE(got[u].has_value());
+    } else {
+      ASSERT_TRUE(got[u].has_value()) << "live node " << u << " missed";
+      EXPECT_EQ(*got[u], 42);
+    }
+  }
+  EXPECT_EQ(rep.base_cycles, 2u * d.order());
+  if (plan.empty()) {
+    EXPECT_EQ(rep.repaired, 0u);
+    EXPECT_EQ(m.counters().messages_rerouted, 0u);
+  }
+}
+
+TEST(FtBroadcast, ExhaustiveEveryFaultSetBelowNOnD2AndD3) {
+  // n-connectivity made executable: EVERY node fault set of size < n, both
+  // policies. D_2: sizes 0..1 from every root. D_3: sizes 0..2, root 0.
+  {
+    const DualCube d(2);
+    for (NodeId root = 0; root < d.node_count(); ++root) {
+      expect_broadcast_correct(d, root, FaultPlan{}, FaultPolicy::kStrict,
+                               true);
+      for (NodeId a = 0; a < d.node_count(); ++a) {
+        if (a == root) continue;
+        FaultPlan plan;
+        plan.kill_node(a);
+        expect_broadcast_correct(d, root, plan, FaultPolicy::kStrict, true);
+        expect_broadcast_correct(d, root, plan, FaultPolicy::kDegrade, true);
+      }
+    }
+  }
+  {
+    const DualCube d(3);
+    const NodeId root = 0;
+    expect_broadcast_correct(d, root, FaultPlan{}, FaultPolicy::kStrict, true);
+    for (NodeId a = 1; a < d.node_count(); ++a) {
+      FaultPlan one;
+      one.kill_node(a);
+      expect_broadcast_correct(d, root, one, FaultPolicy::kStrict, true);
+      for (NodeId b = a + 1; b < d.node_count(); ++b) {
+        FaultPlan two;
+        two.kill_node(a).kill_node(b);
+        expect_broadcast_correct(d, root, two, FaultPolicy::kStrict, true);
+        expect_broadcast_correct(d, root, two, FaultPolicy::kDegrade, true);
+      }
+    }
+  }
+}
+
+TEST(FtBroadcast, SeededSweepOnD4) {
+  const DualCube d(4);
+  Rng rng(2024);
+  for (dc::u64 trial = 0; trial < 12; ++trial) {
+    const NodeId root = rng.below(d.node_count());
+    const std::size_t k = 1 + rng.below(d.order() - 1);  // 1..n-1 faults
+    const FaultPlan plan =
+        FaultPlan::random_nodes(d, k, 1000 + trial, {root});
+    const FaultPolicy policy =
+        trial % 2 ? FaultPolicy::kDegrade : FaultPolicy::kStrict;
+    expect_broadcast_correct(d, root, plan, policy, /*attach=*/true);
+    expect_broadcast_correct(d, root, plan, policy, /*attach=*/false);
+  }
+}
+
+TEST(FtBroadcast, FaultyRootAndDisconnectionAreReported) {
+  const DualCube d(2);
+  Machine m(d);
+  FaultPlan root_dead;
+  root_dead.kill_node(0);
+  EXPECT_THROW(
+      dc::collectives::ft_dual_broadcast<int>(m, d, 0, 1, root_dead),
+      FaultError);
+  // n faults CAN disconnect: node 7's full neighborhood.
+  FaultPlan cut;
+  for (const NodeId v : d.neighbors(7)) cut.kill_node(v);
+  Machine m2(d);
+  EXPECT_THROW(dc::collectives::ft_dual_broadcast<int>(m2, d, 0, 1, cut),
+               FaultError);
+}
+
+TEST(FtBroadcast, HealthyRunCostsTheOptimalSchedule) {
+  const DualCube d(3);
+  Machine m(d);
+  dc::sim::FtReport rep;
+  dc::collectives::ft_dual_broadcast<int>(m, d, 5, 7, FaultPlan{}, &rep);
+  EXPECT_EQ(m.counters().comm_cycles, 2u * d.order());
+  EXPECT_EQ(m.counters().messages_rerouted, 0u);
+  EXPECT_EQ(rep.repair_cycles, 0u);
+}
+
+TEST(FtBroadcast, RepairTrafficIsCountedAsRerouted) {
+  const DualCube d(3);
+  Machine m(d);
+  // Kill a cross-partner of the root's cluster: its foreign cluster is
+  // then reachable only by repair.
+  const NodeId root = 0;
+  FaultPlan plan;
+  plan.kill_node(d.cross_neighbor(1));
+  m.attach_faults(std::make_shared<FaultPlan>(plan), FaultPolicy::kStrict);
+  dc::sim::FtReport rep;
+  const auto got =
+      dc::collectives::ft_dual_broadcast<int>(m, d, root, 3, plan, &rep);
+  EXPECT_GT(rep.repaired, 0u);
+  EXPECT_GT(rep.repair_cycles, 0u);
+  EXPECT_EQ(m.counters().messages_rerouted, rep.rerouted_hops);
+  for (NodeId u = 0; u < d.node_count(); ++u) {
+    if (u != d.cross_neighbor(1)) {
+      EXPECT_TRUE(got[u].has_value());
+    }
+  }
+}
+
+// ------------------------------------------------ fault-tolerant prefix
+
+template <typename M>
+std::vector<typename M::value_type> masked_scan(
+    const M& op, const std::vector<typename M::value_type>& data,
+    const std::vector<bool>& index_dead, bool inclusive) {
+  std::vector<typename M::value_type> out(data.size(), op.identity());
+  auto acc = op.identity();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto v = index_dead[i] ? op.identity() : data[i];
+    if (inclusive) {
+      acc = op.combine(acc, v);
+      out[i] = acc;
+    } else {
+      out[i] = acc;
+      acc = op.combine(acc, v);
+    }
+  }
+  return out;
+}
+
+template <typename M>
+void expect_prefix_correct(const DualCube& d, const M& op,
+                           const std::vector<typename M::value_type>& data,
+                           const FaultPlan& plan, FaultPolicy policy,
+                           bool attach, bool inclusive = true) {
+  Machine m(d);
+  if (attach) m.attach_faults(std::make_shared<FaultPlan>(plan), policy);
+  dc::sim::FtReport rep;
+  const auto got = dc::core::ft_dual_prefix(m, d, op, data, plan, inclusive,
+                                            &rep);
+  std::vector<bool> index_dead(d.node_count(), false);
+  for (const NodeId u : plan.dead_nodes())
+    index_dead[dc::core::dual_prefix_index_of_node(d, u)] = true;
+  const auto expected = masked_scan(op, data, index_dead, inclusive);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (index_dead[i]) {
+      EXPECT_FALSE(got[i].has_value());
+    } else {
+      ASSERT_TRUE(got[i].has_value()) << "index " << i;
+      EXPECT_EQ(*got[i], expected[i]) << "index " << i;
+    }
+  }
+  EXPECT_EQ(rep.base_cycles, 2u * d.order());
+}
+
+std::vector<dc::u64> iota_data(std::size_t n) {
+  std::vector<dc::u64> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = i + 1;
+  return data;
+}
+
+TEST(FtPrefix, ExhaustiveEveryFaultSetBelowNOnD2AndD3) {
+  const Plus<dc::u64> op;
+  {
+    const DualCube d(2);
+    const auto data = iota_data(d.node_count());
+    expect_prefix_correct(d, op, data, FaultPlan{}, FaultPolicy::kStrict,
+                          true);
+    for (NodeId a = 0; a < d.node_count(); ++a) {
+      FaultPlan plan;
+      plan.kill_node(a);
+      expect_prefix_correct(d, op, data, plan, FaultPolicy::kStrict, true);
+      expect_prefix_correct(d, op, data, plan, FaultPolicy::kDegrade, true);
+      expect_prefix_correct(d, op, data, plan, FaultPolicy::kStrict, true,
+                            /*inclusive=*/false);
+    }
+  }
+  {
+    const DualCube d(3);
+    const auto data = iota_data(d.node_count());
+    expect_prefix_correct(d, op, data, FaultPlan{}, FaultPolicy::kStrict,
+                          true);
+    for (NodeId a = 0; a < d.node_count(); ++a) {
+      FaultPlan one;
+      one.kill_node(a);
+      expect_prefix_correct(d, op, data, one, FaultPolicy::kStrict, true);
+      for (NodeId b = a + 1; b < d.node_count(); ++b) {
+        FaultPlan two;
+        two.kill_node(a).kill_node(b);
+        expect_prefix_correct(d, op, data, two, FaultPolicy::kStrict, true);
+        expect_prefix_correct(d, op, data, two, FaultPolicy::kDegrade, true);
+      }
+    }
+  }
+}
+
+TEST(FtPrefix, NonCommutativeMonoidKeepsIndexOrderUnderFaults) {
+  const DualCube d(3);
+  const Concat op;
+  std::vector<std::string> data(d.node_count());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = std::string(1, static_cast<char>('a' + (i % 26)));
+  for (dc::u64 trial = 0; trial < 6; ++trial) {
+    const FaultPlan plan =
+        FaultPlan::random_nodes(d, 1 + trial % 2, 300 + trial);
+    expect_prefix_correct(d, op, data, plan, FaultPolicy::kStrict, true);
+  }
+}
+
+TEST(FtPrefix, SeededSweepOnD4) {
+  const DualCube d(4);
+  const Plus<dc::u64> op;
+  const auto data = iota_data(d.node_count());
+  for (dc::u64 trial = 0; trial < 8; ++trial) {
+    const std::size_t k = 1 + static_cast<std::size_t>(trial) % (d.order() - 1);
+    const FaultPlan plan = FaultPlan::random_nodes(d, k, 500 + trial);
+    const FaultPolicy policy =
+        trial % 2 ? FaultPolicy::kDegrade : FaultPolicy::kStrict;
+    expect_prefix_correct(d, op, data, plan, policy, /*attach=*/true);
+    expect_prefix_correct(d, op, data, plan, policy, /*attach=*/false);
+  }
+}
+
+TEST(FtPrefix, HealthyRunMatchesAlgorithm2Exactly) {
+  const DualCube d(3);
+  const Plus<dc::u64> op;
+  const auto data = iota_data(d.node_count());
+  Machine healthy(d);
+  healthy.set_schedule_path(dc::sim::SchedulePath::kInterpreted);
+  const auto reference = dc::core::dual_prefix(healthy, d, op, data);
+  Machine m(d);
+  const auto got = dc::core::ft_dual_prefix(m, d, op, data, FaultPlan{});
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(got[i].has_value());
+    EXPECT_EQ(*got[i], reference[i]);
+  }
+  // Same cost as the healthy schedule: 2n comm cycles, 2n comp steps,
+  // nothing rerouted.
+  EXPECT_EQ(m.counters().comm_cycles, 2u * d.order());
+  EXPECT_EQ(m.counters().comp_steps, 2u * d.order());
+  EXPECT_EQ(m.counters().messages_rerouted, 0u);
+  EXPECT_EQ(m.counters().ops, healthy.counters().ops);
+}
+
+TEST(FtPrefix, LinkFaultsAreRoutedAround) {
+  const DualCube d(3);
+  const Plus<dc::u64> op;
+  const auto data = iota_data(d.node_count());
+  FaultPlan plan;
+  plan.kill_link(0, d.cross_neighbor(0)).kill_link(0, d.cluster_neighbor(0, 0));
+  Machine m(d);
+  m.attach_faults(std::make_shared<FaultPlan>(plan), FaultPolicy::kStrict);
+  dc::sim::FtReport rep;
+  const auto got =
+      dc::core::ft_dual_prefix(m, d, op, data, plan, true, &rep);
+  const auto expected =
+      masked_scan(op, data, std::vector<bool>(d.node_count(), false), true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(got[i].has_value());
+    EXPECT_EQ(*got[i], expected[i]) << "index " << i;
+  }
+  EXPECT_GT(rep.rerouted_hops, 0u);
+  EXPECT_EQ(m.counters().messages_rerouted, rep.rerouted_hops);
+}
+
+TEST(FtCollectives, RefuseTransientDropPlansOnTheMachine) {
+  const DualCube d(2);
+  Machine m(d);
+  FaultPlan noisy;
+  noisy.kill_node(3);
+  noisy.drop_messages(100);
+  m.attach_faults(std::make_shared<FaultPlan>(noisy), FaultPolicy::kDegrade);
+  EXPECT_THROW(
+      dc::collectives::ft_dual_broadcast<int>(m, d, 0, 1, noisy),
+      CheckError);
+}
+
+}  // namespace

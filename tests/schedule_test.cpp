@@ -17,6 +17,7 @@
 #include "core/dual_prefix.hpp"
 #include "core/dual_sort.hpp"
 #include "core/ops.hpp"
+#include "sim/faults.hpp"
 #include "sim/machine.hpp"
 #include "sim/oblivious.hpp"
 #include "sim/schedule.hpp"
@@ -299,6 +300,147 @@ TEST_F(ScheduleTest, ValidationFlagSeparatesCacheEntries) {
   Machine strict(q);
   strict.set_schedule_path(SchedulePath::kCompiled);
   EXPECT_THROW(warp(strict), SimError);
+}
+
+// The regression the fault subsystem depends on: a FaultyTopology keeps
+// the base's name() and node_count() and differs ONLY in its edge set, so
+// the adjacency fingerprint in the cache key is the sole thing standing
+// between a healthy schedule and a faulted graph. A cached schedule must
+// NOT be served for the same-name mutated-edge topology.
+TEST_F(ScheduleTest, FingerprintKeepsSameNameMutatedEdgeGraphsApart) {
+  const net::DualCube d(2);
+  Machine healthy(d);
+  healthy.set_schedule_path(SchedulePath::kCompiled);
+  {
+    ObliviousSection sched(healthy, "probe", {1});
+    (void)sched.exchange<int>(
+        [&](net::NodeId u) { return d.cross_neighbor(u); },
+        [](net::NodeId u) { return static_cast<int>(u); });
+    sched.commit();
+  }
+  EXPECT_EQ(ScheduleCache::instance().size(), 1u);
+
+  // Positive control: an equal graph (same family, same edges) hits.
+  const net::DualCube same(2);
+  Machine twin(same);
+  twin.set_schedule_path(SchedulePath::kCompiled);
+  {
+    ObliviousSection sched(twin, "probe", {1});
+    EXPECT_TRUE(sched.replaying()) << "identical graphs must share schedules";
+  }
+
+  // Same name, same node count, one link removed: must miss.
+  FaultPlan plan;
+  plan.kill_link(0, 1);
+  const FaultyTopology faulted(d, plan);
+  ASSERT_EQ(faulted.name(), d.name());
+  ASSERT_EQ(faulted.node_count(), d.node_count());
+  Machine m(faulted);
+  m.set_schedule_path(SchedulePath::kCompiled);
+  {
+    ObliviousSection sched(m, "probe", {1});
+    EXPECT_FALSE(sched.replaying())
+        << "a schedule recorded on the healthy graph must never replay on "
+           "a same-name faulted graph";
+  }
+}
+
+// ------------------------------------------------- cache memory budgeting
+
+Schedule make_schedule(std::size_t n, std::size_t cycles) {
+  std::vector<ScheduleCycle> cyc(cycles);
+  for (auto& c : cyc) {
+    c.recv_from.assign(n, kNoSender);
+    c.recv_slot.assign(n, kNoEdgeSlot);
+  }
+  return Schedule(std::move(cyc));
+}
+
+ScheduleKey key_named(const std::string& algo) {
+  return ScheduleKey{"T#1", algo, {}, true};
+}
+
+class ScheduleCacheBudgetTest : public ScheduleTest {
+ protected:
+  void TearDown() override {
+    ScheduleCache::instance().clear();
+    ScheduleCache::instance().set_capacity_bytes(
+        ScheduleCache::kDefaultCapacityBytes);
+  }
+};
+
+TEST_F(ScheduleCacheBudgetTest, ByteAccountingTracksStoredSchedules) {
+  auto& cache = ScheduleCache::instance();
+  const auto s = std::make_shared<const Schedule>(make_schedule(64, 4));
+  EXPECT_GT(s->byte_size(), 64u * 4u * sizeof(net::NodeId));
+  cache.store(key_named("a"), s);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_EQ(st.bytes, s->byte_size());
+  EXPECT_EQ(st.capacity_bytes, ScheduleCache::kDefaultCapacityBytes);
+  // Re-storing the same key must not double-count.
+  cache.store(key_named("a"),
+              std::make_shared<const Schedule>(make_schedule(64, 4)));
+  EXPECT_EQ(cache.stats().bytes, s->byte_size());
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST_F(ScheduleCacheBudgetTest, EvictsLeastRecentlyUsedFirst) {
+  auto& cache = ScheduleCache::instance();
+  const auto one = std::make_shared<const Schedule>(make_schedule(32, 2));
+  const std::size_t unit = one->byte_size();
+  cache.set_capacity_bytes(2 * unit);  // room for exactly two entries
+
+  cache.store(key_named("a"), one);
+  cache.store(key_named("b"),
+              std::make_shared<const Schedule>(make_schedule(32, 2)));
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch "a" so "b" becomes the least recently used...
+  EXPECT_NE(cache.find(key_named("a")), nullptr);
+  // ...then push a third entry over the budget.
+  cache.store(key_named("c"),
+              std::make_shared<const Schedule>(make_schedule(32, 2)));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.find(key_named("a")), nullptr) << "recently used survives";
+  EXPECT_NE(cache.find(key_named("c")), nullptr) << "newest survives";
+  EXPECT_EQ(cache.find(key_named("b")), nullptr) << "LRU entry is evicted";
+  const auto st = cache.stats();
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.bytes, 2 * unit);
+  EXPECT_EQ(st.hits, 3u);
+  EXPECT_EQ(st.misses, 1u);
+}
+
+TEST_F(ScheduleCacheBudgetTest, OversizeEntryIsKeptNeverThrashed) {
+  auto& cache = ScheduleCache::instance();
+  cache.set_capacity_bytes(1);  // nothing fits
+  cache.store(key_named("big"),
+              std::make_shared<const Schedule>(make_schedule(128, 8)));
+  EXPECT_NE(cache.find(key_named("big")), nullptr)
+      << "the entry being stored must survive its own insert, or every "
+         "oversize schedule would record forever";
+  // A second store evicts the old one (it is now the LRU tail).
+  cache.store(key_named("big2"),
+              std::make_shared<const Schedule>(make_schedule(128, 8)));
+  EXPECT_EQ(cache.find(key_named("big")), nullptr);
+  EXPECT_NE(cache.find(key_named("big2")), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST_F(ScheduleCacheBudgetTest, ShrinkingCapacityEvictsImmediately) {
+  auto& cache = ScheduleCache::instance();
+  for (const char* name : {"a", "b", "c", "d"}) {
+    cache.store(key_named(name),
+                std::make_shared<const Schedule>(make_schedule(16, 1)));
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  const std::size_t unit = cache.stats().bytes / 4;
+  cache.set_capacity_bytes(2 * unit);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.find(key_named("a")), nullptr) << "oldest evicted first";
+  EXPECT_EQ(cache.find(key_named("b")), nullptr);
+  EXPECT_NE(cache.find(key_named("d")), nullptr);
 }
 
 }  // namespace
