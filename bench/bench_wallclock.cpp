@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "collectives/broadcast.hpp"
+#include "core/block_prefix.hpp"
 #include "core/block_sort.hpp"
 #include "core/cube_bitonic_sort.hpp"
 #include "core/cube_prefix.hpp"
@@ -109,6 +110,40 @@ void BM_BlockSort(benchmark::State& state) {
                           static_cast<std::int64_t>(input.size()));
 }
 BENCHMARK(BM_BlockSort)->RangeMultiplier(8)->Range(1, 512)->Unit(benchmark::kMicrosecond);
+
+void BM_BlockSortAoS(benchmark::State& state) {
+  const unsigned n = 3;
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  const dc::net::RecursiveDualCube r(n);
+  const auto input = dc::generate_keys(dc::KeyDistribution::kUniform,
+                                       r.node_count() * block, 3);
+  for (auto _ : state) {
+    auto keys = input;
+    dc::sim::Machine m(r);
+    dc::core::block_sort_aos(m, r, keys, block);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_BlockSortAoS)->RangeMultiplier(8)->Range(1, 512)->Unit(benchmark::kMicrosecond);
+
+void BM_BlockPrefix(benchmark::State& state) {
+  const unsigned n = 3;
+  const std::size_t block = static_cast<std::size_t>(state.range(0));
+  const dc::net::DualCube d(n);
+  const dc::core::Plus<u64> plus;
+  dc::Rng rng(1);
+  std::vector<u64> data(d.node_count() * block);
+  for (auto& x : data) x = rng();
+  for (auto _ : state) {
+    dc::sim::Machine m(d);
+    benchmark::DoNotOptimize(dc::core::block_prefix(m, d, plus, data, block));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_BlockPrefix)->RangeMultiplier(8)->Range(1, 512)->Unit(benchmark::kMicrosecond);
 
 void BM_DualBroadcast(benchmark::State& state) {
   const unsigned n = static_cast<unsigned>(state.range(0));

@@ -10,17 +10,32 @@
 //      cluster — the union covers the entire foreign class;
 //   4. one more cross exchange hands every node its own class's values.
 //
+// The gather state is kept in XOR-indexed SoA planes rather than
+// origin-keyed maps: after round i of a recursive-doubling pass, slot dd of
+// node u's plane holds the value originating at the cluster-mate whose
+// node ID is id(u) ^ dd. A round then sends the *entire current prefix*
+// (one contiguous stride of width 2^i) and the receiver appends it at
+// offset 2^i — slot (2^i)+dd = value[id ^ 2^i ^ dd] — so every cycle of the
+// collective is a fixed-width block exchange through ObliviousSection
+// (memcpy-plane replay once the 2n-cycle schedule is cached). Origins are
+// recovered arithmetically at copy-out; no per-node associative containers
+// survive. dual_allgather_aos keeps the original map-of-origins
+// formulation as the parity baseline: identical destinations, counters and
+// edge loads (asserted in sim_test).
+//
 // Scatter sends a personalized value from the root to every node; under the
 // 1-port model the root emits one packet per cycle, so N-1 cycles is a
 // lower bound. We drain the packets store-and-forward along shortest
 // routes.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <vector>
 
 #include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
 #include "sim/store_forward.hpp"
 #include "topology/dual_cube.hpp"
 #include "topology/hypercube.hpp"
@@ -34,6 +49,109 @@ template <typename V>
 std::vector<std::vector<V>> dual_allgather(sim::Machine& m,
                                            const net::DualCube& d,
                                            const std::vector<V>& values) {
+  DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&d),
+             "machine must run on the given dual-cube");
+  DC_REQUIRE(values.size() == d.node_count(), "one value per node required");
+  const std::size_t n_nodes = d.node_count();
+  const unsigned w = d.order() - 1;
+  const std::size_t c = d.cluster_size();  // 2^(n-1) = cluster width
+
+  sim::ObliviousSection sched(m, "dual_allgather", {d.order()});
+
+  // XOR-indexed in-cluster doubling: grows each node's stride in `plane`
+  // (node-major, `cap` slots per node) from width 2^0 to 2^rounds.
+  const auto cluster_allgather = [&](std::vector<V>& plane, std::size_t cap,
+                                     unsigned rounds) {
+    for (unsigned i = 0; i < rounds; ++i) {
+      const std::size_t wid = std::size_t{1} << i;
+      auto inbox = sched.exchange_blocks<V>(
+          wid, [&](net::NodeId u) { return d.cluster_neighbor(u, i); },
+          [&](net::NodeId u, V* dst) {
+            std::copy_n(plane.data() + u * cap, wid, dst);
+          });
+      m.for_each_node([&](net::NodeId u) {
+        std::copy_n(inbox.block(u), wid, plane.data() + u * cap + wid);
+      });
+    }
+  };
+
+  // Phase 1: own cluster's values, one plane stride of width c per node.
+  std::vector<V> own(n_nodes * c);
+  m.for_each_node([&](net::NodeId u) { own[u * c] = values[u]; });
+  cluster_allgather(own, c, w);
+
+  // Phase 2: cross exchange of the cluster strides.
+  std::vector<V> cls(n_nodes * c * c);  // foreign-class plane, c*c per node
+  {
+    auto inbox = sched.exchange_blocks<V>(
+        c, [&](net::NodeId u) { return d.cross_neighbor(u); },
+        [&](net::NodeId u, V* dst) {
+          std::copy_n(own.data() + u * c, c, dst);
+        });
+    m.for_each_node([&](net::NodeId u) {
+      std::copy_n(inbox.block(u), c, cls.data() + u * (c * c));
+    });
+  }
+
+  // Phase 3: doubling over whole cluster-strides — block b of node u's
+  // class plane ends up as the foreign stride gathered by the cluster-mate
+  // with node ID id(u) ^ b.
+  for (unsigned i = 0; i < w; ++i) {
+    const std::size_t wid = c << i;
+    auto inbox = sched.exchange_blocks<V>(
+        wid, [&](net::NodeId u) { return d.cluster_neighbor(u, i); },
+        [&](net::NodeId u, V* dst) {
+          std::copy_n(cls.data() + u * (c * c), wid, dst);
+        });
+    m.for_each_node([&](net::NodeId u) {
+      std::copy_n(inbox.block(u), wid, cls.data() + u * (c * c) + wid);
+    });
+  }
+
+  // Origin of slot b*c+dd of node x's class plane: the dd-XOR cluster-mate
+  // of the cross partner of x's own b-XOR cluster-mate.
+  const auto origin_of = [&](net::NodeId x, std::size_t b, std::size_t dd) {
+    const auto a = d.decode(x);
+    const net::NodeId mate = d.encode({a.cls, a.cluster, a.node ^ b});
+    const auto f = d.decode(d.cross_neighbor(mate));
+    return d.encode({f.cls, f.cluster, f.node ^ dd});
+  };
+
+  // Phase 4: final cross exchange — u receives its cross partner's class
+  // plane, which covers exactly u's own class; u's own class plane covers
+  // the other. Assemble by origin.
+  std::vector<std::vector<V>> out(n_nodes);
+  {
+    auto inbox = sched.exchange_blocks<V>(
+        c * c, [&](net::NodeId u) { return d.cross_neighbor(u); },
+        [&](net::NodeId u, V* dst) {
+          std::copy_n(cls.data() + u * (c * c), c * c, dst);
+        });
+    m.for_each_node([&](net::NodeId u) {
+      out[u].resize(n_nodes);
+      const net::NodeId partner = d.cross_neighbor(u);
+      const V* const mine = cls.data() + u * (c * c);
+      const V* const recv = inbox.block(u);
+      for (std::size_t b = 0; b < c; ++b) {
+        for (std::size_t dd = 0; dd < c; ++dd) {
+          out[u][origin_of(u, b, dd)] = mine[b * c + dd];
+          out[u][origin_of(partner, b, dd)] = recv[b * c + dd];
+        }
+      }
+    });
+  }
+  sched.commit();
+  return out;
+}
+
+/// The original origin-keyed-map formulation of dual_allgather: every
+/// message is a std::map<NodeId, V>, merged by insertion. Same destination
+/// sequence, counters and edge loads as the SoA version — kept as the AoS
+/// baseline for parity tests.
+template <typename V>
+std::vector<std::vector<V>> dual_allgather_aos(sim::Machine& m,
+                                               const net::DualCube& d,
+                                               const std::vector<V>& values) {
   DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&d),
              "machine must run on the given dual-cube");
   DC_REQUIRE(values.size() == d.node_count(), "one value per node required");
@@ -88,28 +206,35 @@ std::vector<std::vector<V>> dual_allgather(sim::Machine& m,
 }
 
 /// Recursive-doubling all-gather on Q_d (baseline): d cycles of pairwise
-/// set exchanges.
+/// exchanges of the XOR-indexed plane prefix (slot dd of node u holds the
+/// value originating at u ^ dd).
 template <typename V>
 std::vector<std::vector<V>> cube_allgather(sim::Machine& m,
                                            const net::Hypercube& q,
                                            const std::vector<V>& values) {
   DC_REQUIRE(values.size() == q.node_count(), "one value per node required");
   const std::size_t n_nodes = q.node_count();
-  using Set = std::map<net::NodeId, V>;
-  std::vector<Set> have(n_nodes);
-  m.for_each_node([&](net::NodeId u) { have[u] = {{u, values[u]}}; });
+  sim::ObliviousSection sched(m, "cube_allgather", {q.dimensions()});
+  std::vector<V> plane(n_nodes * n_nodes);
+  m.for_each_node([&](net::NodeId u) { plane[u * n_nodes] = values[u]; });
   for (unsigned i = 0; i < q.dimensions(); ++i) {
-    auto inbox = m.comm_cycle<Set>([&](net::NodeId u) {
-      return sim::Send<Set>{q.neighbor(u, i), have[u]};
-    });
+    const std::size_t wid = std::size_t{1} << i;
+    auto inbox = sched.exchange_blocks<V>(
+        wid, [&](net::NodeId u) { return q.neighbor(u, i); },
+        [&](net::NodeId u, V* dst) {
+          std::copy_n(plane.data() + u * n_nodes, wid, dst);
+        });
     m.for_each_node([&](net::NodeId u) {
-      have[u].insert(inbox[u]->begin(), inbox[u]->end());
+      std::copy_n(inbox.block(u), wid, plane.data() + u * n_nodes + wid);
     });
   }
+  sched.commit();
   std::vector<std::vector<V>> out(n_nodes);
   m.for_each_node([&](net::NodeId u) {
-    DC_CHECK(have[u].size() == n_nodes, "allgather missed origins");
-    for (auto& [origin, value] : have[u]) out[u].push_back(value);
+    out[u].resize(n_nodes);
+    for (std::size_t dd = 0; dd < n_nodes; ++dd) {
+      out[u][u ^ dd] = plane[u * n_nodes + dd];
+    }
   });
   return out;
 }

@@ -9,12 +9,21 @@
 // bit by bit and sits at its destination. Cost: 3(2n-2) + 1 cycles of
 // bundle-sized messages (1 cycle at dimension 0, 3 at each link-less
 // dimension — the paper's emulation factor at work).
+//
+// The bundles are naturally fixed-width: at the start of round j every node
+// holds exactly N items (dest bits [0, j) already agree with its label) and
+// exactly half of them disagree at bit j, so every message of every cycle
+// is an N/2-item block. The in-flight state therefore lives in node-major
+// Item planes and each dimension sweep is a dimension_exchange_blocks under
+// one ObliviousSection — on compiled replay the whole collective is a
+// sequence of contiguous stride copies.
 #pragma once
 
 #include <utility>
 #include <vector>
 
 #include "core/dimension_exchange.hpp"
+#include "sim/oblivious.hpp"
 #include "topology/recursive_dual_cube.hpp"
 
 namespace dc::collectives {
@@ -38,42 +47,51 @@ std::vector<std::vector<V>> dual_alltoall(
     net::NodeId dest;
     V payload;
   };
-  using Bundle = std::vector<Item>;
-  std::vector<Bundle> held(n_nodes);
+  const std::size_t half = n_nodes / 2;  // outgoing bundle width, every round
+  std::vector<Item> held(n_nodes * n_nodes);   // N items per node, always
+  std::vector<Item> outgoing(n_nodes * half);  // N/2 items per node
+  std::vector<Item> received;
   m.for_each_node([&](net::NodeId u) {
-    held[u].reserve(n_nodes);
-    for (net::NodeId v = 0; v < n_nodes; ++v)
-      held[u].push_back({u, v, messages[u][v]});
+    Item* const mine = held.data() + u * n_nodes;
+    for (net::NodeId v = 0; v < n_nodes; ++v) mine[v] = {u, v, messages[u][v]};
   });
 
+  sim::ObliviousSection sched(m, "dual_alltoall", {r.order()});
   for (unsigned j = 0; j < r.label_bits(); ++j) {
-    // Split: items whose destination disagrees with us at bit j leave.
-    std::vector<Bundle> outgoing(n_nodes);
+    // Split: items whose destination disagrees with us at bit j leave;
+    // kept items compact to the front of the node's held stride.
     m.compute_step([&](net::NodeId u) {
-      Bundle keep;
-      keep.reserve(held[u].size());
-      for (auto& item : held[u]) {
-        if (dc::bits::get(item.dest, j) != dc::bits::get(u, j)) {
-          outgoing[u].push_back(std::move(item));
+      Item* const mine = held.data() + u * n_nodes;
+      Item* const out = outgoing.data() + u * half;
+      std::size_t nk = 0, no = 0;
+      for (std::size_t k = 0; k < n_nodes; ++k) {
+        if (dc::bits::get(mine[k].dest, j) != dc::bits::get(u, j)) {
+          out[no++] = std::move(mine[k]);
         } else {
-          keep.push_back(std::move(item));
+          if (nk != k) mine[nk] = std::move(mine[k]);
+          ++nk;
         }
       }
-      held[u] = std::move(keep);
-      m.add_ops(held[u].size() + outgoing[u].size());
+      DC_CHECK(no == half, "complete exchange bundle width drifted");
+      m.add_ops(n_nodes);
     });
-    auto received = dc::core::dimension_exchange(m, r, j, outgoing);
+    dc::core::dimension_exchange_blocks(m, sched, r, j, outgoing, half,
+                                        received);
     m.for_each_node([&](net::NodeId u) {
-      for (auto& item : received[u]) held[u].push_back(std::move(item));
+      std::copy_n(std::make_move_iterator(received.begin() +
+                                          static_cast<std::ptrdiff_t>(u * half)),
+                  half, held.begin() + static_cast<std::ptrdiff_t>(
+                                           u * n_nodes + half));
     });
   }
+  sched.commit();
 
   std::vector<std::vector<V>> out(n_nodes, std::vector<V>(n_nodes));
   m.for_each_node([&](net::NodeId u) {
-    DC_CHECK(held[u].size() == n_nodes, "complete exchange lost items");
-    for (auto& item : held[u]) {
-      DC_CHECK(item.dest == u, "item finished at the wrong node");
-      out[u][item.origin] = std::move(item.payload);
+    const Item* const mine = held.data() + u * n_nodes;
+    for (std::size_t k = 0; k < n_nodes; ++k) {
+      DC_CHECK(mine[k].dest == u, "item finished at the wrong node");
+      out[u][mine[k].origin] = std::move(held[u * n_nodes + k].payload);
     }
   });
   return out;

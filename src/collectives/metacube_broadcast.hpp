@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
 #include "topology/hamiltonian.hpp"  // gray_code
 #include "topology/metacube.hpp"
 
@@ -42,9 +43,18 @@ std::vector<V> metacube_broadcast(sim::Machine& m, const net::Metacube& mc,
   std::vector<std::uint8_t> have(n_nodes, 0);
   have[root] = 1;
 
-  // Deliver `plan`-selected single hops and mark the receivers.
-  const auto hop = [&](auto&& plan) {
-    auto inbox = m.comm_cycle<V>(std::forward<decltype(plan)>(plan));
+  // The hop pattern is a pure function of (topology, root): `have` evolves
+  // deterministically from the root, so the whole broadcast is oblivious
+  // and compiles to one schedule per (k, m, root).
+  sim::ObliviousSection sched(m, "metacube_broadcast",
+                              {mc.k(), mc.m(), root});
+
+  // Deliver `dest_of`-selected single hops and mark the receivers. On
+  // replay dest_of is never consulted — receivers are marked straight off
+  // the compiled cycle's presence map.
+  const auto hop = [&](auto&& dest_of) {
+    auto inbox = sched.exchange<V>(std::forward<decltype(dest_of)>(dest_of),
+                                   [&](net::NodeId) { return value; });
     m.for_each_node([&](net::NodeId u) {
       if (inbox[u]) have[u] = 1;
     });
@@ -57,9 +67,9 @@ std::vector<V> metacube_broadcast(sim::Machine& m, const net::Metacube& mc,
     dc::u64 cur = from;
     while (cur != target) {
       const unsigned bit = dc::bits::lowest_set(cur ^ target);
-      hop([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-        if (!have[u] || mc.class_of(u) != cur) return std::nullopt;
-        return sim::Send<V>{dc::bits::flip(u, class_lo + bit), value};
+      hop([&](net::NodeId u) -> net::NodeId {
+        if (!have[u] || mc.class_of(u) != cur) return sim::kNoSend;
+        return dc::bits::flip(u, class_lo + bit);
       });
       cur = dc::bits::flip(cur, bit);
     }
@@ -76,24 +86,25 @@ std::vector<V> metacube_broadcast(sim::Machine& m, const net::Metacube& mc,
     const unsigned base = mc.field_offset(g);
     const dc::u64 anchor = mc.field_of(root, g);
     for (unsigned i = 0; i < mc.m(); ++i) {
-      hop([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-        if (!have[u] || mc.class_of(u) != g) return std::nullopt;
+      hop([&](net::NodeId u) -> net::NodeId {
+        if (!have[u] || mc.class_of(u) != g) return sim::kNoSend;
         const dc::u64 rel = mc.field_of(u, g) ^ anchor;
-        if (rel >= dc::bits::pow2(i)) return std::nullopt;
-        return sim::Send<V>{dc::bits::flip(u, base + i), value};
+        if (rel >= dc::bits::pow2(i)) return sim::kNoSend;
+        return dc::bits::flip(u, base + i);
       });
     }
   }
 
   // Recursive doubling over the class bits.
   for (unsigned i = 0; i < mc.k(); ++i) {
-    hop([&](net::NodeId u) -> std::optional<sim::Send<V>> {
-      if (!have[u]) return std::nullopt;
+    hop([&](net::NodeId u) -> net::NodeId {
+      if (!have[u]) return sim::kNoSend;
       const dc::u64 rel = mc.class_of(u) ^ current_class;
-      if (rel >= dc::bits::pow2(i)) return std::nullopt;
-      return sim::Send<V>{dc::bits::flip(u, class_lo + i), value};
+      if (rel >= dc::bits::pow2(i)) return sim::kNoSend;
+      return dc::bits::flip(u, class_lo + i);
     });
   }
+  sched.commit();
 
   std::vector<V> out;
   out.reserve(n_nodes);

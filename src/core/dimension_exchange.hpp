@@ -25,6 +25,8 @@
 // standalone overload opens a per-(order, j) section itself.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -93,6 +95,82 @@ std::vector<V> dimension_exchange(sim::Machine& m, sim::ObliviousSection& sched,
     }
   });
   return recv;
+}
+
+/// Block form of the dimension exchange: every node's value is a
+/// fixed-width block of T held in the node-major plane
+/// `plane[u * width + k]`, and the exchanged blocks land in `recv` (same
+/// layout, resized by the callee). Issues exactly the same cycle/destination
+/// sequence as the scalar overload — only the payload representation
+/// differs: cycle 2's combined relay message is one 2*width stride (own
+/// block then gathered block) instead of a std::pair, so on replay every
+/// cycle is a few contiguous sweeps through the SoA planes.
+template <typename T>
+void dimension_exchange_blocks(sim::Machine& m, sim::ObliviousSection& sched,
+                               const net::RecursiveDualCube& r, unsigned j,
+                               const std::vector<T>& plane, std::size_t width,
+                               std::vector<T>& recv) {
+  DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&r),
+             "machine must run on the given recursive dual-cube");
+  DC_REQUIRE(j < r.label_bits(), "dimension out of range");
+  DC_REQUIRE(width >= 1, "block width must be >= 1");
+  DC_REQUIRE(plane.size() == r.node_count() * width,
+             "one width-sized block per node required");
+  const std::size_t n_nodes = r.node_count();
+  recv.resize(n_nodes * width);
+
+  const auto own = [&](net::NodeId u) { return plane.data() + u * width; };
+
+  if (j == 0) {
+    auto inbox = sched.exchange_blocks<T>(
+        width, [](net::NodeId u) { return dc::bits::flip(u, 0); },
+        [&](net::NodeId u, T* dst) { std::copy_n(own(u), width, dst); });
+    m.for_each_node([&](net::NodeId u) {
+      std::copy_n(inbox.block(u), width, recv.data() + u * width);
+    });
+    return;
+  }
+
+  // Bit-0 value of the nodes with a direct dimension-j link.
+  const unsigned direct0 = j % 2 == 0 ? 0u : 1u;
+
+  // Cycle 1: indirect nodes ship their block across the cross-edge.
+  auto gathered = sched.exchange_blocks<T>(
+      width,
+      [&](net::NodeId u) -> net::NodeId {
+        if (dc::bits::get(u, 0) == direct0) return sim::kNoSend;
+        return dc::bits::flip(u, 0);
+      },
+      [&](net::NodeId u, T* dst) { std::copy_n(own(u), width, dst); });
+
+  // Cycle 2: direct nodes exchange (own block ‖ gathered block) strides.
+  auto pairs = sched.exchange_blocks<T>(
+      2 * width,
+      [&](net::NodeId u) -> net::NodeId {
+        if (dc::bits::get(u, 0) != direct0) return sim::kNoSend;
+        return dc::bits::flip(u, j);
+      },
+      [&](net::NodeId u, T* dst) {
+        std::copy_n(own(u), width, dst);
+        std::copy_n(gathered.block(u), width, dst + width);
+      });
+
+  // Cycle 3: direct nodes keep the first half and return the second to
+  // their cross neighbor.
+  auto returned = sched.exchange_blocks<T>(
+      width,
+      [&](net::NodeId u) -> net::NodeId {
+        if (dc::bits::get(u, 0) != direct0) return sim::kNoSend;
+        return dc::bits::flip(u, 0);
+      },
+      [&](net::NodeId u, T* dst) {
+        std::copy_n(pairs.block(u) + width, width, dst);
+      });
+  m.for_each_node([&](net::NodeId u) {
+    const T* const src = dc::bits::get(u, 0) == direct0 ? pairs.block(u)
+                                                        : returned.block(u);
+    std::copy_n(src, width, recv.data() + u * width);
+  });
 }
 
 /// Standalone form: opens (and commits) its own schedule section keyed by

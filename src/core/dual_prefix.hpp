@@ -30,6 +30,7 @@
 
 #include <functional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,30 @@ using DualPrefixObserver = std::function<void(
 
 namespace detail {
 
+/// Prefix values that qualify for the width-1 SoA plane: on compiled
+/// replay the whole exchange is one contiguous stride gather instead of
+/// per-node optional<V> moves. Everything else (heap-owning monoids like
+/// strings) ships through the classic scalar exchange.
+template <typename V>
+inline constexpr bool kPlaneEligible =
+    std::is_trivially_copyable_v<V> && std::is_default_constructible_v<V>;
+
+/// One oblivious exchange of a single V per sender, routed through the
+/// width-1 block plane when V qualifies; `consume(u)` yields the received
+/// value for node u either way.
+template <typename V, typename DestFn, typename PayloadFn, typename Body>
+void plane_exchange(sim::ObliviousSection& sched, DestFn&& dest_of,
+                    PayloadFn&& payload_of, Body&& body) {
+  if constexpr (kPlaneEligible<V>) {
+    auto inbox = sched.exchange_blocks<V>(
+        1, dest_of, [&](net::NodeId u, V* dst) { *dst = payload_of(u); });
+    body([&](net::NodeId u) -> const V& { return *inbox.block(u); });
+  } else {
+    auto inbox = sched.exchange<V>(dest_of, payload_of);
+    body([&](net::NodeId u) -> const V& { return *inbox[u]; });
+  }
+}
+
 /// Shared by steps 1 and 3: an in-cluster Cube_prefix pass over `value`,
 /// ordered by node ID within each cluster. Writes per-node totals into `t`
 /// and prefixes into `s`. Costs n-1 comm cycles and n-1 comp steps.
@@ -88,22 +113,25 @@ void cluster_prefix(sim::Machine& m, sim::ObliviousSection& sched,
     s.assign(n_nodes, op.identity());
   }
   for (unsigned i = 0; i + 1 < d.order(); ++i) {
-    auto inbox = sched.exchange<V>(
-        [&](net::NodeId u) { return d.cluster_neighbor(u, i); },
-        [&](net::NodeId u) { return t[u]; });
-    m.compute_step([&](net::NodeId u) {
-      const V& temp = *inbox[u];
-      // Bit i of u's node ID is the flipped label bit of this exchange.
-      const unsigned base = d.node_class(u) == 0 ? 0u : d.order() - 1;
-      if (dc::bits::get(u, base + i) == 1) {
-        s[u] = op.combine(temp, s[u]);
-        t[u] = op.combine(temp, t[u]);
-        m.add_ops(2);
-      } else {
-        t[u] = op.combine(t[u], temp);
-        m.add_ops(1);
-      }
-    });
+    plane_exchange<V>(
+        sched, [&](net::NodeId u) { return d.cluster_neighbor(u, i); },
+        [&](net::NodeId u) { return t[u]; },
+        [&](auto&& recv) {
+          m.compute_step([&](net::NodeId u) {
+            const V& temp = recv(u);
+            // Bit i of u's node ID is the flipped label bit of this
+            // exchange.
+            const unsigned base = d.node_class(u) == 0 ? 0u : d.order() - 1;
+            if (dc::bits::get(u, base + i) == 1) {
+              s[u] = op.combine(temp, s[u]);
+              t[u] = op.combine(temp, t[u]);
+              m.add_ops(2);
+            } else {
+              t[u] = op.combine(t[u], temp);
+              m.add_ops(1);
+            }
+          });
+        });
   }
 }
 
@@ -149,12 +177,12 @@ std::vector<typename M::value_type> dual_prefix(
 
   // Step 2: exchange cluster totals over the cross-edges.
   std::vector<V> temp(n_nodes, op.identity());
-  {
-    auto inbox = sched.exchange<V>(
-        [&](net::NodeId u) { return d.cross_neighbor(u); },
-        [&](net::NodeId u) { return t[u]; });
-    m.for_each_node([&](net::NodeId u) { temp[u] = *inbox[u]; });
-  }
+  detail::plane_exchange<V>(
+      sched, [&](net::NodeId u) { return d.cross_neighbor(u); },
+      [&](net::NodeId u) { return t[u]; },
+      [&](auto&& recv) {
+        m.for_each_node([&](net::NodeId u) { temp[u] = recv(u); });
+      });
   if (observer) observer("(c) exchange t via cross-edge", {{"temp", temp}});
 
   // Step 3: diminished prefix of the gathered totals inside every cluster.
@@ -165,15 +193,15 @@ std::vector<typename M::value_type> dual_prefix(
 
   // Step 4: route each node's same-class preceding-cluster total back to it
   // and fold it in on the left.
-  {
-    auto inbox = sched.exchange<V>(
-        [&](net::NodeId u) { return d.cross_neighbor(u); },
-        [&](net::NodeId u) { return s2[u]; });
-    m.compute_step([&](net::NodeId u) {
-      s[u] = op.combine(*inbox[u], s[u]);
-      m.add_ops(1);
-    });
-  }
+  detail::plane_exchange<V>(
+      sched, [&](net::NodeId u) { return d.cross_neighbor(u); },
+      [&](net::NodeId u) { return s2[u]; },
+      [&](auto&& recv) {
+        m.compute_step([&](net::NodeId u) {
+          s[u] = op.combine(recv(u), s[u]);
+          m.add_ops(1);
+        });
+      });
   if (observer) observer("(e) fold preceding same-class totals", {{"s", s}});
 
   // Step 5: class-1 nodes prepend the class-0 grand total (their own t').

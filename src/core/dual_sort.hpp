@@ -31,6 +31,7 @@
 // merge-split).
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -85,6 +86,61 @@ void dual_bitonic_network(sim::Machine& m, const net::RecursiveDualCube& r,
                    (half_merge ? " half-merge dim " : " full-merge dim ") +
                    std::to_string(j),
                values);
+  };
+
+  for (unsigned k = 1; k <= n; ++k) {
+    if (k >= 2) {
+      for (unsigned jj = 2 * k - 2; jj-- > 0;)
+        dimension_step(jj, k, /*half_merge=*/true);
+    }
+    for (unsigned jj = 2 * k - 1; jj-- > 0;)
+      dimension_step(jj, k, /*half_merge=*/false);
+  }
+  sched.commit();
+}
+
+/// Block form of the Algorithm-3 schedule: node u's value is the width-sized
+/// stride `plane[u*width .. u*width+width)`. Issues exactly the same cycle
+/// sequence as dual_bitonic_network — it shares the same schedule key, so a
+/// scalar record run and a block replay run reuse one cached schedule — but
+/// moves blocks through the SoA planes of dimension_exchange_blocks and
+/// double-buffers the combine: `combine(u, keep_min, own, other, out)` must
+/// write node u's merge-split result (width elements) into `out`, reading
+/// the `own` and `other` strides. One counted compare op per node per
+/// dimension step is charged here, matching the scalar network; combine
+/// charges its own block work.
+template <typename Key, typename Combine>
+void dual_bitonic_network_blocks(sim::Machine& m,
+                                 const net::RecursiveDualCube& r,
+                                 std::vector<Key>& plane, std::size_t width,
+                                 bool descending, Combine&& combine) {
+  DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&r),
+             "machine must run on the given recursive dual-cube");
+  DC_REQUIRE(width >= 1, "block width must be >= 1");
+  DC_REQUIRE(plane.size() == r.node_count() * width,
+             "one width-sized block per node required");
+  const unsigned n = r.order();
+
+  sim::ObliviousSection sched(m, "dual_bitonic_network", {n});
+
+  std::vector<Key> recv(plane.size());
+  std::vector<Key> next(plane.size());
+  const auto dimension_step = [&](unsigned j, unsigned k, bool half_merge) {
+    dimension_exchange_blocks(m, sched, r, j, plane, width, recv);
+    m.compute_step([&](net::NodeId u) {
+      bool ascending;
+      if (half_merge) {
+        ascending = dc::bits::get(u, 2 * k - 2) == 0;
+      } else {
+        ascending =
+            k == n ? !descending : dc::bits::get(u, 2 * k - 1) == 0;
+      }
+      const bool keep_min = ascending == (dc::bits::get(u, j) == 0);
+      combine(u, keep_min, plane.data() + u * width, recv.data() + u * width,
+              next.data() + u * width);
+      m.add_ops(1);
+    });
+    plane.swap(next);
   };
 
   for (unsigned k = 1; k <= n; ++k) {

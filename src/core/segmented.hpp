@@ -16,6 +16,8 @@
 
 #include <vector>
 
+#include "core/block_prefix.hpp"
+#include "core/dual_prefix.hpp"
 #include "core/ops.hpp"
 
 namespace dc::core {
@@ -64,6 +66,33 @@ std::vector<V> segmented_values(const std::vector<Segmented<V>>& s) {
   out.reserve(s.size());
   for (const auto& e : s) out.push_back(e.value);
   return out;
+}
+
+/// Segmented inclusive scan on the dual-cube: Algorithm 2 under the Seg
+/// monoid. Because the derived monoid changes no destination, the run
+/// shares dual_prefix's compiled schedule (one "dual_prefix"-keyed section
+/// per order), and for trivially copyable V the Segmented elements ride the
+/// width-1 SoA plane on replay. 2n comm cycles, like any dual_prefix.
+template <Monoid M>
+std::vector<typename M::value_type> segmented_dual_prefix(
+    sim::Machine& m, const net::DualCube& d, const M& op,
+    const std::vector<typename M::value_type>& values,
+    const std::vector<bool>& heads) {
+  return segmented_values(
+      dual_prefix(m, d, Seg<M>(op), make_segmented(values, heads)));
+}
+
+/// Segmented scan over blocks of `block` values per data index: the
+/// three-phase block scan under the Seg monoid (local scans, network pass
+/// over Segmented totals via dual_prefix, local fold). Same cost shape as
+/// block_prefix; head flags are per element.
+template <Monoid M>
+std::vector<typename M::value_type> segmented_block_prefix(
+    sim::Machine& m, const net::DualCube& d, const M& op,
+    const std::vector<typename M::value_type>& values,
+    const std::vector<bool>& heads, std::size_t block) {
+  return segmented_values(
+      block_prefix(m, d, Seg<M>(op), make_segmented(values, heads), block));
 }
 
 /// Sequential reference: inclusive scan restarting at every head flag.

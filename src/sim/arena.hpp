@@ -104,6 +104,63 @@ struct TypedArena final : ArenaBase {
 
 }  // namespace detail
 
+/// One pooled structure-of-arrays payload plane for fixed-width block
+/// messages: `values[v * width + k]` is element k of the block delivered to
+/// node v, and the block is present iff `stamp[v] == generation`. Unlike
+/// InboxBuffer there are no per-slot atomics: the plane is only written by
+/// the replay gather (each v by exactly one worker) or by the sequential
+/// blockify copy, both of which are race-free by construction.
+template <typename T>
+struct BlockBuffer {
+  explicit BlockBuffer(std::size_t n)
+      : stamp(std::make_unique<std::uint64_t[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i) stamp[i] = 0;
+  }
+  /// Points the plane at `w` elements per node, growing storage only when
+  /// this buffer has never seen a width this large (capacity is kept at the
+  /// high-water mark, so steady-state reuse never allocates).
+  void set_width(std::size_t n, std::size_t w) {
+    width = w;
+    if (values.size() < n * w) values.resize(n * w);
+  }
+  std::vector<T> values;  // n * width, node-major
+  std::unique_ptr<std::uint64_t[]> stamp;
+  std::size_t width = 0;
+  std::uint64_t generation = 0;
+};
+
+namespace detail {
+
+/// Pool of BlockBuffer<T> planes for one element type, mirroring
+/// TypedArena's acquire/release + generation discipline.
+template <typename T>
+struct TypedBlockArena final : ArenaBase {
+  explicit TypedBlockArena(std::size_t n) : size(n) { pool.reserve(8); }
+
+  std::unique_ptr<BlockBuffer<T>> acquire(std::size_t width) {
+    std::unique_ptr<BlockBuffer<T>> buf;
+    if (!pool.empty()) {
+      buf = std::move(pool.back());
+      pool.pop_back();
+    } else {
+      buf = std::make_unique<BlockBuffer<T>>(size);
+    }
+    buf->set_width(size, width);
+    buf->generation = ++next_generation;
+    return buf;
+  }
+
+  void release(std::unique_ptr<BlockBuffer<T>> buf) {
+    pool.push_back(std::move(buf));
+  }
+
+  std::size_t size;
+  std::vector<std::unique_ptr<BlockBuffer<T>>> pool;
+  std::uint64_t next_generation = 0;
+};
+
+}  // namespace detail
+
 /// Per-payload-type registry of communication scratch, owned by a Machine.
 class CommArena {
  public:
@@ -120,9 +177,26 @@ class CommArena {
     return std::static_pointer_cast<detail::TypedArena<P>>(it->second);
   }
 
+  /// The (unique) block-plane arena for element type T. Keyed separately
+  /// from the scalar arena of the same T: planes and slot buffers have
+  /// different shapes and pooling lifetimes.
+  template <typename T>
+  std::shared_ptr<detail::TypedBlockArena<T>> get_blocks(std::size_t n) {
+    const std::type_index key(typeid(T));
+    auto it = block_arenas_.find(key);
+    if (it == block_arenas_.end()) {
+      it = block_arenas_
+               .emplace(key, std::make_shared<detail::TypedBlockArena<T>>(n))
+               .first;
+    }
+    return std::static_pointer_cast<detail::TypedBlockArena<T>>(it->second);
+  }
+
  private:
   std::unordered_map<std::type_index, std::shared_ptr<detail::ArenaBase>>
       arenas_;
+  std::unordered_map<std::type_index, std::shared_ptr<detail::ArenaBase>>
+      block_arenas_;
 };
 
 /// The result of one comm_cycle: for each node, the payload it received
@@ -171,6 +245,55 @@ class Inbox {
 
   std::shared_ptr<detail::TypedArena<P>> home_;
   std::unique_ptr<detail::InboxBuffer<P>> buf_;
+};
+
+/// The result of one block comm cycle: a structure-of-arrays plane of
+/// fixed-width blocks. `has(v)` tells whether node v received a block this
+/// cycle; `block(v)` points at its `width()` contiguous elements. Move-only,
+/// recycles its plane into the pool on destruction, exactly like Inbox.
+template <typename T>
+class BlockInbox {
+ public:
+  BlockInbox() = default;
+  BlockInbox(std::shared_ptr<detail::TypedBlockArena<T>> home,
+             std::unique_ptr<BlockBuffer<T>> buf)
+      : home_(std::move(home)), buf_(std::move(buf)) {}
+
+  BlockInbox(BlockInbox&& other) noexcept
+      : home_(std::move(other.home_)), buf_(std::move(other.buf_)) {}
+  BlockInbox& operator=(BlockInbox&& other) noexcept {
+    if (this != &other) {
+      recycle();
+      home_ = std::move(other.home_);
+      buf_ = std::move(other.buf_);
+    }
+    return *this;
+  }
+  BlockInbox(const BlockInbox&) = delete;
+  BlockInbox& operator=(const BlockInbox&) = delete;
+
+  ~BlockInbox() { recycle(); }
+
+  /// True iff node v received a block this cycle.
+  bool has(net::NodeId v) const {
+    return buf_->stamp[static_cast<std::size_t>(v)] == buf_->generation;
+  }
+  /// Node v's received block (`width()` elements). Only meaningful when
+  /// has(v).
+  const T* block(net::NodeId v) const {
+    return buf_->values.data() + static_cast<std::size_t>(v) * buf_->width;
+  }
+
+  std::size_t width() const { return buf_ ? buf_->width : 0; }
+
+ private:
+  void recycle() {
+    if (home_ && buf_) home_->release(std::move(buf_));
+    home_.reset();
+  }
+
+  std::shared_ptr<detail::TypedBlockArena<T>> home_;
+  std::unique_ptr<BlockBuffer<T>> buf_;
 };
 
 }  // namespace dc::sim

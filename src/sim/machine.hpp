@@ -331,6 +331,118 @@ class Machine {
     return Inbox<P>(std::move(arena), std::move(buf));
   }
 
+  /// Replays one compiled cycle whose every message is a fixed-width block
+  /// of T, through a structure-of-arrays plane: one chunked receiver-major
+  /// sweep where each delivery is `src(sender, plane + v*width)` — a
+  /// memcpy-like stride copy instead of a heap-owning payload move.
+  /// `src(u, dst)` must write exactly `width` elements of node u's outgoing
+  /// block into dst and only read state, like a plan callback; it is invoked
+  /// exactly once per delivered message. Counter, trace, edge-load and
+  /// fault-refusal semantics are identical to comm_cycle_scheduled.
+  /// Steady-state replays at a given width perform zero heap allocations
+  /// while tracing is off (the plane is pooled and kept at its high-water
+  /// size).
+  template <typename T, typename SrcFn>
+  BlockInbox<T> comm_cycle_scheduled_blocks(const ScheduleCycle& cyc,
+                                            std::size_t width, SrcFn&& src) {
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    DC_REQUIRE(!faults_,
+               "compiled replay skips per-message fault checks; a machine "
+               "with an attached FaultPlan must interpret every cycle");
+    DC_REQUIRE(cyc.recv_from.size() == n,
+               "schedule cycle was compiled for a different node count");
+    DC_REQUIRE(width >= 1, "block width must be >= 1");
+    auto arena = arena_.get_blocks<T>(n);
+    auto buf = arena->acquire(width);
+
+    T* const plane = buf->values.data();
+    std::uint64_t* const stamp = buf->stamp.get();
+    const std::uint64_t gen = buf->generation;
+    const net::NodeId* const from = cyc.recv_from.data();
+    const std::uint32_t* const edge = cyc.recv_slot.data();
+    const bool loads_on = edge_load_.enabled();
+    parallel_for_chunked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          std::uint64_t* const loads =
+              loads_on ? edge_load_.row(pool().worker_slot()) : nullptr;
+          for (std::size_t v = lo; v < hi; ++v) {
+            const net::NodeId u = from[v];
+            if (u == kNoSender) continue;
+            src(u, plane + v * width);
+            stamp[v] = gen;
+            if (loads) {
+              if (edge[v] != kNoEdgeSlot) {
+                ++loads[edge[v]];
+              } else {
+                edge_load_.add_off_csr(u * n + v);
+              }
+            }
+          }
+        },
+        grain_, pool_);
+
+    ++counters_.comm_cycles;
+    counters_.messages += cyc.message_count;
+    ++replayed_cycles_;
+    if (tracing_) messages_per_cycle_.push_back(cyc.message_count);
+    return BlockInbox<T>(std::move(arena), std::move(buf));
+  }
+
+  /// Packs a vector-payload inbox into a block plane. Used by
+  /// ObliviousSection::exchange_blocks on the interpreted and record paths,
+  /// where the exchange ran through comm_cycle (full validation, faults,
+  /// SimError reporting) with std::vector<T> payloads; this uncounted copy
+  /// gives the caller the same BlockInbox view replay would have produced.
+  template <typename T>
+  BlockInbox<T> blockify(std::size_t width, const Inbox<std::vector<T>>& in) {
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    auto arena = arena_.get_blocks<T>(n);
+    auto buf = arena->acquire(width);
+    T* const plane = buf->values.data();
+    std::uint64_t* const stamp = buf->stamp.get();
+    const std::uint64_t gen = buf->generation;
+    parallel_for_chunked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t v = lo; v < hi; ++v) {
+            const auto& msg = in[static_cast<net::NodeId>(v)];
+            if (!msg) continue;
+            DC_CHECK(msg->size() == width,
+                     "block exchange delivered a ragged-width message");
+            std::copy_n(msg->data(), width, plane + v * width);
+            stamp[v] = gen;
+          }
+        },
+        grain_, pool_);
+    return BlockInbox<T>(std::move(arena), std::move(buf));
+  }
+
+  /// Width-1 variant of blockify: packs a scalar-payload inbox into a
+  /// plane, so width-1 block exchanges interpret with plain T payloads
+  /// (no per-message vector) and still hand back the uniform block view.
+  template <typename T>
+  BlockInbox<T> blockify_scalar(const Inbox<T>& in) {
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    auto arena = arena_.get_blocks<T>(n);
+    auto buf = arena->acquire(1);
+    T* const plane = buf->values.data();
+    std::uint64_t* const stamp = buf->stamp.get();
+    const std::uint64_t gen = buf->generation;
+    parallel_for_chunked(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t v = lo; v < hi; ++v) {
+            const auto& msg = in[static_cast<net::NodeId>(v)];
+            if (!msg) continue;
+            plane[v] = *msg;
+            stamp[v] = gen;
+          }
+        },
+        grain_, pool_);
+    return BlockInbox<T>(std::move(arena), std::move(buf));
+  }
+
   /// One parallel computation step: f(u) for every node. f must only write
   /// state owned by node u.
   template <typename F>

@@ -87,6 +87,44 @@ class ObliviousSection {
     });
   }
 
+  /// One oblivious cycle whose every message is a fixed-width block of T
+  /// (T must be semiregular). `src_of(u, dst)` writes node u's outgoing
+  /// `width` elements into dst. On replay this is a single SoA plane gather
+  /// (Machine::comm_cycle_scheduled_blocks — memcpy-like strides, zero
+  /// steady-state allocations); on the interpreted and record paths the
+  /// cycle runs through comm_cycle with std::vector<T> payloads (plain T
+  /// when width == 1), keeping validation, SimError strings, counters,
+  /// traces, edge loads and fault filtering byte-identical to a scalar
+  /// section, and the result is packed into the same BlockInbox view.
+  /// Workloads with ragged widths cannot use this call — ship vector<T>
+  /// through exchange() instead; machines with attached faults come through
+  /// here on the interpreted fallback automatically (schedule_path()
+  /// reports kInterpreted under faults).
+  template <typename T, typename DestFn, typename SrcFn>
+  BlockInbox<T> exchange_blocks(std::size_t width, DestFn&& dest_of,
+                                SrcFn&& src_of) {
+    if (replay_) {
+      DC_CHECK(next_cycle_ < replay_->cycle_count(),
+               "algorithm issued more cycles than its compiled schedule");
+      return m_.comm_cycle_scheduled_blocks<T>(replay_->cycle(next_cycle_++),
+                                               width, src_of);
+    }
+    if (width == 1) {
+      const auto in = exchange<T>(dest_of, [&](net::NodeId u) {
+        T v{};
+        src_of(u, &v);
+        return v;
+      });
+      return m_.blockify_scalar<T>(in);
+    }
+    const auto in = exchange<std::vector<T>>(dest_of, [&](net::NodeId u) {
+      std::vector<T> buf(width);
+      src_of(u, buf.data());
+      return buf;
+    });
+    return m_.blockify<T>(width, in);
+  }
+
   /// Compiles and publishes the recorded schedule. Call once, after the
   /// run's last cycle; no-op when replaying or interpreting. Skipping it
   /// merely forfeits caching — the run itself was already correct.

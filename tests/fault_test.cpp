@@ -265,6 +265,22 @@ TEST(MachineFaults, AttachedPlanForcesInterpretedPathAndRefusesReplay) {
   EXPECT_EQ(m.schedule_path(), dc::sim::SchedulePath::kCompiled);
 }
 
+TEST(MachineFaults, AttachedPlanRefusesBlockReplay) {
+  const DualCube d(2);
+  Machine m(d);
+  m.set_schedule_path(dc::sim::SchedulePath::kCompiled);
+  m.attach_faults(std::make_shared<FaultPlan>(FaultPlan().kill_node(7)));
+  EXPECT_EQ(m.schedule_path(), dc::sim::SchedulePath::kInterpreted);
+  dc::sim::ScheduleCycle cyc;
+  cyc.recv_from.assign(d.node_count(), dc::sim::kNoSender);
+  cyc.recv_slot.assign(d.node_count(), dc::sim::kNoEdgeSlot);
+  EXPECT_THROW(m.comm_cycle_scheduled_blocks<int>(
+                   cyc, 2, [](NodeId, int* dst) { dst[0] = dst[1] = 0; }),
+               CheckError);
+  m.clear_faults();
+  EXPECT_EQ(m.schedule_path(), dc::sim::SchedulePath::kCompiled);
+}
+
 // ------------------------------------------------------ fault spec parse
 
 TEST(FaultSpec, ParsesNodesAndRandomForms) {

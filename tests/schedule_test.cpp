@@ -8,15 +8,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "collectives/allgather.hpp"
+#include "collectives/alltoall.hpp"
 #include "collectives/broadcast.hpp"
+#include "collectives/metacube_broadcast.hpp"
 #include "collectives/reduce.hpp"
 #include "collectives/tree.hpp"
+#include "core/block_sort.hpp"
 #include "core/cube_bitonic_sort.hpp"
 #include "core/cube_prefix.hpp"
 #include "core/dimension_exchange.hpp"
 #include "core/dual_prefix.hpp"
 #include "core/dual_sort.hpp"
 #include "core/ops.hpp"
+#include "core/segmented.hpp"
 #include "sim/faults.hpp"
 #include "sim/machine.hpp"
 #include "sim/oblivious.hpp"
@@ -178,6 +183,88 @@ TEST_F(ScheduleTest, ReduceCollectivesParity) {
   });
 }
 
+// Block workloads run their cycles through exchange_blocks: interpreted and
+// record runs ship vector<T> payloads through the fully validated path,
+// replay gathers SoA planes — all three must agree exactly.
+TEST_F(ScheduleTest, BlockSortParity) {
+  const net::RecursiveDualCube r(2);
+  const std::size_t block = 4;
+  const auto input = random_values(r.node_count() * block, 10);
+  expect_parity(r, [&](Machine& m) {
+    auto data = input;
+    core::block_sort(m, r, data, block);
+    return data;
+  });
+}
+
+TEST_F(ScheduleTest, DualAllgatherParity) {
+  const net::DualCube d(3);
+  const auto values = random_values(d.node_count(), 11);
+  expect_parity(d, [&](Machine& m) {
+    return collectives::dual_allgather(m, d, values);
+  });
+}
+
+TEST_F(ScheduleTest, CubeAllgatherParity) {
+  const net::Hypercube q(4);
+  const auto values = random_values(q.node_count(), 12);
+  expect_parity(q, [&](Machine& m) {
+    return collectives::cube_allgather(m, q, values);
+  });
+}
+
+TEST_F(ScheduleTest, DualAlltoallParity) {
+  const net::RecursiveDualCube r(2);
+  const std::size_t n = r.node_count();
+  std::vector<std::vector<u64>> messages(n, std::vector<u64>(n));
+  for (net::NodeId u = 0; u < n; ++u)
+    for (net::NodeId v = 0; v < n; ++v) messages[u][v] = u * 1000 + v;
+  expect_parity(r, [&](Machine& m) {
+    return collectives::dual_alltoall(m, r, messages);
+  });
+}
+
+TEST_F(ScheduleTest, MetacubeBroadcastParity) {
+  const net::Metacube mc(2, 2);
+  expect_parity(mc, [&](Machine& m) {
+    return collectives::metacube_broadcast<u64>(m, mc, net::NodeId{11}, 42);
+  });
+  // The schedule key carries the root: a different root must record its own
+  // schedule, not replay node 11's.
+  expect_parity(mc, [&](Machine& m) {
+    return collectives::metacube_broadcast<u64>(m, mc, net::NodeId{0}, 7);
+  });
+}
+
+TEST_F(ScheduleTest, SegmentedPrefixParity) {
+  const net::DualCube d(3);
+  const auto values = random_values(d.node_count(), 13);
+  std::vector<bool> heads(d.node_count(), false);
+  heads[0] = heads[5] = heads[17] = heads[23] = true;
+  expect_parity(d, [&](Machine& m) {
+    return core::segmented_dual_prefix(m, d, core::Plus<u64>{}, values, heads);
+  });
+  // The segmented run shares dual_prefix's schedule (the Seg monoid changes
+  // no destination), so a plain dual_prefix replays the schedule the
+  // segmented record run just cached.
+  Machine m(d);
+  m.set_schedule_path(SchedulePath::kCompiled);
+  (void)core::dual_prefix(m, d, core::Plus<u64>{}, values);
+  EXPECT_GT(m.replayed_cycles(), 0u);
+}
+
+TEST_F(ScheduleTest, SegmentedBlockPrefixParity) {
+  const net::DualCube d(2);
+  const std::size_t block = 3;
+  const auto values = random_values(d.node_count() * block, 14);
+  std::vector<bool> heads(values.size(), false);
+  heads[0] = heads[4] = heads[13] = true;
+  expect_parity(d, [&](Machine& m) {
+    return core::segmented_block_prefix(m, d, core::Plus<u64>{}, values, heads,
+                                        block);
+  });
+}
+
 TEST_F(ScheduleTest, CacheIsReusedAcrossRuns) {
   const net::DualCube d(2);
   const auto data = random_values(d.node_count(), 9);
@@ -240,6 +327,48 @@ TEST_F(ScheduleTest, RecordTimeOnePortViolationMessageIsExact) {
           return (u == 1 || u == 2 || u == 4) ? net::NodeId{0} : kNoSend;
         },
         [](net::NodeId) { return 7; });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_STREQ(
+        e.what(),
+        "1-port violation: node 0 would receive two messages in one cycle");
+  }
+  EXPECT_EQ(ScheduleCache::instance().size(), 0u);
+}
+
+// The interpreted/record fallback of exchange_blocks routes through the
+// same validated comm_cycle as scalar exchanges, so a bad block cycle
+// fails with the identical SimError strings — and caches nothing.
+TEST_F(ScheduleTest, BlockRecordTimeNonEdgeSendMessageIsExact) {
+  const net::Hypercube q(3);
+  Machine m(q);
+  m.set_schedule_path(SchedulePath::kCompiled);
+  try {
+    ObliviousSection sched(m, "bad_block_nonedge", {});
+    (void)sched.exchange_blocks<int>(
+        2, [](net::NodeId u) { return u == 0 ? net::NodeId{3} : kNoSend; },
+        [](net::NodeId, int* dst) { dst[0] = dst[1] = 1; });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_STREQ(e.what(), "node 0 sent to 3 but Q_3 has no such link");
+  }
+  EXPECT_EQ(ScheduleCache::instance().size(), 0u);
+}
+
+TEST_F(ScheduleTest, BlockRecordTimeOnePortViolationMessageIsExact) {
+  const net::Hypercube q(3);
+  Machine m(q);
+  m.set_schedule_path(SchedulePath::kCompiled);
+  try {
+    ObliviousSection sched(m, "bad_block_port", {});
+    // Width 1 takes the scalar-payload interpreted fallback; the error
+    // string must still match the scalar path byte for byte.
+    (void)sched.exchange_blocks<int>(
+        1,
+        [](net::NodeId u) {
+          return (u == 1 || u == 2 || u == 4) ? net::NodeId{0} : kNoSend;
+        },
+        [](net::NodeId, int* dst) { *dst = 7; });
     FAIL() << "expected SimError";
   } catch (const SimError& e) {
     EXPECT_STREQ(

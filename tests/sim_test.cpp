@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "collectives/allgather.hpp"
+#include "core/block_sort.hpp"
 #include "sim/machine.hpp"
 #include "sim/oblivious.hpp"
 #include "support/thread_pool.hpp"
@@ -341,6 +343,101 @@ TEST(Machine, ScheduledReplayDoesNotAllocate) {
   }
   EXPECT_EQ(g_allocation_count.load(), before);
   EXPECT_EQ(delivered, 4u * q.dimensions() * q.node_count());
+}
+
+TEST(Machine, ScheduledBlockReplayDoesNotAllocate) {
+  const net::Hypercube q(6);
+  Machine m(q);
+  m.set_schedule_path(SchedulePath::kCompiled);
+  constexpr std::size_t kWidth = 8;
+  const auto src = [](net::NodeId u, std::uint64_t* dst) {
+    for (std::size_t k = 0; k < kWidth; ++k) dst[k] = u + k;
+  };
+  // Record the rotating-dimension block exchange once, fetch the compiled
+  // schedule, then run one replay pass so the pooled plane reaches its
+  // high-water size. Every counted iteration after that must reuse it.
+  ObliviousSection section(m, "sim_test_block_alloc", {});
+  for (unsigned i = 0; i < q.dimensions(); ++i) {
+    auto warm = section.exchange_blocks<std::uint64_t>(
+        kWidth, [&](net::NodeId u) { return q.neighbor(u, i); }, src);
+  }
+  section.commit();
+  const auto schedule = ScheduleCache::instance().find(section.key());
+  ASSERT_NE(schedule, nullptr);
+  ASSERT_EQ(schedule->cycle_count(), q.dimensions());
+  for (unsigned i = 0; i < q.dimensions(); ++i) {
+    auto warm = m.comm_cycle_scheduled_blocks<std::uint64_t>(
+        schedule->cycle(i), kWidth, src);
+  }
+  const std::uint64_t before = g_allocation_count.load();
+  std::uint64_t delivered = 0;
+  for (unsigned rep = 0; rep < 4; ++rep) {
+    for (unsigned i = 0; i < q.dimensions(); ++i) {
+      auto inbox = m.comm_cycle_scheduled_blocks<std::uint64_t>(
+          schedule->cycle(i), kWidth,
+          [](net::NodeId u, std::uint64_t* dst) {
+            for (std::size_t k = 0; k < kWidth; ++k) dst[k] = u + k + 1;
+          });
+      for (net::NodeId u = 0; u < q.node_count(); ++u) {
+        if (!inbox.has(u)) continue;
+        ++delivered;
+        EXPECT_EQ(inbox.block(u)[0], bits::flip(u, i) + 1);
+        EXPECT_EQ(inbox.block(u)[kWidth - 1], bits::flip(u, i) + kWidth);
+      }
+    }
+  }
+  EXPECT_EQ(g_allocation_count.load(), before);
+  EXPECT_EQ(delivered, 4u * q.dimensions() * q.node_count());
+}
+
+// Per-directed-edge load vector in a deterministic (CSR) order.
+std::vector<std::uint64_t> all_edge_loads(const Machine& m,
+                                          const net::Topology& t) {
+  std::vector<std::uint64_t> loads;
+  for (net::NodeId u = 0; u < t.node_count(); ++u) {
+    for (const net::NodeId v : t.neighbors(u)) loads.push_back(m.edge_load(u, v));
+  }
+  return loads;
+}
+
+TEST(Machine, BlockSortSoAMatchesAoS) {
+  const net::RecursiveDualCube r(2);
+  const std::size_t block = 4;
+  std::vector<u64> data(r.node_count() * block);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = (i * 2654435761ull) % 997;
+
+  Machine aos(r);
+  aos.enable_edge_load();
+  auto a = data;
+  core::block_sort_aos(aos, r, a, block);
+
+  Machine soa(r);
+  soa.enable_edge_load();
+  auto s = data;
+  core::block_sort(soa, r, s, block);
+
+  EXPECT_EQ(s, a);
+  EXPECT_EQ(soa.counters(), aos.counters());
+  EXPECT_EQ(all_edge_loads(soa, r), all_edge_loads(aos, r));
+}
+
+TEST(Machine, DualAllgatherSoAMatchesAoS) {
+  const net::DualCube d(3);
+  std::vector<u64> values(d.node_count());
+  for (std::size_t u = 0; u < values.size(); ++u) values[u] = u * 10 + 7;
+
+  Machine aos(d);
+  aos.enable_edge_load();
+  const auto a = collectives::dual_allgather_aos(aos, d, values);
+
+  Machine soa(d);
+  soa.enable_edge_load();
+  const auto s = collectives::dual_allgather(soa, d, values);
+
+  EXPECT_EQ(s, a);
+  EXPECT_EQ(soa.counters(), aos.counters());
+  EXPECT_EQ(all_edge_loads(soa, d), all_edge_loads(aos, d));
 }
 
 TEST(Machine, ArenaReuseAcrossPayloadTypesDoesNotAllocate) {

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Schema check for the bench_wallclock summary JSON (CI bench smoke).
+"""Schema + regression check for the bench_wallclock summary JSON.
 
 Usage: check_bench_json.py [path]   (default: BENCH_sim.json)
 
@@ -7,25 +7,38 @@ Verifies the file is a non-empty JSON array in which every row carries a
 non-empty "name" plus numeric "ns_per_op" and "items_per_sec" keys, with
 ns_per_op > 0 and items_per_sec > 0 for every measurement row. Spread
 aggregates ("_stddev", "_cv" rows) are exempt from the positivity checks —
-a perfectly stable run legitimately reports 0 spread. Stdlib only.
+a perfectly stable run legitimately reports 0 spread.
+
+Two further gates run only on files that carry trajectory rows (rows whose
+name ends in "@<tag>", e.g. "BM_BlockSort/512_median@pr3"); the CI smoke
+file has none and skips both:
+
+  * Block-family coverage: BM_BlockSort and BM_BlockPrefix rows must be
+    present — the SoA block-replay path must stay benchmarked.
+  * Median regression: for every plain "X_median" row with at least one
+    recorded "X_median@..." predecessor, the current ns_per_op must not
+    exceed 1.1x the most recent predecessor. "Most recent" means the
+    highest "@prN" number (other tags such as "@baseline-v0" count as
+    PR 0); ties break toward the lowest ns_per_op, so a same-PR
+    interpreted/compiled pair is compared against its faster variant.
+
+Stdlib only.
 """
 import json
+import re
 import sys
 
+REGRESSION_TOLERANCE = 1.1
 
-def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sim.json"
-    try:
-        with open(path, encoding="utf-8") as f:
-            rows = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"{path}: {e}", file=sys.stderr)
-        return 1
 
-    if not isinstance(rows, list) or not rows:
-        print(f"{path}: expected a non-empty JSON array", file=sys.stderr)
-        return 1
+def pr_number(tag: str) -> int:
+    """Trajectory age of a row tag: "pr3" -> 3, "pr2-compiled" -> 2,
+    anything without a @prN prefix (e.g. "baseline-v0") -> 0."""
+    m = re.match(r"pr(\d+)", tag)
+    return int(m.group(1)) if m else 0
 
+
+def check_schema(rows) -> list:
     errors = []
     for i, row in enumerate(rows):
         if not isinstance(row, dict):
@@ -48,6 +61,71 @@ def main() -> int:
                 f"{name}: items_per_sec must be > 0 "
                 "(did the bench call SetItemsProcessed?)"
             )
+    return errors
+
+
+def check_block_family(names) -> list:
+    errors = []
+    for family in ("BM_BlockSort", "BM_BlockPrefix"):
+        if not any(n == family or n.startswith(family + "/") for n in names):
+            errors.append(f"missing block-family rows: no {family} benchmark")
+    return errors
+
+
+def check_median_regressions(rows) -> list:
+    # Trajectory rows: "X@tag" -> list of (pr_number, ns_per_op) under X.
+    history = {}
+    for row in rows:
+        name = row.get("name", "")
+        if "@" not in name:
+            continue
+        base, tag = name.split("@", 1)
+        value = row.get("ns_per_op")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            history.setdefault(base, []).append((pr_number(tag), value, name))
+
+    errors = []
+    for row in rows:
+        name = row.get("name", "")
+        if "@" in name or not name.endswith("_median"):
+            continue
+        candidates = history.get(name)
+        if not candidates:
+            continue
+        newest = max(pr for pr, _, _ in candidates)
+        ns_pred, pred_name = min(
+            (ns, n) for pr, ns, n in candidates if pr == newest)
+        value = row.get("ns_per_op")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue  # already reported by the schema pass
+        if value > REGRESSION_TOLERANCE * ns_pred:
+            errors.append(
+                f"{name}: regressed to {value:.2f} ns/op, more than "
+                f"{REGRESSION_TOLERANCE:.1f}x the recorded {ns_pred:.2f} "
+                f"({pred_name})"
+            )
+    return errors
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sim.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+
+    if not isinstance(rows, list) or not rows:
+        print(f"{path}: expected a non-empty JSON array", file=sys.stderr)
+        return 1
+
+    errors = check_schema(rows)
+    names = [r.get("name", "") for r in rows if isinstance(r, dict)]
+    has_trajectory = any("@" in n for n in names)
+    if has_trajectory:
+        errors += check_block_family(names)
+        errors += check_median_regressions(rows)
 
     for e in errors:
         print(e, file=sys.stderr)
@@ -55,7 +133,8 @@ def main() -> int:
         print(f"{path}: {len(errors)} problem(s) in {len(rows)} rows",
               file=sys.stderr)
         return 1
-    print(f"{path}: {len(rows)} rows OK")
+    suffix = " (trajectory gates active)" if has_trajectory else ""
+    print(f"{path}: {len(rows)} rows OK{suffix}")
     return 0
 
 
