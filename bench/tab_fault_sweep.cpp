@@ -16,6 +16,7 @@
 #include "core/ft_dual_prefix.hpp"
 #include "sim/faults.hpp"
 #include "sim/machine.hpp"
+#include "sim/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -34,6 +35,9 @@ struct Cell {
 }  // namespace
 
 int main() {
+  // Armed before any machine exists, so every sweep machine feeds the
+  // process registry (fault drops, per-cycle message distribution).
+  dc::sim::MetricsRegistry::arm();
   dc::bench::Acceptance acc;
   constexpr std::uint64_t kEver = ~std::uint64_t{0};
   constexpr u64 kTrials = 5;
@@ -131,6 +135,7 @@ int main() {
   std::cout << t << "\n";
   std::cout << "k=0 rows sit exactly on the 2n-cycle optimum; each added\n"
                "fault buys a bounded batch of detour cycles, never a wrong\n"
-               "or missing answer on a live node.\n";
+               "or missing answer on a live node.\n\n";
+  std::cout << dc::sim::metrics_report();
   return acc.finish("tab_fault_sweep");
 }

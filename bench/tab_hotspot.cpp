@@ -32,12 +32,20 @@ struct LoadSplit {
 /// class bit (works for both presentations: in the recursive presentation
 /// the class dimension is bit 0, in the standard one bit 2n-2; we pass the
 /// class-bit index in).
+///
+/// One edge_load_merged() snapshot covers every edge: CSR slots are
+/// row-major (rows in node order, neighbors sorted within a row), so
+/// walking row(u) for ascending u visits slots 0..E-1 sequentially — no
+/// per-edge slot lookup and no O(workers) rescan per edge like the old
+/// edge_load(u, v) loop.
 LoadSplit split_loads(const dc::sim::Machine& m, unsigned class_bit) {
   LoadSplit s;
-  const auto& t = m.topology();
-  for (NodeId u = 0; u < t.node_count(); ++u) {
-    for (const NodeId v : t.neighbors(u)) {
-      const u64 load = m.edge_load(u, v);
+  const auto& adj = m.topology().flat_adjacency();
+  const std::vector<u64> loads = m.edge_load_merged();
+  std::size_t slot = 0;
+  for (NodeId u = 0; u < adj.node_count(); ++u) {
+    for (const NodeId v : adj.row(u)) {
+      const u64 load = loads[slot++];
       if ((u ^ v) == (u64{1} << class_bit)) {
         s.cross_total += load;
         s.cross_max = std::max(s.cross_max, load);

@@ -11,11 +11,20 @@
 //   ./dcsim --algo=route     --n=4 --pattern=random
 //   ./dcsim --algo=prefix    --n=3 --faults=random:2,7
 //   ./dcsim --algo=broadcast --n=3 --faults=nodes:3,17 --fault-policy=degrade
+//   ./dcsim --algo=prefix    --n=4 --trace=out.json --metrics
 //
 // --schedule=compiled|interpreted selects the communication path: compiled
 // (default) records + caches each algorithm's oblivious schedule and runs a
 // warm-up so the reported run replays it; interpreted plans and validates
 // every cycle. Counters and results are identical either way.
+//
+// --trace=FILE.json records every comm cycle, oblivious-section
+// record/replay span, schedule-cache event and fault drop/detour into
+// FILE.json (Chrome-trace format — open in chrome://tracing or
+// https://ui.perfetto.dev). The warm-up and measured machines share one
+// timeline on separate tracks, so the record run and its replay are both
+// visible. --metrics[=table|json] arms the process metrics registry and
+// prints dc::sim::metrics_report() after the run.
 //
 // --faults=nodes:a,b,c | random:k[,seed] injects a fault scenario and runs
 // the fault-tolerant variant (prefix and broadcast only), printing a
@@ -26,6 +35,7 @@
 // covers only fewer than n).
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <numeric>
@@ -44,10 +54,13 @@
 #include "core/sequential.hpp"
 #include "sim/fault_transport.hpp"
 #include "sim/faults.hpp"
+#include "sim/metrics.hpp"
 #include "sim/store_forward.hpp"
+#include "sim/trace.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 #include "topology/routing.hpp"
 
 namespace {
@@ -56,6 +69,39 @@ using dc::u64;
 using dc::net::NodeId;
 
 dc::sim::SchedulePath g_schedule = dc::sim::SchedulePath::kCompiled;
+
+// Shared by every machine the run constructs (warm-up and measured), so
+// record and replay land on separate tracks of one timeline. Null unless
+// --trace was given.
+std::unique_ptr<dc::sim::TraceRecorder> g_trace;
+
+/// Applies the process-wide run configuration to a machine: the schedule
+/// path and, when --trace is active, a trace track labelled `label`.
+void setup_machine(dc::sim::Machine& m, const std::string& label) {
+  m.set_schedule_path(g_schedule);
+  if (g_trace) m.set_trace(g_trace.get(), label);
+}
+
+/// One-table end-of-run summary: schedule-cache statistics plus this
+/// machine's fault counters (degrade-policy runs used to scatter these
+/// across prints). Also publishes the machine's gauges into the metrics
+/// registry, so a --metrics report reflects the measured run.
+void print_run_summary(const dc::sim::Machine& m) {
+  const auto cache = dc::sim::ScheduleCache::instance().stats();
+  const auto c = m.counters();
+  dc::Table t("run summary");
+  t.header({"metric", "value"});
+  t.add("schedule cache entries", cache.entries);
+  t.add("schedule cache bytes", cache.bytes);
+  t.add("schedule cache hits", cache.hits);
+  t.add("schedule cache misses", cache.misses);
+  t.add("schedule cache evictions", cache.evictions);
+  t.add("messages lost to faults", c.messages_lost);
+  t.add("messages rerouted", c.messages_rerouted);
+  t.add("fault-active cycles", c.fault_cycles);
+  std::cout << t;
+  m.publish_metrics();
+}
 
 void print_schedule_path(const dc::sim::Machine& m) {
   if (m.replayed_cycles() > 0) {
@@ -105,7 +151,7 @@ void print_fault_report(const dc::sim::FaultPlan& plan,
 int run_prefix(unsigned n, const std::string& op_name, u64 seed) {
   const dc::net::DualCube d(n);
   dc::sim::Machine m(d);
-  m.set_schedule_path(g_schedule);
+  setup_machine(m, "measured");
   dc::Rng rng(seed);
   std::vector<u64> data(d.node_count());
   for (auto& x : data) x = rng.below(1000);
@@ -116,7 +162,7 @@ int run_prefix(unsigned n, const std::string& op_name, u64 seed) {
     if (g_schedule == dc::sim::SchedulePath::kCompiled) {
       // Warm-up records and caches the schedule so the reported run replays.
       dc::sim::Machine warm(d);
-      warm.set_schedule_path(g_schedule);
+      setup_machine(warm, "warm-up");
       (void)dc::core::dual_prefix(warm, d, op, data);
     }
     out = dc::core::dual_prefix(m, d, op, data);
@@ -140,6 +186,7 @@ int run_prefix(unsigned n, const std::string& op_name, u64 seed) {
             << "\n";
   print_counters(m.counters());
   print_schedule_path(m);
+  print_run_summary(m);
   std::cout << "Theorem 1 bounds: comm <= "
             << dc::core::formulas::dual_prefix_comm_paper(n) << ", comp <= "
             << dc::core::formulas::dual_prefix_comp(n) << "\n";
@@ -149,14 +196,14 @@ int run_prefix(unsigned n, const std::string& op_name, u64 seed) {
 int run_sort(unsigned n, const std::string& dist_name, u64 seed) {
   const dc::net::RecursiveDualCube r(n);
   dc::sim::Machine m(r);
-  m.set_schedule_path(g_schedule);
+  setup_machine(m, "measured");
   dc::KeyDistribution dist = dc::KeyDistribution::kUniform;
   for (const auto d : dc::all_key_distributions())
     if (dc::to_string(d) == dist_name) dist = d;
   auto keys = dc::generate_keys(dist, r.node_count(), seed);
   if (g_schedule == dc::sim::SchedulePath::kCompiled) {
     dc::sim::Machine warm(r);
-    warm.set_schedule_path(g_schedule);
+    setup_machine(warm, "warm-up");
     auto warm_keys = keys;
     dc::core::dual_sort(warm, r, warm_keys);
   }
@@ -166,6 +213,7 @@ int run_sort(unsigned n, const std::string& dist_name, u64 seed) {
             << "): " << (ok ? "sorted" : "NOT SORTED") << "\n";
   print_counters(m.counters());
   print_schedule_path(m);
+  print_run_summary(m);
   std::cout << "Theorem 2 exact: comm = "
             << dc::core::formulas::dual_sort_comm_exact(n) << ", comp = "
             << dc::core::formulas::dual_sort_comp_exact(n) << "\n";
@@ -175,6 +223,7 @@ int run_sort(unsigned n, const std::string& dist_name, u64 seed) {
 int run_radix(unsigned n, unsigned bits, u64 seed) {
   const dc::net::DualCube d(n);
   dc::sim::Machine m(d);
+  setup_machine(m, "measured");
   dc::Rng rng(seed);
   std::vector<u64> keys(d.node_count());
   for (auto& k : keys) k = rng.below(dc::bits::pow2(bits));
@@ -186,12 +235,14 @@ int run_radix(unsigned n, unsigned bits, u64 seed) {
             << (ok ? "sorted" : "NOT SORTED") << " in " << stats.passes
             << " passes (" << stats.routing_cycles << " routing cycles)\n";
   print_counters(m.counters());
+  print_run_summary(m);
   return ok ? 0 : 1;
 }
 
 int run_enum(unsigned n, u64 seed) {
   const dc::net::DualCube d(n);
   dc::sim::Machine m(d);
+  setup_machine(m, "measured");
   auto keys = dc::generate_keys(dc::KeyDistribution::kUniform,
                                 d.node_count(), seed);
   auto expected = keys;
@@ -202,16 +253,17 @@ int run_enum(unsigned n, u64 seed) {
             << (ok ? "sorted" : "NOT SORTED") << "; placement drain "
             << report.cycles << " cycles\n";
   print_counters(m.counters());
+  print_run_summary(m);
   return ok ? 0 : 1;
 }
 
 int run_broadcast(unsigned n, NodeId root) {
   const dc::net::DualCube d(n);
   dc::sim::Machine m(d);
-  m.set_schedule_path(g_schedule);
+  setup_machine(m, "measured");
   if (g_schedule == dc::sim::SchedulePath::kCompiled) {
     dc::sim::Machine warm(d);
-    warm.set_schedule_path(g_schedule);
+    setup_machine(warm, "warm-up");
     (void)dc::collectives::dual_broadcast<u64>(warm, d, root, 42);
   }
   const auto out = dc::collectives::dual_broadcast<u64>(m, d, root, 42);
@@ -221,6 +273,7 @@ int run_broadcast(unsigned n, NodeId root) {
             << (ok ? "complete" : "INCOMPLETE") << "\n";
   print_counters(m.counters());
   print_schedule_path(m);
+  print_run_summary(m);
   std::cout << "diameter: " << d.diameter() << "\n";
   return ok ? 0 : 1;
 }
@@ -228,7 +281,7 @@ int run_broadcast(unsigned n, NodeId root) {
 int run_allreduce(unsigned n, u64 seed) {
   const dc::net::DualCube d(n);
   dc::sim::Machine m(d);
-  m.set_schedule_path(g_schedule);
+  setup_machine(m, "measured");
   dc::Rng rng(seed);
   std::vector<u64> values(d.node_count());
   for (auto& v : values) v = rng.below(100);
@@ -236,7 +289,7 @@ int run_allreduce(unsigned n, u64 seed) {
   const dc::core::Plus<u64> op;
   if (g_schedule == dc::sim::SchedulePath::kCompiled) {
     dc::sim::Machine warm(d);
-    warm.set_schedule_path(g_schedule);
+    setup_machine(warm, "warm-up");
     (void)dc::collectives::dual_allreduce(warm, d, op, values);
   }
   const auto out = dc::collectives::dual_allreduce(m, d, op, values);
@@ -247,6 +300,7 @@ int run_allreduce(unsigned n, u64 seed) {
             << expected << "\n";
   print_counters(m.counters());
   print_schedule_path(m);
+  print_run_summary(m);
   return ok ? 0 : 1;
 }
 
@@ -255,6 +309,7 @@ int run_ft_prefix(unsigned n, const std::string& op_name, u64 seed,
                   dc::sim::FaultPolicy policy) {
   const dc::net::DualCube d(n);
   dc::sim::Machine m(d);
+  setup_machine(m, "measured");
   m.attach_faults(std::make_shared<dc::sim::FaultPlan>(plan), policy);
   dc::Rng rng(seed);
   std::vector<u64> data(d.node_count());
@@ -303,6 +358,7 @@ int run_ft_prefix(unsigned n, const std::string& op_name, u64 seed,
             << ": " << (ok ? "correct on every live node" : "WRONG") << "\n";
   print_fault_report(plan, rep, policy);
   print_counters(m.counters());
+  print_run_summary(m);
   return ok ? 0 : 1;
 }
 
@@ -310,6 +366,7 @@ int run_ft_broadcast(unsigned n, NodeId root, const dc::sim::FaultPlan& plan,
                      dc::sim::FaultPolicy policy) {
   const dc::net::DualCube d(n);
   dc::sim::Machine m(d);
+  setup_machine(m, "measured");
   m.attach_faults(std::make_shared<dc::sim::FaultPlan>(plan), policy);
   dc::sim::FtReport rep;
   const auto out =
@@ -328,6 +385,7 @@ int run_ft_broadcast(unsigned n, NodeId root, const dc::sim::FaultPlan& plan,
             << (ok ? "reached every live node" : "INCOMPLETE") << "\n";
   print_fault_report(plan, rep, policy);
   print_counters(m.counters());
+  print_run_summary(m);
   return ok ? 0 : 1;
 }
 
@@ -381,6 +439,7 @@ int run_with_faults(const std::string& algo, unsigned n,
 int run_route(unsigned n, const std::string& pattern, u64 seed) {
   const dc::net::DualCube d(n);
   dc::sim::Machine m(d);
+  setup_machine(m, "measured");
   const std::size_t N = d.node_count();
   std::vector<NodeId> dest(N);
   if (pattern == "random") {
@@ -407,6 +466,7 @@ int run_route(unsigned n, const std::string& pattern, u64 seed) {
   t.add("avg latency", report.avg_latency);
   t.add("max queue", report.max_queue);
   std::cout << t;
+  print_run_summary(m);
   return 0;
 }
 
@@ -424,6 +484,9 @@ int main(int argc, char** argv) {
   const std::string pattern = cli.get_string("pattern", "random");
   const std::string faults = cli.get_string("faults", "");
   const std::string fault_policy = cli.get_string("fault-policy", "strict");
+  const std::string trace_file = cli.get_string("trace", "");
+  // Bare --metrics parses as "true"; table is the human default.
+  const std::string metrics = cli.get_string("metrics", "");
   // The flag's default follows the process-wide DC_SCHEDULE override so
   // the environment variable keeps working when --schedule is not given.
   const char* env = std::getenv("DC_SCHEDULE");
@@ -443,17 +506,48 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (!faults.empty())
-    return run_with_faults(algo, n, faults, fault_policy, op, root, seed);
+  dc::sim::MetricsFormat metrics_fmt = dc::sim::MetricsFormat::kTable;
+  if (metrics == "json") {
+    metrics_fmt = dc::sim::MetricsFormat::kJson;
+  } else if (!metrics.empty() && metrics != "true" && metrics != "table") {
+    std::cout << "unknown --metrics '" << metrics << "' (table|json)\n";
+    return 2;
+  }
+  // Arm before any machine is constructed: machines resolve their metric
+  // targets at construction time.
+  if (!metrics.empty()) dc::sim::MetricsRegistry::arm();
+  if (!trace_file.empty()) {
+    g_trace = std::make_unique<dc::sim::TraceRecorder>(
+        dc::ThreadPool::shared().size() + 1);
+  }
 
-  if (algo == "prefix") return run_prefix(n, op, seed);
-  if (algo == "sort") return run_sort(n, dist, seed);
-  if (algo == "radix") return run_radix(n, bits, seed);
-  if (algo == "enum") return run_enum(n, seed);
-  if (algo == "broadcast") return run_broadcast(n, root);
-  if (algo == "allreduce") return run_allreduce(n, seed);
-  if (algo == "route") return run_route(n, pattern, seed);
-  std::cout << "unknown --algo '" << algo
-            << "' (prefix|sort|radix|enum|broadcast|allreduce|route)\n";
-  return 2;
+  const auto run = [&]() -> int {
+    if (!faults.empty())
+      return run_with_faults(algo, n, faults, fault_policy, op, root, seed);
+    if (algo == "prefix") return run_prefix(n, op, seed);
+    if (algo == "sort") return run_sort(n, dist, seed);
+    if (algo == "radix") return run_radix(n, bits, seed);
+    if (algo == "enum") return run_enum(n, seed);
+    if (algo == "broadcast") return run_broadcast(n, root);
+    if (algo == "allreduce") return run_allreduce(n, seed);
+    if (algo == "route") return run_route(n, pattern, seed);
+    std::cout << "unknown --algo '" << algo
+              << "' (prefix|sort|radix|enum|broadcast|allreduce|route)\n";
+    return 2;
+  };
+  const int rc = run();
+
+  if (g_trace) {
+    std::ofstream out(trace_file);
+    if (!out) {
+      std::cout << "cannot open --trace file '" << trace_file << "'\n";
+      return 2;
+    }
+    g_trace->write_json(out);
+    std::cout << "trace: " << g_trace->emitted() << " events ("
+              << g_trace->dropped() << " dropped) -> " << trace_file
+              << " (open in https://ui.perfetto.dev)\n";
+  }
+  if (!metrics.empty()) std::cout << dc::sim::metrics_report(metrics_fmt);
+  return rc;
 }

@@ -30,6 +30,7 @@
 
 #include "sim/fault_transport.hpp"
 #include "sim/machine.hpp"
+#include "sim/trace.hpp"
 #include "support/rng.hpp"
 #include "topology/dual_cube.hpp"
 
@@ -124,6 +125,7 @@ std::vector<std::optional<V>> ft_dual_broadcast(
     if (alive(u) && !have[u]) missing.push_back(u);
 
   if (!missing.empty()) {
+    sim::TraceScope phase(m.trace(), m.trace_track(), "phase:repair");
     std::vector<sim::LogicalMessage<V>> repairs;
     repairs.reserve(missing.size());
     for (const net::NodeId v : missing) {

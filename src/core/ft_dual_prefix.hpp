@@ -36,6 +36,7 @@
 #include "core/ops.hpp"
 #include "sim/fault_transport.hpp"
 #include "sim/machine.hpp"
+#include "sim/trace.hpp"
 #include "support/rng.hpp"
 #include "topology/dual_cube.hpp"
 #include "topology/graph.hpp"
@@ -111,6 +112,10 @@ std::vector<std::optional<typename M::value_type>> ft_dual_prefix(
   // comm cycle; under faults the drain may take longer (proxy congestion,
   // multi-hop detours) — the excess is accounted as repair.
   const auto exchange = [&](auto&& dest_of, auto&& payload_of) {
+    // One span per logical exchange: the healthy cycle plus whatever
+    // repair drain the faults force, so the timeline shows exactly which
+    // exchanges paid detours.
+    sim::TraceScope phase(m.trace(), m.trace_track(), "phase:ft_exchange");
     std::vector<sim::LogicalMessage<V>> msgs;
     msgs.reserve(n_nodes);
     for (net::NodeId u = 0; u < n_nodes; ++u) {

@@ -51,6 +51,11 @@ namespace detail {
 
 struct ArenaBase {
   virtual ~ArenaBase() = default;
+  /// Bytes of scratch currently resident in this arena (persistent outbox
+  /// plus pooled buffers). Pools keep buffers at their high-water size, so
+  /// between runs — when every Inbox has been recycled — this reads as the
+  /// run's high-water scratch footprint.
+  virtual std::size_t resident_bytes() const = 0;
 };
 
 /// One pooled inbox: payload slots plus atomic claim stamps per receive
@@ -94,6 +99,15 @@ struct TypedArena final : ArenaBase {
 
   void release(std::unique_ptr<InboxBuffer<P>> buf) {
     pool.push_back(std::move(buf));
+  }
+
+  std::size_t resident_bytes() const override {
+    std::size_t bytes = outbox.capacity() * sizeof(std::optional<Send<P>>);
+    for (const auto& buf : pool) {
+      bytes += buf->slots.capacity() * sizeof(std::optional<P>);
+      bytes += size * sizeof(std::atomic<std::uint64_t>);
+    }
+    return bytes;
   }
 
   std::size_t size;
@@ -154,6 +168,15 @@ struct TypedBlockArena final : ArenaBase {
     pool.push_back(std::move(buf));
   }
 
+  std::size_t resident_bytes() const override {
+    std::size_t bytes = 0;
+    for (const auto& buf : pool) {
+      bytes += buf->values.capacity() * sizeof(T);
+      bytes += size * sizeof(std::uint64_t);  // stamps
+    }
+    return bytes;
+  }
+
   std::size_t size;
   std::vector<std::unique_ptr<BlockBuffer<T>>> pool;
   std::uint64_t next_generation = 0;
@@ -190,6 +213,18 @@ class CommArena {
                .first;
     }
     return std::static_pointer_cast<detail::TypedBlockArena<T>>(it->second);
+  }
+
+  /// Bytes of pooled communication scratch resident across every payload
+  /// type and block plane. Read between runs (all inboxes recycled) this is
+  /// the high-water scratch footprint; feeds the
+  /// sim.comm_pool.high_water_bytes gauge.
+  std::size_t resident_bytes() const {
+    std::size_t total = 0;
+    for (const auto& [key, arena] : arenas_) total += arena->resident_bytes();
+    for (const auto& [key, arena] : block_arenas_)
+      total += arena->resident_bytes();
+    return total;
   }
 
  private:

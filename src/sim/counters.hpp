@@ -58,11 +58,26 @@ class EdgeLoadCounters {
     return per_worker_[worker_slot].data();
   }
 
-  /// Merged count for one CSR edge slot.
+  /// Merged count for one CSR edge slot. O(workers) per call — hot loops
+  /// that read many slots should take one merged() snapshot instead.
   std::uint64_t slot_total(std::size_t edge_slot) const {
     std::uint64_t total = 0;
     for (const auto& row : per_worker_) total += row[edge_slot];
     return total;
+  }
+
+  /// Bulk snapshot: merged totals for every CSR edge slot (index = slot),
+  /// one pass over the per-worker arrays. Reading E slots through this is
+  /// O(workers * E) total, versus O(workers * E) *per full scan* repeated
+  /// E times when looping over slot_total.
+  std::vector<std::uint64_t> merged() const {
+    std::vector<std::uint64_t> out;
+    if (per_worker_.empty()) return out;
+    out.assign(per_worker_.front().size(), 0);
+    for (const auto& row : per_worker_) {
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += row[i];
+    }
+    return out;
   }
 
   /// Record / read a message outside the CSR edge set (validation off).

@@ -166,6 +166,10 @@ FtReport deliver_with_detours(Machine& m, const net::DualCube& d,
     if (deviated) {
       rep.rerouted_hops += hops;
       ++rep.repaired;
+      if (TraceRecorder* rec = m.trace()) {
+        rec->instant(m.trace_track(), 0, "fault_detour", "logical_dst",
+                     msg.logical_dst, "hops", hops);
+      }
     }
     packets.push_back(DetourPacket<V>{msg.phys_src, std::move(route.path), 0,
                                       0, msg.logical_dst,

@@ -49,6 +49,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -58,7 +59,9 @@
 #include "sim/arena.hpp"
 #include "sim/counters.hpp"
 #include "sim/faults.hpp"
+#include "sim/metrics.hpp"
 #include "sim/schedule.hpp"
+#include "sim/trace.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 #include "topology/flat_adjacency.hpp"
@@ -81,7 +84,17 @@ class Machine {
       : topo_(topo),
         validate_(validate),
         pool_(&ThreadPool::shared()),
-        ops_cells_(pool_->size() + 1) {}
+        ops_cells_(pool_->size() + 1) {
+    // Metric targets are resolved once, here, and only when the registry
+    // was armed before construction — an unarmed process pays exactly one
+    // null test per cycle and allocates nothing for metrics.
+    if (MetricsRegistry::armed()) {
+      auto& reg = MetricsRegistry::instance();
+      metric_msgs_per_cycle_ = &reg.histogram("sim.messages_per_cycle",
+                                              Histogram::pow2_bounds(24));
+      metric_fault_drops_ = &reg.counter("sim.fault.drops");
+    }
+  }
 
   const net::Topology& topology() const { return topo_; }
   net::NodeId node_count() const { return topo_.node_count(); }
@@ -163,10 +176,11 @@ class Machine {
   /// node per cycle (enforced by the signature). Returns the inbox: for
   /// each node, the payload it received this cycle, if any. Steady-state
   /// cycles (after the first cycle per payload type) perform zero heap
-  /// allocations while tracing is off.
+  /// allocations, with tracing and metrics enabled or disabled.
   template <typename P, typename Plan>
   Inbox<P> comm_cycle(Plan&& plan) {
     const std::size_t n = static_cast<std::size_t>(node_count());
+    CycleSpan span(trace_, trace_track_, "comm_cycle");
     auto arena = arena_.get<P>(n);
     auto buf = arena->acquire();
 
@@ -271,7 +285,8 @@ class Machine {
     ++counters_.comm_cycles;
     const std::uint64_t count = delivered.load(std::memory_order_relaxed);
     counters_.messages += count;
-    if (tracing_) messages_per_cycle_.push_back(count);
+    span.finish(count);
+    if (metric_msgs_per_cycle_) metric_msgs_per_cycle_->observe(count);
     return Inbox<P>(std::move(arena), std::move(buf));
   }
 
@@ -283,8 +298,8 @@ class Machine {
   /// sender; it must only read state (any node's), like a plan callback.
   /// Counter, trace and edge-load semantics are identical to comm_cycle:
   /// edge slots were resolved at record time, so hot-spot accounting is a
-  /// plain indexed add. Steady-state replays perform zero heap allocations
-  /// while tracing is off.
+  /// plain indexed add. Steady-state replays perform zero heap allocations,
+  /// with tracing and metrics enabled or disabled.
   template <typename P, typename PayloadFn>
   Inbox<P> comm_cycle_scheduled(const ScheduleCycle& cyc,
                                 PayloadFn&& payload) {
@@ -294,6 +309,7 @@ class Machine {
                "with an attached FaultPlan must interpret every cycle");
     DC_REQUIRE(cyc.recv_from.size() == n,
                "schedule cycle was compiled for a different node count");
+    CycleSpan span(trace_, trace_track_, "comm_cycle_replay");
     auto arena = arena_.get<P>(n);
     auto buf = arena->acquire();
 
@@ -327,7 +343,9 @@ class Machine {
     ++counters_.comm_cycles;
     counters_.messages += cyc.message_count;
     ++replayed_cycles_;
-    if (tracing_) messages_per_cycle_.push_back(cyc.message_count);
+    span.finish(cyc.message_count);
+    if (metric_msgs_per_cycle_)
+      metric_msgs_per_cycle_->observe(cyc.message_count);
     return Inbox<P>(std::move(arena), std::move(buf));
   }
 
@@ -340,8 +358,8 @@ class Machine {
   /// exactly once per delivered message. Counter, trace, edge-load and
   /// fault-refusal semantics are identical to comm_cycle_scheduled.
   /// Steady-state replays at a given width perform zero heap allocations
-  /// while tracing is off (the plane is pooled and kept at its high-water
-  /// size).
+  /// (the plane is pooled and kept at its high-water size), with tracing
+  /// and metrics enabled or disabled.
   template <typename T, typename SrcFn>
   BlockInbox<T> comm_cycle_scheduled_blocks(const ScheduleCycle& cyc,
                                             std::size_t width, SrcFn&& src) {
@@ -352,6 +370,7 @@ class Machine {
     DC_REQUIRE(cyc.recv_from.size() == n,
                "schedule cycle was compiled for a different node count");
     DC_REQUIRE(width >= 1, "block width must be >= 1");
+    CycleSpan span(trace_, trace_track_, "comm_cycle_replay_blocks");
     auto arena = arena_.get_blocks<T>(n);
     auto buf = arena->acquire(width);
 
@@ -385,7 +404,9 @@ class Machine {
     ++counters_.comm_cycles;
     counters_.messages += cyc.message_count;
     ++replayed_cycles_;
-    if (tracing_) messages_per_cycle_.push_back(cyc.message_count);
+    span.finish(cyc.message_count);
+    if (metric_msgs_per_cycle_)
+      metric_msgs_per_cycle_->observe(cyc.message_count);
     return BlockInbox<T>(std::move(arena), std::move(buf));
   }
 
@@ -454,6 +475,7 @@ class Machine {
         },
         grain_, pool_);
     ++counters_.comp_steps;
+    if (trace_) trace_->instant(trace_track_, 0, "compute_step");
   }
 
   /// Uncounted per-node bookkeeping (initialization, copy-out).
@@ -467,10 +489,39 @@ class Machine {
         grain_, pool_);
   }
 
-  /// Enable recording of per-cycle delivered-message counts.
-  void enable_trace() { tracing_ = true; }
-  const std::vector<std::uint64_t>& messages_per_cycle() const {
-    return messages_per_cycle_;
+  /// Attaches an external trace recorder (sim/trace.hpp) and registers a
+  /// timeline track labelled `label` for this machine. Several machines may
+  /// share one recorder (dcsim puts warm-up and measured runs on separate
+  /// tracks of one timeline). Pass nullptr to detach. All ring memory was
+  /// allocated when the recorder was built, so enabling tracing adds two
+  /// ring stores per comm cycle and no allocations.
+  void set_trace(TraceRecorder* rec, std::string label = "machine") {
+    trace_ = rec;
+    trace_track_ = trace_ ? trace_->register_track(std::move(label)) : 0;
+  }
+
+  /// Compatibility switch: enables tracing into a machine-owned recorder
+  /// (allocated here, once). Prefer set_trace to share a recorder.
+  void enable_trace() {
+    if (trace_) return;
+    owned_trace_ =
+        std::make_unique<TraceRecorder>(pool().size() + 1);
+    set_trace(owned_trace_.get(), topo_.name());
+  }
+
+  /// The attached recorder (null when tracing is off) and this machine's
+  /// track id on it. Pass to TraceScope to add phase spans around
+  /// algorithm sections.
+  TraceRecorder* trace() const { return trace_; }
+  std::uint32_t trace_track() const { return trace_track_; }
+
+  /// Compatibility query: delivered-message count of every traced comm
+  /// cycle, in cycle order (backed by the recorder's kCycleEnd events).
+  /// Empty when tracing was never enabled; complete while the caller ring
+  /// has not wrapped (TraceRecorder::dropped() == 0).
+  std::vector<std::uint64_t> messages_per_cycle() const {
+    if (!trace_) return {};
+    return trace_->messages_per_cycle(trace_track_);
   }
 
   /// Enable per-directed-edge message counting (hot-spot analysis). All
@@ -491,6 +542,59 @@ class Machine {
         slot == net::FlatAdjacency::npos ? 0 : edge_load_.slot_total(slot);
     total += edge_load_.off_csr(u * node_count() + v);
     return total;
+  }
+
+  /// Merged per-edge totals for the whole run, indexed by CSR edge slot
+  /// (row-major over FlatAdjacency rows). One O(workers * edges) pass —
+  /// use this instead of looping edge_load() over every edge.
+  std::vector<std::uint64_t> edge_load_merged() const {
+    return edge_load_.merged();
+  }
+
+  /// Publishes this machine's end-of-run gauges into the armed metrics
+  /// registry: final step counters, fault totals, merged edge-load
+  /// imbalance (max/mean), pooled comm-scratch high water, and trace
+  /// volume. No-op when the registry is unarmed. Call between runs, then
+  /// render with metrics_report().
+  void publish_metrics() const {
+    if (!MetricsRegistry::armed()) return;
+    auto& reg = MetricsRegistry::instance();
+    const Counters c = counters();
+    reg.set_gauge("sim.comm_cycles", static_cast<double>(c.comm_cycles));
+    reg.set_gauge("sim.comp_steps", static_cast<double>(c.comp_steps));
+    reg.set_gauge("sim.messages", static_cast<double>(c.messages));
+    reg.set_gauge("sim.replayed_cycles",
+                  static_cast<double>(replayed_cycles_));
+    reg.set_gauge("sim.fault.messages_lost",
+                  static_cast<double>(c.messages_lost));
+    reg.set_gauge("sim.fault.messages_rerouted",
+                  static_cast<double>(c.messages_rerouted));
+    reg.set_gauge("sim.fault.cycles", static_cast<double>(c.fault_cycles));
+    if (edge_load_.enabled()) {
+      const std::vector<std::uint64_t> loads = edge_load_.merged();
+      std::uint64_t max = 0;
+      std::uint64_t sum = 0;
+      for (const std::uint64_t v : loads) {
+        max = std::max(max, v);
+        sum += v;
+      }
+      const double mean =
+          loads.empty() ? 0.0
+                        : static_cast<double>(sum) /
+                              static_cast<double>(loads.size());
+      reg.set_gauge("sim.edge_load.max", static_cast<double>(max));
+      reg.set_gauge("sim.edge_load.mean", mean);
+      reg.set_gauge("sim.edge_load.imbalance",
+                    mean > 0.0 ? static_cast<double>(max) / mean : 0.0);
+    }
+    reg.set_gauge("sim.comm_pool.high_water_bytes",
+                  static_cast<double>(arena_.resident_bytes()));
+    if (trace_) {
+      reg.set_gauge("sim.trace.events",
+                    static_cast<double>(trace_->emitted()));
+      reg.set_gauge("sim.trace.dropped",
+                    static_cast<double>(trace_->dropped()));
+    }
   }
 
  private:
@@ -515,7 +619,10 @@ class Machine {
   void filter_faults(std::vector<std::optional<Send<P>>>& outbox) {
     const FaultPlan& f = *faults_;
     const std::uint64_t cyc = counters_.comm_cycles;  // index of this cycle
-    if (f.any_active(cyc)) ++counters_.fault_cycles;
+    if (f.any_active(cyc)) {
+      ++counters_.fault_cycles;
+      if (trace_) trace_->instant(trace_track_, 0, "fault_cycle", "cycle", cyc);
+    }
     const std::size_t n = static_cast<std::size_t>(node_count());
     const bool strict = fault_policy_ == FaultPolicy::kStrict;
     for (std::size_t u = 0; u < n; ++u) {
@@ -536,13 +643,25 @@ class Machine {
       if (!error.empty()) {
         if (strict) throw FaultError(error);
         outbox[u].reset();
-        ++counters_.messages_lost;
+        note_fault_drop(u, cyc);
         continue;
       }
       if (f.drops_message(cyc, static_cast<net::NodeId>(u))) {
         outbox[u].reset();
-        ++counters_.messages_lost;
+        note_fault_drop(u, cyc);
       }
+    }
+  }
+
+  /// Accounts one fault-dropped message (degrade-policy kill or transient
+  /// drop): Counters, fault-drop metric, and a fault_drop trace instant
+  /// tagged with the sender and cycle.
+  void note_fault_drop(std::size_t sender, std::uint64_t cyc) {
+    ++counters_.messages_lost;
+    if (metric_fault_drops_) metric_fault_drops_->add();
+    if (trace_) {
+      trace_->instant(trace_track_, 0, "fault_drop", "sender", sender,
+                      "cycle", cyc);
     }
   }
 
@@ -583,6 +702,31 @@ class Machine {
     std::uint64_t v = 0;
   };
 
+  /// Guard around one comm cycle's trace span: begin on construction, a
+  /// kCycleEnd-tagged end (carrying the delivered-message count) via
+  /// finish(), and — if the cycle throws before finishing — a plain end so
+  /// the exported spans stay balanced. Inert with no recorder attached.
+  struct CycleSpan {
+    CycleSpan(TraceRecorder* rec, std::uint32_t track, const char* name)
+        : rec_(rec), track_(track), name_(name) {
+      if (rec_) rec_->begin(track_, 0, name_);
+    }
+    void finish(std::uint64_t messages) {
+      if (rec_) rec_->end_cycle(track_, 0, name_, messages);
+      rec_ = nullptr;
+    }
+    ~CycleSpan() {
+      if (rec_) rec_->end(track_, 0, name_);
+    }
+    CycleSpan(const CycleSpan&) = delete;
+    CycleSpan& operator=(const CycleSpan&) = delete;
+
+   private:
+    TraceRecorder* rec_;
+    std::uint32_t track_;
+    const char* name_;
+  };
+
   static SchedulePath default_schedule_path() {
     static const SchedulePath p = [] {
       const char* e = std::getenv("DC_SCHEDULE");
@@ -595,13 +739,16 @@ class Machine {
 
   const net::Topology& topo_;
   bool validate_;
-  bool tracing_ = false;
   SchedulePath schedule_path_ = default_schedule_path();
   std::uint64_t replayed_cycles_ = 0;
   Counters counters_;
   ThreadPool* pool_;  // never null; set at construction
   std::vector<OpsCell> ops_cells_;
-  std::vector<std::uint64_t> messages_per_cycle_;
+  TraceRecorder* trace_ = nullptr;  // null = tracing off (the common case)
+  std::uint32_t trace_track_ = 0;
+  std::unique_ptr<TraceRecorder> owned_trace_;  // only via enable_trace()
+  Histogram* metric_msgs_per_cycle_ = nullptr;  // null = registry unarmed
+  MetricCounter* metric_fault_drops_ = nullptr;
   CommArena arena_;
   mutable const net::FlatAdjacency* adj_ = nullptr;
   std::size_t grain_ = 0;

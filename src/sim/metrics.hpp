@@ -1,0 +1,292 @@
+// Process-wide metrics registry: named counters, fixed-bucket histograms,
+// and point-in-time gauges.
+//
+// The trace layer (sim/trace.hpp) answers "what happened when"; this
+// header answers "how much, overall". Components register named metrics
+// once (find-or-create under a mutex) and then update them through stable
+// references, so the steady-state cost of an armed metric is one relaxed
+// atomic add — and the cost of a disarmed registry is a single null-pointer
+// test at each instrumentation point, because components only resolve their
+// metrics when MetricsRegistry::armed() was set before they were built.
+//
+// Metric name conventions (all under "sim."):
+//   sim.messages_per_cycle        histogram, messages delivered per cycle
+//   sim.fault.drops               counter, messages eaten by faults (live)
+//   sim.comm_cycles / comp_steps / messages / replayed_cycles
+//                                 gauges, one machine's final Counters
+//   sim.edge_load.{max,mean,imbalance}
+//                                 gauges from the merged edge-load snapshot
+//   sim.comm_pool.high_water_bytes gauge, comm-scratch arena high water
+//   sim.schedule_cache.{entries,bytes,hits,misses,evictions}
+//                                 gauges published by metrics_report()
+//   sim.trace.{events,dropped}    gauges, recorder volume
+//
+// Registered references are valid for the process lifetime: reset() zeroes
+// values but never destroys a counter or histogram, so a Machine that
+// resolved a pointer before a test reset keeps a valid target.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/schedule.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace dc::sim {
+
+/// One named monotone counter. add() is safe from any thread.
+class MetricCounter {
+ public:
+  void add(std::uint64_t k = 1) {
+    value_.fetch_add(k, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations v <= bounds[i],
+/// plus one overflow bucket. Bounds are fixed at registration, so observe()
+/// is a short scan plus relaxed atomic adds — no allocation, no lock.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds)
+      : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+      DC_REQUIRE(bounds_[i - 1] < bounds_[i],
+                 "histogram bounds must be strictly increasing");
+    }
+  }
+
+  /// 1, 2, 4, ... 2^max_exp — the default shape for message counts.
+  static std::vector<std::uint64_t> pow2_bounds(unsigned max_exp) {
+    std::vector<std::uint64_t> b;
+    b.reserve(max_exp + 1);
+    for (unsigned e = 0; e <= max_exp; ++e)
+      b.push_back(std::uint64_t{1} << e);
+    return b;
+  }
+
+  void observe(std::uint64_t v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  std::vector<std::uint64_t> bucket_counts() const {
+    std::vector<std::uint64_t> out(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance() {
+    static MetricsRegistry reg;
+    return reg;
+  }
+
+  /// Components resolve metric pointers only when the registry was armed
+  /// before they were constructed — an unarmed process pays nothing.
+  static bool armed() { return armed_flag().load(std::memory_order_relaxed); }
+  static void arm() { armed_flag().store(true, std::memory_order_relaxed); }
+  static void disarm() {
+    armed_flag().store(false, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create. The returned reference is stable for the process
+  /// lifetime (reset() zeroes, never destroys).
+  MetricCounter& counter(const std::string& name) {
+    std::scoped_lock lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<MetricCounter>();
+    return *slot;
+  }
+
+  /// Find-or-create; `bounds` applies only on first registration.
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> bounds) {
+    std::scoped_lock lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+  }
+
+  /// Point-in-time value published at report boundaries (end of a run);
+  /// the latest write wins.
+  void set_gauge(const std::string& name, double value) {
+    std::scoped_lock lock(mutex_);
+    gauges_[name] = value;
+  }
+
+  struct HistogramSnapshot {
+    std::string name;
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    double mean = 0.0;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+  };
+
+  /// Deterministically ordered (name-sorted via std::map) snapshot.
+  Snapshot snapshot() const {
+    std::scoped_lock lock(mutex_);
+    Snapshot s;
+    for (const auto& [name, c] : counters_)
+      s.counters.emplace_back(name, c->value());
+    for (const auto& [name, v] : gauges_) s.gauges.emplace_back(name, v);
+    for (const auto& [name, h] : histograms_) {
+      s.histograms.push_back(HistogramSnapshot{name, h->bounds(),
+                                               h->bucket_counts(), h->count(),
+                                               h->sum(), h->max(), h->mean()});
+    }
+    return s;
+  }
+
+  /// Zeroes every counter and histogram and clears gauges. Registered
+  /// references stay valid.
+  void reset() {
+    std::scoped_lock lock(mutex_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+    gauges_.clear();
+  }
+
+ private:
+  static std::atomic<bool>& armed_flag() {
+    static std::atomic<bool> flag{false};
+    return flag;
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, double> gauges_;
+};
+
+enum class MetricsFormat { kTable, kJson };
+
+namespace detail {
+
+inline std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace detail
+
+/// Renders the registry (plus the current ScheduleCache statistics, pulled
+/// in as gauges at call time) as a human table or machine JSON. Used by the
+/// dcsim end-of-run report and the bench tables.
+inline std::string metrics_report(MetricsFormat fmt = MetricsFormat::kTable) {
+  auto& reg = MetricsRegistry::instance();
+  const auto cache = ScheduleCache::instance().stats();
+  reg.set_gauge("sim.schedule_cache.entries",
+                static_cast<double>(cache.entries));
+  reg.set_gauge("sim.schedule_cache.bytes", static_cast<double>(cache.bytes));
+  reg.set_gauge("sim.schedule_cache.hits", static_cast<double>(cache.hits));
+  reg.set_gauge("sim.schedule_cache.misses",
+                static_cast<double>(cache.misses));
+  reg.set_gauge("sim.schedule_cache.evictions",
+                static_cast<double>(cache.evictions));
+  const auto snap = reg.snapshot();
+
+  if (fmt == MetricsFormat::kJson) {
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, v] : snap.counters) {
+      os << (first ? "" : ",") << "\"" << name << "\":" << v;
+      first = false;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : snap.gauges) {
+      os << (first ? "" : ",") << "\"" << name
+         << "\":" << detail::format_double(v);
+      first = false;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto& h : snap.histograms) {
+      os << (first ? "" : ",") << "\"" << h.name << "\":{\"bounds\":[";
+      for (std::size_t i = 0; i < h.bounds.size(); ++i)
+        os << (i ? "," : "") << h.bounds[i];
+      os << "],\"counts\":[";
+      for (std::size_t i = 0; i < h.counts.size(); ++i)
+        os << (i ? "," : "") << h.counts[i];
+      os << "],\"count\":" << h.count << ",\"sum\":" << h.sum
+         << ",\"max\":" << h.max
+         << ",\"mean\":" << detail::format_double(h.mean) << "}";
+      first = false;
+    }
+    os << "}}\n";
+    return os.str();
+  }
+
+  Table t("metrics");
+  t.header({"metric", "value"});
+  for (const auto& [name, v] : snap.counters) t.add(name, v);
+  for (const auto& [name, v] : snap.gauges)
+    t.add(name, detail::format_double(v));
+  for (const auto& h : snap.histograms) {
+    t.add(h.name + ".count", h.count);
+    t.add(h.name + ".mean", detail::format_double(h.mean));
+    t.add(h.name + ".max", h.max);
+  }
+  std::ostringstream os;
+  os << t;
+  return os.str();
+}
+
+}  // namespace dc::sim

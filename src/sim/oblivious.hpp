@@ -43,15 +43,42 @@ class ObliviousSection {
   ObliviousSection(Machine& m, std::string algorithm,
                    std::vector<dc::u64> params)
       : m_(m) {
-    if (m_.schedule_path() == SchedulePath::kInterpreted) return;
-    key_ = ScheduleKey{topology_identity(m_.topology()), std::move(algorithm),
-                       std::move(params), m_.validating()};
-    replay_ = ScheduleCache::instance().find(key_);
-    if (!replay_) {
-      recorder_ = std::make_unique<ScheduleRecorder>(
-          static_cast<std::size_t>(m_.node_count()));
+    const bool interpreted =
+        m_.schedule_path() == SchedulePath::kInterpreted;
+    if (!interpreted) {
+      key_ = ScheduleKey{topology_identity(m_.topology()),
+                         std::move(algorithm), std::move(params),
+                         m_.validating()};
+      replay_ = ScheduleCache::instance().find(key_);
+      if (!replay_) {
+        recorder_ = std::make_unique<ScheduleRecorder>(
+            static_cast<std::size_t>(m_.node_count()));
+      }
+    }
+    // The section's lifetime is one span on the machine's trace, named by
+    // the path it picked ("interp:" / "record:" / "replay:" + algorithm).
+    // The name is interned once per section — algorithm-run granularity,
+    // never per cycle — so traced cycles inside stay allocation-free.
+    if (TraceRecorder* rec = m_.trace()) {
+      const std::string& algo = interpreted ? algorithm : key_.algorithm;
+      const char* mode =
+          interpreted ? "interp:" : (replay_ ? "replay:" : "record:");
+      span_name_ = rec->intern(std::string(mode) + algo);
+      rec->begin(m_.trace_track(), 0, span_name_);
+      if (!interpreted) {
+        rec->instant(m_.trace_track(), 0,
+                     replay_ ? "schedule_cache_hit" : "schedule_cache_miss");
+      }
     }
   }
+
+  ~ObliviousSection() {
+    if (span_name_ && m_.trace())
+      m_.trace()->end(m_.trace_track(), 0, span_name_);
+  }
+
+  ObliviousSection(const ObliviousSection&) = delete;
+  ObliviousSection& operator=(const ObliviousSection&) = delete;
 
   /// True iff this section replays a cached compiled schedule.
   bool replaying() const { return replay_ != nullptr; }
@@ -143,6 +170,10 @@ class ObliviousSection {
     replay_ = ScheduleCache::instance().store(
         key_, std::move(*recorder_).finalize(m_.topology().flat_adjacency()));
     recorder_.reset();
+    if (TraceRecorder* rec = m_.trace()) {
+      rec->instant(m_.trace_track(), 0, "schedule_commit", "cycles",
+                   replay_ ? replay_->cycle_count() : 0);
+    }
   }
 
   /// Topology identity used in schedule keys: the display name plus the
@@ -159,6 +190,7 @@ class ObliviousSection {
   // -Wmaybe-uninitialized misfires on optional's inlined payload destructor.
   std::unique_ptr<ScheduleRecorder> recorder_;
   std::size_t next_cycle_ = 0;
+  const char* span_name_ = nullptr;  // interned; non-null iff traced
 };
 
 }  // namespace dc::sim

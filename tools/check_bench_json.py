@@ -1,7 +1,17 @@
 #!/usr/bin/env python3
-"""Schema + regression check for the bench_wallclock summary JSON.
+"""Schema + regression check for the bench_wallclock summary JSON, plus a
+trace-validate subcommand for dcsim --trace exports.
 
-Usage: check_bench_json.py [path]   (default: BENCH_sim.json)
+Usage: check_bench_json.py [path]            (default: BENCH_sim.json)
+       check_bench_json.py trace-validate TRACE.json
+
+trace-validate schema-checks a Chrome-trace export from `dcsim --trace`:
+every event carries name/ph/pid/tid/ts; 'B'/'E' spans are balanced per
+(pid, tid) with matching names (LIFO nesting); kCycleEnd-style cycle spans
+use known phase names; logical timestamps are strictly monotone across the
+merged stream; and per-track cycle events appear in monotone (logical)
+order. Span-balance checks are skipped when otherData.dropped_events > 0 —
+a wrapped ring legitimately loses opening events.
 
 Verifies the file is a non-empty JSON array in which every row carries a
 non-empty "name" plus numeric "ns_per_op" and "items_per_sec" keys, with
@@ -107,7 +117,119 @@ def check_median_regressions(rows) -> list:
     return errors
 
 
+# Phase names the simulator emits (docs/MODEL.md "Observability"). Span
+# names may also be "record:<algo>" / "replay:<algo>" / "interp:<algo>" /
+# "phase:<label>" with a free-form suffix.
+KNOWN_SPANS = {"comm_cycle", "comm_cycle_replay", "comm_cycle_replay_blocks"}
+KNOWN_SPAN_PREFIXES = ("record:", "replay:", "interp:", "phase:")
+KNOWN_INSTANTS = {
+    "compute_step",
+    "fault_drop",
+    "fault_cycle",
+    "fault_detour",
+    "schedule_cache_hit",
+    "schedule_cache_miss",
+    "schedule_commit",
+}
+
+
+def known_span_name(name: str) -> bool:
+    return name in KNOWN_SPANS or name.startswith(KNOWN_SPAN_PREFIXES)
+
+
+def trace_validate(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+
+    errors = []
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list) or not events:
+        print(f"{path}: expected an object with a non-empty 'traceEvents' "
+              "array", file=sys.stderr)
+        return 1
+    dropped = 0
+    other = doc.get("otherData")
+    if isinstance(other, dict):
+        dropped = other.get("dropped_events", 0)
+
+    last_ts = None        # merged-stream logical clock must be strict
+    open_spans = {}       # (pid, tid) -> stack of open 'B' names
+    cycle_count = {}      # pid -> comm cycles seen, to report positions
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = e.get("ph")
+        name = e.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"event {i}: missing 'name'")
+            continue
+        if ph == "M":
+            continue  # metadata (process_name) carries no ts
+        for key in ("pid", "tid", "ts"):
+            if not isinstance(e.get(key), int):
+                errors.append(f"event {i} ({name}): missing integer '{key}'")
+        ts = e.get("ts")
+        if isinstance(ts, int):
+            if last_ts is not None and ts <= last_ts:
+                errors.append(
+                    f"event {i} ({name}): logical ts {ts} not strictly "
+                    f"increasing (previous {last_ts})")
+            last_ts = ts
+        key = (e.get("pid"), e.get("tid"))
+        if ph == "B":
+            if not known_span_name(name):
+                errors.append(f"event {i}: unknown span name '{name}'")
+            open_spans.setdefault(key, []).append(name)
+        elif ph == "E":
+            stack = open_spans.setdefault(key, [])
+            if stack and stack[-1] == name:
+                stack.pop()
+            elif dropped == 0:
+                errors.append(
+                    f"event {i}: 'E' for '{name}' does not close the "
+                    f"innermost open span {stack[-1] if stack else '(none)'}"
+                    f" on track {key}")
+            if name in KNOWN_SPANS:  # a comm cycle ended on this track
+                cycle_count[e.get("pid")] = cycle_count.get(e.get("pid"), 0) + 1
+        elif ph == "i":
+            if name not in KNOWN_INSTANTS:
+                errors.append(f"event {i}: unknown instant name '{name}'")
+        else:
+            errors.append(f"event {i} ({name}): unknown phase '{ph}'")
+    if dropped == 0:
+        for key, stack in open_spans.items():
+            if stack:
+                errors.append(
+                    f"track {key}: {len(stack)} unclosed span(s), "
+                    f"innermost '{stack[-1]}'")
+    if not cycle_count:
+        errors.append("no comm-cycle spans found "
+                      f"(expected one of {sorted(KNOWN_SPANS)})")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"{path}: {len(errors)} problem(s) in {len(events)} events",
+              file=sys.stderr)
+        return 1
+    cycles = sum(cycle_count.values())
+    print(f"{path}: {len(events)} events OK ({cycles} comm cycles on "
+          f"{len(cycle_count)} track(s), {dropped} dropped)")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "trace-validate":
+        if len(sys.argv) != 3:
+            print("usage: check_bench_json.py trace-validate TRACE.json",
+                  file=sys.stderr)
+            return 2
+        return trace_validate(sys.argv[2])
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sim.json"
     try:
         with open(path, encoding="utf-8") as f:
