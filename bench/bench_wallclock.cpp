@@ -6,8 +6,10 @@
 // model step counts only; see EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <iomanip>
 #include <numeric>
 #include <string>
@@ -144,6 +146,91 @@ void BM_BlockPrefix(benchmark::State& state) {
                           static_cast<std::int64_t>(data.size()));
 }
 BENCHMARK(BM_BlockPrefix)->RangeMultiplier(8)->Range(1, 512)->Unit(benchmark::kMicrosecond);
+
+// Raw merge-split kernel throughput (no simulator): two sorted width-m key
+// blocks, alternating keep-min / keep-max so both directions are measured.
+// Uniform random blocks interleave, so the disjoint fast path stays cold
+// and the merge loop itself is what's timed.
+template <typename Key>
+void merge_split_bench(benchmark::State& state) {
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const auto ka = dc::generate_keys(dc::KeyDistribution::kUniform, width, 5);
+  const auto kb = dc::generate_keys(dc::KeyDistribution::kUniform, width, 7);
+  std::vector<Key> a(ka.begin(), ka.end());
+  std::vector<Key> b(kb.begin(), kb.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<Key> out(width);
+  bool keep_min = true;
+  for (auto _ : state) {
+    dc::core::detail::merge_split(a.data(), b.data(), width, keep_min,
+                                  out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+    keep_min = !keep_min;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(width));
+}
+
+// 8-byte keys — what block_sort actually merges. Always the scalar
+// two-pointer path (the vector dispatcher declines 8-byte keys; AVX2 has
+// no 64-bit min/max and the network measured ~2x slower).
+void BM_MergeSplit(benchmark::State& state) {
+  merge_split_bench<u64>(state);
+}
+BENCHMARK(BM_MergeSplit)
+    ->RangeMultiplier(8)
+    ->Range(8, 512)
+    ->Unit(benchmark::kNanosecond);
+
+// 4-byte keys — the shape the vector kernel covers (native 32-bit min/max,
+// 8 lanes), so DC_SIMD=scalar vs auto isolates the kernel's speedup.
+void BM_MergeSplit32(benchmark::State& state) {
+  merge_split_bench<dc::u32>(state);
+}
+BENCHMARK(BM_MergeSplit32)
+    ->RangeMultiplier(8)
+    ->Range(8, 512)
+    ->Unit(benchmark::kNanosecond);
+
+// Steady-state block replay gather in isolation: a width-m all-exchange
+// schedule replayed from a node-major plane source (the
+// comm_cycle_scheduled_blocks PlaneSrc hot path — width-specialized block
+// copies, or the masked vector gather at width 1).
+void BM_BlockGather(benchmark::State& state) {
+  const unsigned d = 9;
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const dc::net::Hypercube q(d);
+  dc::sim::Machine m(q);
+  m.set_schedule_path(dc::sim::SchedulePath::kCompiled);
+  dc::sim::ObliviousSection sec(m, "bench_block_gather", {d, width});
+  std::vector<u64> plane(q.node_count() * width);
+  std::iota(plane.begin(), plane.end(), 0);
+  if (!sec.replaying()) {
+    for (unsigned j = 0; j < d; ++j) {
+      auto inbox = sec.exchange_blocks<u64>(
+          width, [&](dc::net::NodeId u) { return q.neighbor(u, j); },
+          dc::sim::PlaneSrc<u64>{plane.data(), width});
+      benchmark::DoNotOptimize(inbox.has(0));
+    }
+    sec.commit();
+  }
+  const auto sched = dc::sim::ScheduleCache::instance().find(sec.key());
+  unsigned i = 0;
+  for (auto _ : state) {
+    auto inbox = m.comm_cycle_scheduled_blocks<u64>(
+        sched->cycle(i), width, dc::sim::PlaneSrc<u64>{plane.data(), width});
+    benchmark::DoNotOptimize(inbox.has(0));
+    i = (i + 1 == d) ? 0 : i + 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(q.node_count() * width));
+}
+BENCHMARK(BM_BlockGather)
+    ->RangeMultiplier(8)
+    ->Range(1, 64)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_DualBroadcast(benchmark::State& state) {
   const unsigned n = static_cast<unsigned>(state.range(0));
@@ -295,6 +382,8 @@ class JsonSummaryReporter : public benchmark::BenchmarkReporter {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::cout << "DC_SIMD dispatch: "
+            << dc::sim::simd::isa_name(dc::sim::simd::active_isa()) << "\n";
   const char* path = std::getenv("DC_BENCH_JSON");
   JsonSummaryReporter json(path ? path : "BENCH_sim.json");
   benchmark::RunSpecifiedBenchmarks(&json);

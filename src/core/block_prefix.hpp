@@ -13,14 +13,81 @@
 // Total: 2n communication cycles and 2m + 2n - 1 computation steps for
 // N*m keys — communication is independent of m under the paper's model
 // (one message per link per cycle; message size is not charged).
+//
+// Layout: one synchronous computation step advances every node by one
+// element at the *same* block offset, so the hot loops iterate offset-major.
+// The blocks are therefore transposed once into an index-major scratch
+// (rows[off * N + i] = element off of block i): each step then combines two
+// contiguous N-element rows — a single vectorizable sweep
+// (sim::simd::add_rows_u64 for Plus<dc::u64>, scalar combine otherwise)
+// instead of N strided touches — and the result is transposed back at the
+// end. The transposes are uncounted data placement; the counted work
+// (steps, ops) is identical to the node-major formulation.
 #pragma once
 
+#include <algorithm>
+#include <type_traits>
 #include <vector>
 
 #include "core/dual_prefix.hpp"
 #include "core/ops.hpp"
+#include "sim/simd.hpp"
 
 namespace dc::core {
+
+namespace detail {
+
+/// Tile edge for the block<->row transposes: 32x32 value tiles keep both
+/// the strided and the contiguous side of the copy inside L1.
+inline constexpr std::size_t kTransposeTile = 32;
+
+/// rows[off * n + i] = data[i * block + off] for all i < n, off < block.
+template <typename V>
+void transpose_to_rows(const V* data, std::size_t n, std::size_t block,
+                       V* rows) {
+  for (std::size_t i0 = 0; i0 < n; i0 += kTransposeTile) {
+    const std::size_t i1 = std::min(n, i0 + kTransposeTile);
+    for (std::size_t o0 = 0; o0 < block; o0 += kTransposeTile) {
+      const std::size_t o1 = std::min(block, o0 + kTransposeTile);
+      for (std::size_t i = i0; i < i1; ++i)
+        for (std::size_t off = o0; off < o1; ++off)
+          rows[off * n + i] = data[i * block + off];
+    }
+  }
+}
+
+/// data[i * block + off] = rows[off * n + i] for all i < n, off < block.
+template <typename V>
+void transpose_from_rows(const V* rows, std::size_t n, std::size_t block,
+                         V* data) {
+  for (std::size_t i0 = 0; i0 < n; i0 += kTransposeTile) {
+    const std::size_t i1 = std::min(n, i0 + kTransposeTile);
+    for (std::size_t o0 = 0; o0 < block; o0 += kTransposeTile) {
+      const std::size_t o1 = std::min(block, o0 + kTransposeTile);
+      for (std::size_t i = i0; i < i1; ++i)
+        for (std::size_t off = o0; off < o1; ++off)
+          data[i * block + off] = rows[off * n + i];
+    }
+  }
+}
+
+/// cur[i] = op.combine(prev[i], cur[i]) over a contiguous row pair — the
+/// per-step kernel of the offset-major scan. Plus<dc::u64> (the bench and
+/// parity workload) dispatches to the vectorized row add; any other monoid
+/// runs the plain combine loop. Bit-identical either way: lane-wise u64
+/// addition has no order or rounding freedom.
+template <Monoid M>
+void combine_rows(const M& op, typename M::value_type* cur,
+                  const typename M::value_type* prev, std::size_t count) {
+  if constexpr (std::is_same_v<M, Plus<dc::u64>>) {
+    sim::simd::add_rows_u64(cur, prev, count);
+  } else {
+    for (std::size_t i = 0; i < count; ++i)
+      cur[i] = op.combine(prev[i], cur[i]);
+  }
+}
+
+}  // namespace detail
 
 /// Inclusive prefix over `data` on D_n with `block` keys per node.
 /// `data` is in global order: the node with data index i holds
@@ -35,40 +102,51 @@ std::vector<typename M::value_type> block_prefix(
              "data size must be node_count * block");
   const std::size_t n_nodes = d.node_count();
 
+  // Uncounted data placement: blocks -> index-major rows.
+  std::vector<V> rows(data.size());
+  detail::transpose_to_rows(data.data(), n_nodes, block, rows.data());
+
   // Phase 1: local inclusive scans. Every node advances one element per
-  // parallel computation step. (Blocks are indexed by data index; node u
-  // owns the block at dual_prefix_index_of_node(u), so per-block work is
-  // per-node work.)
-  std::vector<V> scanned = data;
+  // parallel computation step; at step `off` node i combines element off-1
+  // into element off of its block, which offset-major is one contiguous
+  // row pair. (Blocks are indexed by data index; the node<->index map is a
+  // bijection, so per-index work is per-node work and each chunked step
+  // charges exactly one op per node, as the node-major loop did.)
   for (std::size_t off = 1; off < block; ++off) {
-    m.compute_step([&](net::NodeId u) {
-      const std::size_t base = dual_prefix_index_of_node(d, u) * block;
-      scanned[base + off] =
-          op.combine(scanned[base + off - 1], scanned[base + off]);
-      m.add_ops(1);
+    V* const cur = rows.data() + off * n_nodes;
+    const V* const prev = cur - n_nodes;
+    m.compute_step_chunked([&, cur, prev](std::size_t lo, std::size_t hi) {
+      detail::combine_rows(op, cur + lo, prev + lo, hi - lo);
+      m.add_ops(hi - lo);
     });
   }
 
-  // Phase 2: diminished network prefix over the block totals. The result
-  // at index i is the ⊕ of all preceding blocks — exactly node i's offset,
-  // available locally at the owning node.
+  // Phase 2: diminished network prefix over the block totals — offset-major,
+  // the totals are simply the last row. The result at index i is the ⊕ of
+  // all preceding blocks — exactly node i's offset, available locally at
+  // the owning node.
   std::vector<V> totals(n_nodes, op.identity());
+  const V* const last = rows.data() + (block - 1) * n_nodes;
   m.for_each_node([&](net::NodeId u) {
     const std::size_t idx = dual_prefix_index_of_node(d, u);
-    totals[idx] = scanned[idx * block + block - 1];
+    totals[idx] = last[idx];
   });
   const std::vector<V> offsets =
       dual_prefix(m, d, op, totals, {}, /*inclusive=*/false);
 
-  // Phase 3: fold the local offset into every block element.
+  // Phase 3: fold the local offset into every block element — one row
+  // combine against the offsets row per parallel step.
   for (std::size_t off = 0; off < block; ++off) {
-    m.compute_step([&](net::NodeId u) {
-      const std::size_t idx = dual_prefix_index_of_node(d, u);
-      scanned[idx * block + off] =
-          op.combine(offsets[idx], scanned[idx * block + off]);
-      m.add_ops(1);
+    V* const cur = rows.data() + off * n_nodes;
+    m.compute_step_chunked([&, cur](std::size_t lo, std::size_t hi) {
+      detail::combine_rows(op, cur + lo, offsets.data() + lo, hi - lo);
+      m.add_ops(hi - lo);
     });
   }
+
+  // Uncounted data placement: rows -> node-major result.
+  std::vector<V> scanned(data.size());
+  detail::transpose_from_rows(rows.data(), n_nodes, block, scanned.data());
   return scanned;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/dual_sort.hpp"
+#include "sim/simd.hpp"
 
 namespace dc::core {
 
@@ -37,10 +38,42 @@ namespace detail {
 /// `width` keys of merge(a, b) into out (out must not alias a or b). The
 /// kept half is computed directly — two-pointer from the fronts for the
 /// min side, from the backs for the max side — so no 2*width scratch is
-/// materialized.
+/// materialized. Integral key widths the active ISA covers take the
+/// vectorized bitonic kernel (sim/simd.hpp); the output is bit-identical
+/// either way, since the kept half of a merge is a pure function of the
+/// input multiset.
+///
+/// Disjoint fast path: when the two blocks don't interleave (one's last key
+/// orders before the other's first), the kept half is one of the inputs
+/// verbatim and the merge collapses to a block copy. Late bitonic stages
+/// see mostly already-ordered pairs, so this boundary compare carries a
+/// large share of the network phase. The tie direction of each comparison
+/// is chosen so the copied block is exactly what the two-pointer scan would
+/// have produced, element for element, for any key type.
 template <typename Key>
 void merge_split(const Key* a, const Key* b, std::size_t width, bool keep_min,
                  Key* out) {
+  if (width == 0) return;
+  if (keep_min) {
+    if (!(b[0] < a[width - 1])) {  // a[last] <= b[first]: the low half is a
+      sim::simd::copy_block(out, a, width);
+      return;
+    }
+    if (b[width - 1] < a[0]) {  // strict: on ties the scan pulls a[0] in
+      sim::simd::copy_block(out, b, width);
+      return;
+    }
+  } else {
+    if (!(a[0] < b[width - 1])) {  // b[last] <= a[first]: the top half is a
+      sim::simd::copy_block(out, a, width);
+      return;
+    }
+    if (a[width - 1] < b[0]) {  // strict: on ties the scan keeps a[last]
+      sim::simd::copy_block(out, b, width);
+      return;
+    }
+  }
+  if (sim::simd::merge_split(a, b, width, keep_min, out)) return;
   if (keep_min) {
     std::size_t ia = 0, ib = 0;
     for (std::size_t k = 0; k < width; ++k) {
@@ -125,12 +158,18 @@ void block_sort_aos(sim::Machine& m, const net::RecursiveDualCube& r,
     m.add_ops(block);
   });
 
-  // Network phase: Algorithm 3 with merge-split combines.
+  // Network phase: Algorithm 3 with merge-split combines. The 2m merge
+  // scratch is hoisted per node and kept at capacity across all rounds, so
+  // the steady-state network allocates nothing (it used to build and free a
+  // fresh merged vector per node per dimension step).
+  std::vector<Block> scratch(n_nodes);
+  m.for_each_node([&](net::NodeId u) { scratch[u].reserve(2 * block); });
   dual_bitonic_network(
       m, r, blocks, descending,
-      [&blocks, &m, block](net::NodeId u, bool keep_min, const Block& other) {
-        Block merged;
-        merged.reserve(2 * block);
+      [&blocks, &scratch, &m, block](net::NodeId u, bool keep_min,
+                                     const Block& other) {
+        Block& merged = scratch[u];
+        merged.clear();
         std::merge(blocks[u].begin(), blocks[u].end(), other.begin(),
                    other.end(), std::back_inserter(merged));
         const auto mid = merged.begin() + static_cast<std::ptrdiff_t>(block);

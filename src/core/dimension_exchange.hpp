@@ -97,42 +97,69 @@ std::vector<V> dimension_exchange(sim::Machine& m, sim::ObliviousSection& sched,
   return recv;
 }
 
+/// The live result of one block dimension exchange: a zero-copy view over
+/// the inbox planes the exchange ended on. `recv(u)` points at the `width`
+/// elements node u received — for a relayed dimension that is the cycle-2
+/// pairs plane for direct nodes and the cycle-3 return plane for indirect
+/// ones, so no copy-out pass runs at all. Move-only (it owns the pooled
+/// planes); destroying it recycles them, so consume it before issuing the
+/// next block cycle of the same element type if plane reuse matters.
+template <typename T>
+struct BlockExchange {
+  sim::BlockInbox<T> primary;   // j == 0 inbox, or the cycle-2 pairs plane
+  sim::BlockInbox<T> returned;  // cycle-3 plane; empty when not relayed
+  std::size_t width = 0;
+  unsigned direct0 = 0;
+  bool relayed = false;
+
+  /// The block node u received this exchange (`width` elements).
+  const T* recv(net::NodeId u) const {
+    if (!relayed) return primary.block(u);
+    // Direct nodes keep the first half of the pair they exchanged; indirect
+    // nodes read the half their relay returned on cycle 3.
+    return dc::bits::get(u, 0) == direct0 ? primary.block(u)
+                                          : returned.block(u);
+  }
+};
+
 /// Block form of the dimension exchange: every node's value is a
 /// fixed-width block of T held in the node-major plane
-/// `plane[u * width + k]`, and the exchanged blocks land in `recv` (same
-/// layout, resized by the callee). Issues exactly the same cycle/destination
+/// `plane[u * width + k]`. Issues exactly the same cycle/destination
 /// sequence as the scalar overload — only the payload representation
 /// differs: cycle 2's combined relay message is one 2*width stride (own
-/// block then gathered block) instead of a std::pair, so on replay every
-/// cycle is a few contiguous sweeps through the SoA planes.
+/// block then gathered block) instead of a std::pair. Every cycle's source
+/// is described as a PlaneSrc / PlanePairSrc over either the caller's plane
+/// or the previous cycle's inbox plane, so on replay the whole exchange is
+/// a few plane-to-plane kernel sweeps with no per-sender callbacks and no
+/// copy-out — the result is a view (BlockExchange) into the final planes.
 template <typename T>
-void dimension_exchange_blocks(sim::Machine& m, sim::ObliviousSection& sched,
-                               const net::RecursiveDualCube& r, unsigned j,
-                               const std::vector<T>& plane, std::size_t width,
-                               std::vector<T>& recv) {
+BlockExchange<T> dimension_exchange_blocks(sim::Machine& m,
+                                           sim::ObliviousSection& sched,
+                                           const net::RecursiveDualCube& r,
+                                           unsigned j,
+                                           const std::vector<T>& plane,
+                                           std::size_t width) {
   DC_REQUIRE(&m.topology() == static_cast<const net::Topology*>(&r),
              "machine must run on the given recursive dual-cube");
   DC_REQUIRE(j < r.label_bits(), "dimension out of range");
   DC_REQUIRE(width >= 1, "block width must be >= 1");
   DC_REQUIRE(plane.size() == r.node_count() * width,
              "one width-sized block per node required");
-  const std::size_t n_nodes = r.node_count();
-  recv.resize(n_nodes * width);
 
-  const auto own = [&](net::NodeId u) { return plane.data() + u * width; };
+  BlockExchange<T> ex;
+  ex.width = width;
 
   if (j == 0) {
-    auto inbox = sched.exchange_blocks<T>(
+    ex.primary = sched.exchange_blocks<T>(
         width, [](net::NodeId u) { return dc::bits::flip(u, 0); },
-        [&](net::NodeId u, T* dst) { std::copy_n(own(u), width, dst); });
-    m.for_each_node([&](net::NodeId u) {
-      std::copy_n(inbox.block(u), width, recv.data() + u * width);
-    });
-    return;
+        sim::PlaneSrc<T>{plane.data(), width});
+    return ex;
   }
 
   // Bit-0 value of the nodes with a direct dimension-j link.
-  const unsigned direct0 = j % 2 == 0 ? 0u : 1u;
+  ex.direct0 = j % 2 == 0 ? 0u : 1u;
+  ex.relayed = true;
+  const unsigned direct0 = ex.direct0;
 
   // Cycle 1: indirect nodes ship their block across the cross-edge.
   auto gathered = sched.exchange_blocks<T>(
@@ -141,35 +168,43 @@ void dimension_exchange_blocks(sim::Machine& m, sim::ObliviousSection& sched,
         if (dc::bits::get(u, 0) == direct0) return sim::kNoSend;
         return dc::bits::flip(u, 0);
       },
-      [&](net::NodeId u, T* dst) { std::copy_n(own(u), width, dst); });
+      sim::PlaneSrc<T>{plane.data(), width});
 
   // Cycle 2: direct nodes exchange (own block ‖ gathered block) strides.
-  auto pairs = sched.exchange_blocks<T>(
+  ex.primary = sched.exchange_blocks<T>(
       2 * width,
       [&](net::NodeId u) -> net::NodeId {
         if (dc::bits::get(u, 0) != direct0) return sim::kNoSend;
         return dc::bits::flip(u, j);
       },
-      [&](net::NodeId u, T* dst) {
-        std::copy_n(own(u), width, dst);
-        std::copy_n(gathered.block(u), width, dst + width);
-      });
+      sim::PlanePairSrc<T>{plane.data(), width, gathered.data(),
+                           gathered.stride(), width});
 
   // Cycle 3: direct nodes keep the first half and return the second to
   // their cross neighbor.
-  auto returned = sched.exchange_blocks<T>(
+  ex.returned = sched.exchange_blocks<T>(
       width,
       [&](net::NodeId u) -> net::NodeId {
         if (dc::bits::get(u, 0) != direct0) return sim::kNoSend;
         return dc::bits::flip(u, 0);
       },
-      [&](net::NodeId u, T* dst) {
-        std::copy_n(pairs.block(u) + width, width, dst);
-      });
+      sim::PlaneSrc<T>{ex.primary.data() + width, ex.primary.stride()});
+  return ex;
+}
+
+/// Copy-out form of the block dimension exchange: the exchanged blocks land
+/// in `recv` (node-major plane, resized by the callee). Thin wrapper over
+/// the view-returning overload for callers that need an owned plane.
+template <typename T>
+void dimension_exchange_blocks(sim::Machine& m, sim::ObliviousSection& sched,
+                               const net::RecursiveDualCube& r, unsigned j,
+                               const std::vector<T>& plane, std::size_t width,
+                               std::vector<T>& recv) {
+  const std::size_t n_nodes = r.node_count();
+  recv.resize(n_nodes * width);
+  const auto ex = dimension_exchange_blocks(m, sched, r, j, plane, width);
   m.for_each_node([&](net::NodeId u) {
-    const T* const src = dc::bits::get(u, 0) == direct0 ? pairs.block(u)
-                                                        : returned.block(u);
-    std::copy_n(src, width, recv.data() + u * width);
+    std::copy_n(ex.recv(u), width, recv.data() + u * width);
   });
 }
 

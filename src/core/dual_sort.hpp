@@ -123,10 +123,11 @@ void dual_bitonic_network_blocks(sim::Machine& m,
 
   sim::ObliviousSection sched(m, "dual_bitonic_network", {n});
 
-  std::vector<Key> recv(plane.size());
   std::vector<Key> next(plane.size());
   const auto dimension_step = [&](unsigned j, unsigned k, bool half_merge) {
-    dimension_exchange_blocks(m, sched, r, j, plane, width, recv);
+    // Zero-copy: combine reads the received block straight out of the
+    // exchange's inbox planes instead of a copied-out recv plane.
+    const auto ex = dimension_exchange_blocks(m, sched, r, j, plane, width);
     m.compute_step([&](net::NodeId u) {
       bool ascending;
       if (half_merge) {
@@ -136,7 +137,7 @@ void dual_bitonic_network_blocks(sim::Machine& m,
             k == n ? !descending : dc::bits::get(u, 2 * k - 1) == 0;
       }
       const bool keep_min = ascending == (dc::bits::get(u, j) == 0);
-      combine(u, keep_min, plane.data() + u * width, recv.data() + u * width,
+      combine(u, keep_min, plane.data() + u * width, ex.recv(u),
               next.data() + u * width);
       m.add_ops(1);
     });

@@ -319,6 +319,12 @@ class BlockInbox {
     return buf_->values.data() + static_cast<std::size_t>(v) * buf_->width;
   }
 
+  /// The whole node-major plane: block(v) == data() + v * stride(). Lets
+  /// callers hand a received plane straight back to the simulator as a
+  /// PlaneSrc / PlanePairSrc for the next replay cycle (no copy-out).
+  const T* data() const { return buf_->values.data(); }
+  std::size_t stride() const { return buf_->width; }
+
   std::size_t width() const { return buf_ ? buf_->width : 0; }
 
  private:

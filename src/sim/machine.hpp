@@ -61,6 +61,7 @@
 #include "sim/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/schedule.hpp"
+#include "sim/simd.hpp"
 #include "sim/trace.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
@@ -317,8 +318,8 @@ class Machine {
     const net::NodeId* const from = cyc.recv_from.data();
     const std::uint32_t* const edge = cyc.recv_slot.data();
     const bool loads_on = edge_load_.enabled();
-    parallel_for_chunked(
-        0, n,
+    parallel_for_affine(
+        0, n, sizeof(std::optional<P>),
         [&](std::size_t lo, std::size_t hi) {
           std::uint64_t* const loads =
               loads_on ? edge_load_.row(pool().worker_slot()) : nullptr;
@@ -364,27 +365,12 @@ class Machine {
   BlockInbox<T> comm_cycle_scheduled_blocks(const ScheduleCycle& cyc,
                                             std::size_t width, SrcFn&& src) {
     const std::size_t n = static_cast<std::size_t>(node_count());
-    DC_REQUIRE(!faults_,
-               "compiled replay skips per-message fault checks; a machine "
-               "with an attached FaultPlan must interpret every cycle");
-    DC_REQUIRE(cyc.recv_from.size() == n,
-               "schedule cycle was compiled for a different node count");
-    DC_REQUIRE(width >= 1, "block width must be >= 1");
-    CycleSpan span(trace_, trace_track_, "comm_cycle_replay_blocks");
-    auto arena = arena_.get_blocks<T>(n);
-    auto buf = arena->acquire(width);
-
-    T* const plane = buf->values.data();
-    std::uint64_t* const stamp = buf->stamp.get();
-    const std::uint64_t gen = buf->generation;
     const net::NodeId* const from = cyc.recv_from.data();
     const std::uint32_t* const edge = cyc.recv_slot.data();
-    const bool loads_on = edge_load_.enabled();
-    parallel_for_chunked(
-        0, n,
-        [&](std::size_t lo, std::size_t hi) {
-          std::uint64_t* const loads =
-              loads_on ? edge_load_.row(pool().worker_slot()) : nullptr;
+    return replay_blocks_impl<T>(
+        cyc, width,
+        [&](std::size_t lo, std::size_t hi, T* plane, std::uint64_t* stamp,
+            std::uint64_t gen, std::uint64_t* loads) {
           for (std::size_t v = lo; v < hi; ++v) {
             const net::NodeId u = from[v];
             if (u == kNoSender) continue;
@@ -398,16 +384,85 @@ class Machine {
               }
             }
           }
-        },
-        grain_, pool_);
+        });
+  }
 
-    ++counters_.comm_cycles;
-    counters_.messages += cyc.message_count;
-    ++replayed_cycles_;
-    span.finish(cyc.message_count);
-    if (metric_msgs_per_cycle_)
-      metric_msgs_per_cycle_->observe(cyc.message_count);
-    return BlockInbox<T>(std::move(arena), std::move(buf));
+  /// Plane-source overload of the block replay: node u's outgoing block
+  /// lives at `src.base[u*src.stride ..]`, so the whole cycle is one
+  /// plane-to-plane kernel sweep (sim/simd.hpp gather_rows — an AVX2 masked
+  /// gather at width 1, width-specialized block copies otherwise) instead
+  /// of a per-sender callback. Semantics (counters, trace, edge loads,
+  /// fault refusal, zero steady-state allocations) are identical to the
+  /// callback form; with edge-load accounting enabled the rows run through
+  /// the scalar loop so hot-spot counting stays exact.
+  template <typename T>
+  BlockInbox<T> comm_cycle_scheduled_blocks(const ScheduleCycle& cyc,
+                                            std::size_t width,
+                                            PlaneSrc<T> src) {
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    const net::NodeId* const from = cyc.recv_from.data();
+    const std::uint32_t* const edge = cyc.recv_slot.data();
+    return replay_blocks_impl<T>(
+        cyc, width,
+        [&](std::size_t lo, std::size_t hi, T* plane, std::uint64_t* stamp,
+            std::uint64_t gen, std::uint64_t* loads) {
+          if (!loads) {
+            simd::gather_rows(plane, stamp, gen, from, kNoSender, lo, hi,
+                              width, src.base, src.stride);
+            return;
+          }
+          for (std::size_t v = lo; v < hi; ++v) {
+            const net::NodeId u = from[v];
+            if (u == kNoSender) continue;
+            simd::copy_block(plane + v * width, src.base + u * src.stride,
+                             width);
+            stamp[v] = gen;
+            if (edge[v] != kNoEdgeSlot) {
+              ++loads[edge[v]];
+            } else {
+              edge_load_.add_off_csr(u * n + v);
+            }
+          }
+        });
+  }
+
+  /// Two-plane concatenation overload: node u ships
+  /// `src.first[u*first_stride ..][0..first_width)` followed by
+  /// `src.second[u*second_stride ..][0..width-first_width)` — the relay
+  /// cycle's (own block ‖ gathered block) payload without materializing a
+  /// combined buffer. Same semantics as the other overloads.
+  template <typename T>
+  BlockInbox<T> comm_cycle_scheduled_blocks(const ScheduleCycle& cyc,
+                                            std::size_t width,
+                                            PlanePairSrc<T> src) {
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    DC_REQUIRE(src.first_width <= width,
+               "pair source first_width exceeds the block width");
+    const std::size_t w1 = src.first_width;
+    const std::size_t w2 = width - w1;
+    const net::NodeId* const from = cyc.recv_from.data();
+    const std::uint32_t* const edge = cyc.recv_slot.data();
+    return replay_blocks_impl<T>(
+        cyc, width,
+        [&](std::size_t lo, std::size_t hi, T* plane, std::uint64_t* stamp,
+            std::uint64_t gen, std::uint64_t* loads) {
+          for (std::size_t v = lo; v < hi; ++v) {
+            const net::NodeId u = from[v];
+            if (u == kNoSender) continue;
+            T* const dst = plane + v * width;
+            simd::copy_block(dst, src.first + u * src.first_stride, w1);
+            simd::copy_block(dst + w1, src.second + u * src.second_stride,
+                             w2);
+            stamp[v] = gen;
+            if (loads) {
+              if (edge[v] != kNoEdgeSlot) {
+                ++loads[edge[v]];
+              } else {
+                edge_load_.add_off_csr(u * n + v);
+              }
+            }
+          }
+        });
   }
 
   /// Packs a vector-payload inbox into a block plane. Used by
@@ -474,6 +529,22 @@ class Machine {
           for (std::size_t u = lo; u < hi; ++u) f(static_cast<net::NodeId>(u));
         },
         grain_, pool_);
+    ++counters_.comp_steps;
+    if (trace_) trace_->instant(trace_track_, 0, "compute_step");
+  }
+
+  /// Chunked form of compute_step: body(lo, hi) must perform exactly the
+  /// per-node O(1) work of nodes (or per-node data indices) [lo, hi) —
+  /// nothing more, nothing less — and is invoked over disjoint ranges
+  /// covering [0, node_count). Counted as ONE computation step, exactly
+  /// like compute_step; use it when the per-node work is a contiguous
+  /// array operation that a kernel can sweep across the whole range
+  /// (core/block_prefix.hpp's row combines). Charge add_ops(hi - lo) per
+  /// range to keep op totals identical to the per-node form.
+  template <typename Body>
+  void compute_step_chunked(Body&& body) {
+    parallel_for_chunked(0, static_cast<std::size_t>(node_count()),
+                         std::forward<Body>(body), grain_, pool_);
     ++counters_.comp_steps;
     if (trace_) trace_->instant(trace_track_, 0, "compute_step");
   }
@@ -589,6 +660,10 @@ class Machine {
     }
     reg.set_gauge("sim.comm_pool.high_water_bytes",
                   static_cast<double>(arena_.resident_bytes()));
+    // Chunks executed off their home band across this machine's pool: zero
+    // means every affine replay range stayed on its cache-home thread.
+    reg.set_gauge("sim.chunk.affinity_moves",
+                  static_cast<double>(pool_->affinity_steals()));
     if (trace_) {
       reg.set_gauge("sim.trace.events",
                     static_cast<double>(trace_->emitted()));
@@ -602,6 +677,46 @@ class Machine {
   // once), so per-node hot paths like add_ops skip the static-local guard
   // inside ThreadPool::shared().
   ThreadPool& pool() const { return *pool_; }
+
+  /// Shared prologue/epilogue of every block-replay overload: validates the
+  /// cycle, acquires a plane, runs `per_range(lo, hi, plane, stamp, gen,
+  /// loads)` over receiver rows via the cache-affine parallel loop (loads
+  /// is the per-worker edge-load row or null), and books counters/trace.
+  template <typename T, typename PerRange>
+  BlockInbox<T> replay_blocks_impl(const ScheduleCycle& cyc, std::size_t width,
+                                   PerRange&& per_range) {
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    DC_REQUIRE(!faults_,
+               "compiled replay skips per-message fault checks; a machine "
+               "with an attached FaultPlan must interpret every cycle");
+    DC_REQUIRE(cyc.recv_from.size() == n,
+               "schedule cycle was compiled for a different node count");
+    DC_REQUIRE(width >= 1, "block width must be >= 1");
+    CycleSpan span(trace_, trace_track_, "comm_cycle_replay_blocks");
+    auto arena = arena_.get_blocks<T>(n);
+    auto buf = arena->acquire(width);
+
+    T* const plane = buf->values.data();
+    std::uint64_t* const stamp = buf->stamp.get();
+    const std::uint64_t gen = buf->generation;
+    const bool loads_on = edge_load_.enabled();
+    parallel_for_affine(
+        0, n, width * sizeof(T),
+        [&](std::size_t lo, std::size_t hi) {
+          std::uint64_t* const loads =
+              loads_on ? edge_load_.row(pool().worker_slot()) : nullptr;
+          per_range(lo, hi, plane, stamp, gen, loads);
+        },
+        grain_, pool_);
+
+    ++counters_.comm_cycles;
+    counters_.messages += cyc.message_count;
+    ++replayed_cycles_;
+    span.finish(cyc.message_count);
+    if (metric_msgs_per_cycle_)
+      metric_msgs_per_cycle_->observe(cyc.message_count);
+    return BlockInbox<T>(std::move(arena), std::move(buf));
+  }
 
   /// CSR adjacency snapshot, fetched from the topology's cache on first
   /// use.

@@ -152,6 +152,48 @@ class ObliviousSection {
     return m_.blockify<T>(width, in);
   }
 
+  /// Plane-source form of exchange_blocks: node u's outgoing block is the
+  /// stride `src.base[u*src.stride ..]`. On replay this dispatches to the
+  /// machine's plane-to-plane kernel sweep (no per-sender callback at all);
+  /// on the interpreted and record paths it synthesizes the equivalent copy
+  /// callback, so validation, SimError strings, counters, traces, edge
+  /// loads and fault filtering stay byte-identical to the callback form.
+  template <typename T, typename DestFn>
+  BlockInbox<T> exchange_blocks(std::size_t width, DestFn&& dest_of,
+                                PlaneSrc<T> src) {
+    if (replay_) {
+      DC_CHECK(next_cycle_ < replay_->cycle_count(),
+               "algorithm issued more cycles than its compiled schedule");
+      return m_.comm_cycle_scheduled_blocks<T>(replay_->cycle(next_cycle_++),
+                                               width, src);
+    }
+    return exchange_blocks<T>(
+        width, std::forward<DestFn>(dest_of), [src, width](net::NodeId u, T* dst) {
+          simd::copy_block(dst, src.base + u * src.stride, width);
+        });
+  }
+
+  /// Two-plane concatenation form (the relay cycle's own ‖ gathered
+  /// payload); see PlanePairSrc. Same path semantics as the PlaneSrc form.
+  template <typename T, typename DestFn>
+  BlockInbox<T> exchange_blocks(std::size_t width, DestFn&& dest_of,
+                                PlanePairSrc<T> src) {
+    if (replay_) {
+      DC_CHECK(next_cycle_ < replay_->cycle_count(),
+               "algorithm issued more cycles than its compiled schedule");
+      return m_.comm_cycle_scheduled_blocks<T>(replay_->cycle(next_cycle_++),
+                                               width, src);
+    }
+    return exchange_blocks<T>(
+        width, std::forward<DestFn>(dest_of), [src, width](net::NodeId u, T* dst) {
+          simd::copy_block(dst, src.first + u * src.first_stride,
+                           src.first_width);
+          simd::copy_block(dst + src.first_width,
+                           src.second + u * src.second_stride,
+                           width - src.first_width);
+        });
+  }
+
   /// Compiles and publishes the recorded schedule. Call once, after the
   /// run's last cycle; no-op when replaying or interpreting. Skipping it
   /// merely forfeits caching — the run itself was already correct.

@@ -3,7 +3,26 @@
 #include <algorithm>
 #include <cstdlib>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace dc {
+
+namespace detail {
+
+std::size_t l2_cache_bytes() {
+  static const std::size_t bytes = [] {
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+    const long v = sysconf(_SC_LEVEL2_CACHE_SIZE);
+    if (v > 0) return static_cast<std::size_t>(v);
+#endif
+    return std::size_t{1} << 20;  // conservative 1 MiB default
+  }();
+  return bytes;
+}
+
+}  // namespace detail
 
 namespace detail {
 
@@ -28,6 +47,7 @@ std::size_t default_thread_count() {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = default_thread_count();
+  bands_ = std::make_unique<BandCursor[]>(threads + 1);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i + 1); });
@@ -86,21 +106,48 @@ void ThreadPool::worker_loop(std::size_t slot) {
   }
 }
 
+void ThreadPool::run_one_chunk(std::size_t ticket) {
+  const std::size_t lo = job_begin_ + ticket * job_chunk_;
+  const std::size_t hi = std::min(job_end_, lo + job_chunk_);
+  try {
+    job_fn_(job_ctx_, lo, hi);
+  } catch (...) {
+    std::scoped_lock lock(error_mutex_);
+    if (!job_error_) job_error_ = std::current_exception();
+  }
+  if (job_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::scoped_lock lock(done_mutex_);
+    done_cv_.notify_all();
+  }
+}
+
 void ThreadPool::work_on_job() {
+  if (job_affine_) {
+    work_on_affine_job();
+    return;
+  }
   for (;;) {
     const std::size_t c = job_next_.fetch_add(1, std::memory_order_relaxed);
-    const std::size_t lo = job_begin_ + c * job_chunk_;
-    if (lo >= job_end_) return;  // all tickets claimed
-    const std::size_t hi = std::min(job_end_, lo + job_chunk_);
-    try {
-      job_fn_(job_ctx_, lo, hi);
-    } catch (...) {
-      std::scoped_lock lock(error_mutex_);
-      if (!job_error_) job_error_ = std::current_exception();
-    }
-    if (job_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::scoped_lock lock(done_mutex_);
-      done_cv_.notify_all();
+    if (job_begin_ + c * job_chunk_ >= job_end_) return;  // all claimed
+    run_one_chunk(c);
+  }
+}
+
+void ThreadPool::work_on_affine_job() {
+  const std::size_t slots = workers_.size() + 1;
+  const std::size_t me = worker_slot();  // caller participates as band 0
+  const std::size_t chunks = job_chunks_;
+  const auto band_end = [&](std::size_t b) { return (b + 1) * chunks / slots; };
+  // Drain the home band first, then sweep the others for leftovers.
+  for (std::size_t probe = 0; probe < slots; ++probe) {
+    const std::size_t b = (me + probe) % slots;
+    const std::size_t end = band_end(b);
+    for (;;) {
+      const std::size_t c = bands_[b].next.fetch_add(1,
+                                                     std::memory_order_relaxed);
+      if (c >= end) break;  // band drained (cursor overrun is harmless)
+      if (b != me) steals_.fetch_add(1, std::memory_order_relaxed);
+      run_one_chunk(c);
     }
   }
 }
@@ -120,6 +167,7 @@ void ThreadPool::run_chunked(std::size_t begin, std::size_t end,
   job_fn_ = fn;
   job_ctx_ = ctx;
   job_error_ = nullptr;
+  job_affine_ = false;
   job_next_.store(0, std::memory_order_relaxed);
   job_remaining_.store(chunks, std::memory_order_release);
   {
@@ -141,6 +189,52 @@ void ThreadPool::run_chunked(std::size_t begin, std::size_t end,
     std::scoped_lock lock(mutex_);
     job_active_ = false;
   }
+  if (job_error_) std::rethrow_exception(job_error_);
+}
+
+void ThreadPool::run_chunked_affine(std::size_t begin, std::size_t end,
+                                    std::size_t chunk_size, ChunkFn fn,
+                                    void* ctx) {
+  if (begin >= end) return;
+  chunk_size = std::max<std::size_t>(1, chunk_size);
+  const std::size_t count = end - begin;
+  const std::size_t chunks = (count + chunk_size - 1) / chunk_size;
+  const std::size_t slots = workers_.size() + 1;
+
+  // One job at a time; later callers block here until the pool is free.
+  std::scoped_lock job_lock(job_mutex_);
+  job_begin_ = begin;
+  job_end_ = end;
+  job_chunk_ = chunk_size;
+  job_fn_ = fn;
+  job_ctx_ = ctx;
+  job_error_ = nullptr;
+  job_affine_ = true;
+  job_chunks_ = chunks;
+  for (std::size_t b = 0; b < slots; ++b) {
+    bands_[b].next.store(b * chunks / slots, std::memory_order_relaxed);
+  }
+  job_remaining_.store(chunks, std::memory_order_release);
+  {
+    std::scoped_lock lock(mutex_);
+    job_active_ = true;
+    ++job_epoch_;
+  }
+  cv_.notify_all();
+
+  work_on_job();  // the caller drains band 0, then steals
+
+  {
+    std::unique_lock lock(done_mutex_);
+    done_cv_.wait(lock, [&] {
+      return job_remaining_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::scoped_lock lock(mutex_);
+    job_active_ = false;
+  }
+  job_affine_ = false;
   if (job_error_) std::rethrow_exception(job_error_);
 }
 

@@ -23,9 +23,11 @@
 // task, which starved early submissions under load.)
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -74,12 +76,33 @@ class ThreadPool {
   void run_chunked(std::size_t begin, std::size_t end, std::size_t chunk_size,
                    ChunkFn fn, void* ctx);
 
+  /// Cache-affine variant of run_chunked: identical chunk boundaries and
+  /// completion semantics, but the chunk tickets are pre-partitioned into
+  /// one contiguous *band* per participant (caller = band 0, workers
+  /// 1..size(), in slot order). Each thread drains its own band first and
+  /// only then scans the other bands for leftovers, so repeated affine runs
+  /// over the same index range keep each receiver range on the same thread
+  /// — and thus in the same core's cache — whenever the pool keeps up.
+  /// Chunks executed outside their home band are counted in
+  /// affinity_steals().
+  void run_chunked_affine(std::size_t begin, std::size_t end,
+                          std::size_t chunk_size, ChunkFn fn, void* ctx);
+
+  /// Cumulative count of affine-job chunks a thread executed outside its
+  /// home band (work stolen to avoid idling). Zero on a pool that always
+  /// keeps up — every chunk then runs on its cache-home thread.
+  std::uint64_t affinity_steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
   /// Process-wide shared pool, created on first use.
   static ThreadPool& shared();
 
  private:
   void worker_loop(std::size_t slot);
   void work_on_job();
+  void work_on_affine_job();
+  void run_one_chunk(std::size_t ticket);
 
   std::mutex mutex_;  // guards queue_, stopping_, job_active_, job_epoch_
   std::condition_variable cv_;
@@ -104,6 +127,18 @@ class ThreadPool {
   std::exception_ptr job_error_;
   std::mutex done_mutex_;
   std::condition_variable done_cv_;
+
+  // Affine-job state: per-participant band cursors (padded so concurrent
+  // claims never false-share) plus the chunk count that defines the band
+  // boundaries. Band b of an affine job owns chunk tickets
+  // [b*chunks/(size+1), (b+1)*chunks/(size+1)).
+  struct alignas(64) BandCursor {
+    std::atomic<std::size_t> next{0};
+  };
+  bool job_affine_ = false;
+  std::size_t job_chunks_ = 0;
+  std::unique_ptr<BandCursor[]> bands_;  // size() + 1, fixed at construction
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 namespace detail {
@@ -151,6 +186,58 @@ void parallel_for_chunked(std::size_t begin, std::size_t end, Body&& body,
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
   using B = std::remove_reference_t<Body>;
   p.run_chunked(
+      begin, end, chunk_size,
+      [](void* ctx, std::size_t lo, std::size_t hi) {
+        (*static_cast<B*>(ctx))(lo, hi);
+      },
+      const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+}
+
+namespace detail {
+
+/// Per-core L2 data-cache size in bytes, read once from the OS (sysconf)
+/// with a 1 MiB fallback when the platform does not report it.
+std::size_t l2_cache_bytes();
+
+/// Largest chunk length (in indices) whose working set still fits half the
+/// L2 — the budget an affine band spends per chunk so its plane writes stay
+/// resident in its slot's cache.
+inline std::size_t l2_chunk_elems(std::size_t bytes_per_index) {
+  if (bytes_per_index == 0) bytes_per_index = 1;
+  return std::max<std::size_t>(1, l2_cache_bytes() / 2 / bytes_per_index);
+}
+
+}  // namespace detail
+
+/// Cache/NUMA-aware parallel loop: like parallel_for_chunked, but chunks
+/// are receiver-contiguous ranges assigned to a stable home participant
+/// (ThreadPool::run_chunked_affine), and the chunk length is capped so one
+/// chunk's working set — `bytes_per_index` bytes per loop index — fits in
+/// half the per-core L2. Repeated affine loops over the same range land
+/// each index range on the same worker slot, so a replay pass re-touches
+/// planes its core already owns. Semantics (blocking, exceptions, inline
+/// small ranges, determinism of chunk boundaries) match
+/// parallel_for_chunked exactly.
+template <typename Body>
+void parallel_for_affine(std::size_t begin, std::size_t end,
+                         std::size_t bytes_per_index, Body&& body,
+                         std::size_t grain = 0, ThreadPool* pool = nullptr) {
+  if (begin >= end) return;
+  if (!parallel_will_dispatch(end - begin, grain, pool)) {
+    body(begin, end);
+    return;
+  }
+  ThreadPool& p = pool ? *pool : ThreadPool::shared();
+  const std::size_t count = end - begin;
+  const std::size_t participants = p.size() + 1;
+  // At least 4 chunks per participant for load balance, but no chunk
+  // working set past the L2 budget.
+  const std::size_t balance =
+      (count + participants * 4 - 1) / (participants * 4);
+  const std::size_t chunk_size = std::max<std::size_t>(
+      1, std::min(balance, detail::l2_chunk_elems(bytes_per_index)));
+  using B = std::remove_reference_t<Body>;
+  p.run_chunked_affine(
       begin, end, chunk_size,
       [](void* ctx, std::size_t lo, std::size_t hi) {
         (*static_cast<B*>(ctx))(lo, hi);

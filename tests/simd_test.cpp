@@ -1,0 +1,369 @@
+// Parity suite for the vectorized replay kernels (sim/simd.hpp): every
+// kernel must be bit-identical to the portable scalar reference on every
+// width class, at unaligned offsets, and with duplicate keys — under forced
+// dispatch to each ISA the binary and CPU support. Runs under TSan and
+// ASan+UBSan in CI, so the kernels' unaligned loads, masked gathers and
+// chunked parallel writes are sanitizer-checked, not just value-checked.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <numeric>
+#include <vector>
+
+#include "core/block_prefix.hpp"
+#include "core/block_sort.hpp"
+#include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
+#include "sim/simd.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "topology/dual_cube.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/recursive_dual_cube.hpp"
+
+// Allocation counter for the steady-state plane-replay proof below (same
+// global operator new replacement as sim_test).
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+namespace dc::sim {
+namespace {
+
+// Restores the process dispatch choice when a test returns or fails.
+struct ForcedIsa {
+  explicit ForcedIsa(simd::Isa isa) : ok(simd::force_isa(isa)) {}
+  ~ForcedIsa() { simd::clear_forced_isa(); }
+  bool ok;
+};
+
+// The ISAs worth testing on this binary/CPU beyond scalar (possibly none).
+std::vector<simd::Isa> vector_isas() {
+  std::vector<simd::Isa> isas;
+  for (const simd::Isa isa : {simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (simd::force_isa(isa)) isas.push_back(isa);
+  }
+  simd::clear_forced_isa();
+  return isas;
+}
+
+// Width classes: vector-covered multiples, the lonely scalar tail, odd
+// widths around each boundary, and large blocks spanning many registers.
+constexpr std::size_t kWidths[] = {1, 7, 8, 63, 64, 512, 513};
+
+template <typename Key>
+std::vector<Key> sorted_block(std::size_t width, dc::u64 seed) {
+  dc::Rng rng(seed);
+  std::vector<Key> block(width);
+  // Narrow range => plenty of duplicate keys at every tested width.
+  for (auto& k : block) k = static_cast<Key>(rng() % (2 * width + 3));
+  std::sort(block.begin(), block.end());
+  return block;
+}
+
+template <typename Key>
+void expect_merge_split_parity(simd::Isa isa) {
+  for (const std::size_t width : kWidths) {
+    const auto a = sorted_block<Key>(width, 11 + width);
+    const auto b = sorted_block<Key>(width, 97 + width);
+    for (const bool keep_min : {true, false}) {
+      std::vector<Key> scalar_out(width, Key{0});
+      std::vector<Key> vector_out(width, Key{0});
+      ASSERT_TRUE(simd::force_isa(simd::Isa::kScalar));
+      core::detail::merge_split(a.data(), b.data(), width, keep_min,
+                                scalar_out.data());
+      ASSERT_TRUE(simd::force_isa(isa));
+      core::detail::merge_split(a.data(), b.data(), width, keep_min,
+                                vector_out.data());
+      simd::clear_forced_isa();
+      EXPECT_EQ(vector_out, scalar_out)
+          << "Key=" << sizeof(Key) << "B width=" << width
+          << " keep_min=" << keep_min << " isa=" << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(Simd, MergeSplitMatchesScalarEveryWidth) {
+  const auto isas = vector_isas();
+  if (isas.empty()) GTEST_SKIP() << "no vector ISA on this binary/CPU";
+  for (const simd::Isa isa : isas) {
+    expect_merge_split_parity<dc::u64>(isa);
+    expect_merge_split_parity<std::int64_t>(isa);
+    expect_merge_split_parity<std::uint32_t>(isa);
+    expect_merge_split_parity<std::int32_t>(isa);
+  }
+}
+
+TEST(Simd, MergeSplitOrdersAroundSignAndBiasBoundaries) {
+  const auto isas = vector_isas();
+  if (isas.empty()) GTEST_SKIP() << "no vector ISA on this binary/CPU";
+  // 4-byte keys straddling 0 and the sign bit — exactly where picking the
+  // signed min/max for an unsigned key (or vice versa) would reorder.
+  const std::vector<dc::u32> a = {0, 1, 2, 3, 0x7FFFFFFEu, 0x7FFFFFFFu,
+                                  0x80000000u, 0x80000001u};
+  const std::vector<dc::u32> b = {2, 4, 5, 6, 0x7FFFFFFDu, 0x80000000u,
+                                  0xFFFFFFFEu, 0xFFFFFFFFu};
+  const std::vector<std::int32_t> sa = {-9, -5, -1, 0, 1, 3, 4, 8};
+  const std::vector<std::int32_t> sb = {-8, -6, -2, 0, 2, 5, 7, 9};
+  for (const simd::Isa isa : isas) {
+    for (const bool keep_min : {true, false}) {
+      std::vector<dc::u32> ref(8), got(8);
+      ASSERT_TRUE(simd::force_isa(simd::Isa::kScalar));
+      core::detail::merge_split(a.data(), b.data(), 8, keep_min, ref.data());
+      ASSERT_TRUE(simd::force_isa(isa));
+      core::detail::merge_split(a.data(), b.data(), 8, keep_min, got.data());
+      EXPECT_EQ(got, ref);
+
+      std::vector<std::int32_t> sref(8), sgot(8);
+      ASSERT_TRUE(simd::force_isa(simd::Isa::kScalar));
+      core::detail::merge_split(sa.data(), sb.data(), 8, keep_min,
+                                sref.data());
+      ASSERT_TRUE(simd::force_isa(isa));
+      core::detail::merge_split(sa.data(), sb.data(), 8, keep_min,
+                                sgot.data());
+      EXPECT_EQ(sgot, sref);
+      simd::clear_forced_isa();
+    }
+  }
+}
+
+TEST(Simd, MergeSplitDispatcherDeclinesUncoveredShapes) {
+  // Shapes no vector kernel covers must return false without touching out.
+  dc::u32 a[7] = {1, 2, 3, 4, 5, 6, 7};
+  dc::u32 b[7] = {1, 2, 3, 4, 5, 6, 7};
+  dc::u32 out[7] = {99, 99, 99, 99, 99, 99, 99};
+  EXPECT_FALSE(simd::merge_split(a, b, 7, true, out));
+  for (const auto v : out) EXPECT_EQ(v, 99u);
+  // 8-byte keys always decline — no 64-bit min/max below AVX-512, and the
+  // blendv-based network measured slower than the scalar merge.
+  dc::u64 wa[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  dc::u64 wb[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  dc::u64 wout[8] = {99, 99, 99, 99, 99, 99, 99, 99};
+  EXPECT_FALSE(simd::merge_split(wa, wb, 8, true, wout));
+  for (const auto v : wout) EXPECT_EQ(v, 99u);
+  double da[4] = {1, 2, 3, 4};
+  double dout[4] = {};
+  EXPECT_FALSE(simd::merge_split(da, da, 4, true, dout));
+}
+
+TEST(Simd, GatherRowsMatchesScalarAtUnalignedOffsets) {
+  const auto isas = vector_isas();
+  if (isas.empty()) GTEST_SKIP() << "no vector ISA on this binary/CPU";
+  constexpr std::size_t kRows = 103;  // not a multiple of any lane count
+  constexpr std::uint64_t kNone = ~std::uint64_t{0};
+  dc::Rng rng(42);
+  std::vector<std::uint64_t> from(kRows);
+  for (std::size_t v = 0; v < kRows; ++v) {
+    from[v] = (rng() % 3 == 0) ? kNone : rng() % kRows;
+  }
+  const std::vector<std::uint64_t> src = [&] {
+    std::vector<std::uint64_t> s(kRows);
+    for (auto& x : s) x = rng();
+    return s;
+  }();
+  // Chunk edges [lo, hi) exercising unaligned starts, short tails, and the
+  // full row range at once.
+  const std::pair<std::size_t, std::size_t> ranges[] = {
+      {0, kRows}, {3, 98}, {1, 5}, {50, 53}, {97, kRows}};
+  for (const simd::Isa isa : isas) {
+    for (const auto& [lo, hi] : ranges) {
+      std::vector<std::uint64_t> plane_ref(kRows, 7), stamp_ref(kRows, 1);
+      std::vector<std::uint64_t> plane_got(kRows, 7), stamp_got(kRows, 1);
+      ASSERT_TRUE(simd::force_isa(simd::Isa::kScalar));
+      simd::gather_rows(plane_ref.data(), stamp_ref.data(), 5, from.data(),
+                        kNone, lo, hi, 1, src.data(), 1);
+      ASSERT_TRUE(simd::force_isa(isa));
+      simd::gather_rows(plane_got.data(), stamp_got.data(), 5, from.data(),
+                        kNone, lo, hi, 1, src.data(), 1);
+      simd::clear_forced_isa();
+      EXPECT_EQ(plane_got, plane_ref) << "lo=" << lo << " hi=" << hi;
+      EXPECT_EQ(stamp_got, stamp_ref) << "lo=" << lo << " hi=" << hi;
+    }
+  }
+}
+
+TEST(Simd, AddRowsMatchesScalarIncludingTails) {
+  const auto isas = vector_isas();
+  if (isas.empty()) GTEST_SKIP() << "no vector ISA on this binary/CPU";
+  dc::Rng rng(7);
+  for (const simd::Isa isa : isas) {
+    for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                                std::size_t{31}, std::size_t{1000}}) {
+      std::vector<std::uint64_t> prev(n), ref(n), got(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        prev[i] = rng();
+        ref[i] = got[i] = rng();
+      }
+      ASSERT_TRUE(simd::force_isa(simd::Isa::kScalar));
+      simd::add_rows_u64(ref.data(), prev.data(), n);
+      ASSERT_TRUE(simd::force_isa(isa));
+      simd::add_rows_u64(got.data(), prev.data(), n);
+      simd::clear_forced_isa();
+      EXPECT_EQ(got, ref) << "n=" << n;
+    }
+  }
+}
+
+TEST(Simd, ForceIsaRefusesUnsupportedAndKeepsCurrentChoice) {
+  const simd::Isa before = simd::active_isa();
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_FALSE(simd::force_isa(simd::Isa::kNeon));
+#else
+  EXPECT_FALSE(simd::force_isa(simd::Isa::kAvx2));
+#endif
+  EXPECT_EQ(simd::active_isa(), before);
+  EXPECT_TRUE(simd::force_isa(simd::Isa::kScalar));
+  EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  simd::clear_forced_isa();
+  EXPECT_EQ(simd::active_isa(), before);
+}
+
+// End-to-end: the block sort must produce identical keys, Counters and edge
+// loads whether its merge-splits run scalar or vectorized.
+TEST(Simd, BlockSortEndToEndParityAcrossIsas) {
+  const auto isas = vector_isas();
+  if (isas.empty()) GTEST_SKIP() << "no vector ISA on this binary/CPU";
+  const net::RecursiveDualCube r(2);
+  for (const std::size_t block : {std::size_t{8}, std::size_t{64}}) {
+    const auto input = dc::generate_keys(dc::KeyDistribution::kFewDistinct,
+                                         r.node_count() * block, 5);
+    ASSERT_TRUE(simd::force_isa(simd::Isa::kScalar));
+    Machine ms(r);
+    auto scalar_keys = input;
+    core::block_sort(ms, r, scalar_keys, block);
+    for (const simd::Isa isa : isas) {
+      ASSERT_TRUE(simd::force_isa(isa));
+      Machine mv(r);
+      auto vector_keys = input;
+      core::block_sort(mv, r, vector_keys, block);
+      EXPECT_EQ(vector_keys, scalar_keys) << simd::isa_name(isa);
+      EXPECT_EQ(mv.counters(), ms.counters());
+    }
+    simd::clear_forced_isa();
+  }
+}
+
+// End-to-end: block prefix (offset-major rows + vector row adds) against
+// both the scalar ISA and a directly computed inclusive scan.
+TEST(Simd, BlockPrefixEndToEndParityAcrossIsas) {
+  const net::DualCube d(2);
+  const core::Plus<dc::u64> plus;
+  const std::size_t block = 24;
+  dc::Rng rng(3);
+  std::vector<dc::u64> data(d.node_count() * block);
+  for (auto& x : data) x = rng() % 1000;
+  std::vector<dc::u64> expect(data.size());
+  std::partial_sum(data.begin(), data.end(), expect.begin());
+
+  ASSERT_TRUE(simd::force_isa(simd::Isa::kScalar));
+  Machine ms(d);
+  EXPECT_EQ(core::block_prefix(ms, d, plus, data, block), expect);
+  simd::clear_forced_isa();
+  for (const simd::Isa isa : vector_isas()) {
+    ASSERT_TRUE(simd::force_isa(isa));
+    Machine mv(d);
+    EXPECT_EQ(core::block_prefix(mv, d, plus, data, block), expect)
+        << simd::isa_name(isa);
+    EXPECT_EQ(mv.counters(), ms.counters());
+    simd::clear_forced_isa();
+  }
+}
+
+// The plane-source replay path must deliver exactly what the callback path
+// delivers — and allocate nothing in steady state.
+TEST(Simd, PlaneSourceReplayMatchesCallbackAndDoesNotAllocate) {
+  const net::Hypercube q(6);
+  Machine m(q);
+  m.set_schedule_path(SchedulePath::kCompiled);
+  for (const std::size_t width : {std::size_t{1}, std::size_t{8}}) {
+    std::vector<std::uint64_t> plane(q.node_count() * width);
+    for (std::size_t i = 0; i < plane.size(); ++i) {
+      plane[i] = i * 2654435761ull;
+    }
+    ObliviousSection section(m, "simd_test_plane_replay", {width});
+    for (unsigned i = 0; i < q.dimensions(); ++i) {
+      auto warm = section.exchange_blocks<std::uint64_t>(
+          width, [&](net::NodeId u) { return q.neighbor(u, i); },
+          PlaneSrc<std::uint64_t>{plane.data(), width});
+    }
+    section.commit();
+    const auto schedule = ScheduleCache::instance().find(section.key());
+    ASSERT_NE(schedule, nullptr);
+    // Warm the pool to its high-water shape — the counted loop keeps two
+    // inboxes alive at once, so warm with two concurrently live planes.
+    for (unsigned i = 0; i < q.dimensions(); ++i) {
+      auto warm_a = m.comm_cycle_scheduled_blocks<std::uint64_t>(
+          schedule->cycle(i), width,
+          PlaneSrc<std::uint64_t>{plane.data(), width});
+      auto warm_b = m.comm_cycle_scheduled_blocks<std::uint64_t>(
+          schedule->cycle(i), width,
+          PlaneSrc<std::uint64_t>{plane.data(), width});
+    }
+    const std::uint64_t before = g_allocation_count.load();
+    for (unsigned i = 0; i < q.dimensions(); ++i) {
+      auto from_plane = m.comm_cycle_scheduled_blocks<std::uint64_t>(
+          schedule->cycle(i), width,
+          PlaneSrc<std::uint64_t>{plane.data(), width});
+      auto from_callback = m.comm_cycle_scheduled_blocks<std::uint64_t>(
+          schedule->cycle(i), width,
+          [&](net::NodeId u, std::uint64_t* dst) {
+            for (std::size_t k = 0; k < width; ++k)
+              dst[k] = plane[u * width + k];
+          });
+      for (net::NodeId u = 0; u < q.node_count(); ++u) {
+        ASSERT_EQ(from_plane.has(u), from_callback.has(u));
+        for (std::size_t k = 0; k < width; ++k) {
+          ASSERT_EQ(from_plane.block(u)[k], from_callback.block(u)[k]);
+        }
+      }
+    }
+    EXPECT_EQ(g_allocation_count.load(), before)
+        << "steady-state plane replay allocated at width " << width;
+  }
+}
+
+// The affine parallel loop must cover every index exactly once regardless
+// of band layout, including on a multi-worker pool (this machine's CI runs
+// are single-core, so force a pool).
+TEST(Simd, ParallelForAffineCoversRangeOnMultiWorkerPool) {
+  ThreadPool pool(3);
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<std::uint32_t>> hits(kCount);
+  for (auto& h : hits) h.store(0);
+  parallel_for_affine(
+      0, kCount, sizeof(std::uint64_t),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      /*grain=*/64, &pool);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dc::sim

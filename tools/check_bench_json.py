@@ -23,14 +23,17 @@ Two further gates run only on files that carry trajectory rows (rows whose
 name ends in "@<tag>", e.g. "BM_BlockSort/512_median@pr3"); the CI smoke
 file has none and skips both:
 
-  * Block-family coverage: BM_BlockSort and BM_BlockPrefix rows must be
-    present — the SoA block-replay path must stay benchmarked.
+  * Block-family coverage: BM_BlockSort, BM_BlockPrefix, BM_MergeSplit and
+    BM_BlockGather rows must be present — the SoA block-replay path and its
+    SIMD kernels must stay benchmarked.
   * Median regression: for every plain "X_median" row with at least one
     recorded "X_median@..." predecessor, the current ns_per_op must not
     exceed 1.1x the most recent predecessor. "Most recent" means the
     highest "@prN" number (other tags such as "@baseline-v0" count as
     PR 0); ties break toward the lowest ns_per_op, so a same-PR
     interpreted/compiled pair is compared against its faster variant.
+    Alongside the gate, a per-family best/worst current-vs-predecessor
+    ratio summary is printed (ratio < 1 is a speedup).
 
 Stdlib only.
 """
@@ -76,13 +79,41 @@ def check_schema(rows) -> list:
 
 def check_block_family(names) -> list:
     errors = []
-    for family in ("BM_BlockSort", "BM_BlockPrefix"):
+    for family in (
+        "BM_BlockSort",
+        "BM_BlockPrefix",
+        "BM_MergeSplit",
+        "BM_BlockGather",
+    ):
         if not any(n == family or n.startswith(family + "/") for n in names):
             errors.append(f"missing block-family rows: no {family} benchmark")
     return errors
 
 
-def check_median_regressions(rows) -> list:
+def family_of(name: str) -> str:
+    """Benchmark family of a median row: "BM_BlockSort/512_median" ->
+    "BM_BlockSort"."""
+    return name.split("/", 1)[0].removesuffix("_median")
+
+
+def report_family_ratios(ratios) -> None:
+    """Per-family best/worst current-vs-predecessor summary, printed on
+    every trajectory-gated run so a PR's speedups and near-regressions are
+    visible without digging through raw rows. ratio < 1 is a speedup."""
+    families = {}
+    for name, ratio in ratios:
+        families.setdefault(family_of(name), []).append((ratio, name))
+    for family in sorted(families):
+        entries = sorted(families[family])
+        best_ratio, best_name = entries[0]
+        worst_ratio, worst_name = entries[-1]
+        print(
+            f"{family}: best {best_ratio:.2f}x ({best_name}), "
+            f"worst {worst_ratio:.2f}x ({worst_name}) vs newest trajectory"
+        )
+
+
+def check_median_regressions(rows, ratios=None) -> list:
     # Trajectory rows: "X@tag" -> list of (pr_number, ns_per_op) under X.
     history = {}
     for row in rows:
@@ -108,6 +139,8 @@ def check_median_regressions(rows) -> list:
         value = row.get("ns_per_op")
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             continue  # already reported by the schema pass
+        if ratios is not None and ns_pred > 0:
+            ratios.append((name, value / ns_pred))
         if value > REGRESSION_TOLERANCE * ns_pred:
             errors.append(
                 f"{name}: regressed to {value:.2f} ns/op, more than "
@@ -247,7 +280,9 @@ def main() -> int:
     has_trajectory = any("@" in n for n in names)
     if has_trajectory:
         errors += check_block_family(names)
-        errors += check_median_regressions(rows)
+        ratios = []
+        errors += check_median_regressions(rows, ratios)
+        report_family_ratios(ratios)
 
     for e in errors:
         print(e, file=sys.stderr)
