@@ -12,6 +12,7 @@
 //   ./dcsim --algo=prefix    --n=3 --faults=random:2,7
 //   ./dcsim --algo=broadcast --n=3 --faults=nodes:3,17 --fault-policy=degrade
 //   ./dcsim --algo=prefix    --n=4 --trace=out.json --metrics
+//   ./dcsim --algo=prefix    --n=12 --shards=8 --mem-budget=100000000
 //
 // --schedule=compiled|interpreted selects the communication path: compiled
 // (default) records + caches each algorithm's oblivious schedule and runs a
@@ -33,6 +34,18 @@
 // degrade drops such messages and counts them instead. Strict mode rejects
 // specs with n or more node faults up front (the n-connectivity guarantee
 // covers only fewer than n).
+//
+// --shards=K runs D_prefix through the cluster-sharded engine (K per-shard
+// machines over the recursive D_(n-1) decomposition) with streaming input
+// and output — no global data vector is ever materialized, and the result
+// stream is verified on the fly. --mem-budget=BYTES caps resident memory:
+// runs whose working set + result store exceed the budget spill result
+// slices out of core, keeping peak resident linear in N/K; runs whose
+// per-shard working set alone exceeds the budget go fully out of core,
+// streaming t/s through a budget-sized window on every synchronous cycle
+// (slower, but peak resident stays under the cap at any N — use more
+// shards to bring the cycles back in core). The run reports the
+// memory-model prediction next to the kernel-measured peak RSS.
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -42,11 +55,14 @@
 #include <optional>
 #include <string_view>
 
+#include <sys/resource.h>
+
 #include "collectives/broadcast.hpp"
 #include "collectives/ft_broadcast.hpp"
 #include "collectives/reduce.hpp"
 #include "core/dual_prefix.hpp"
 #include "core/ft_dual_prefix.hpp"
+#include "core/sharded_prefix.hpp"
 #include "core/dual_sort.hpp"
 #include "core/enumeration_sort.hpp"
 #include "core/formulas.hpp"
@@ -187,6 +203,96 @@ int run_prefix(unsigned n, const std::string& op_name, u64 seed) {
   print_counters(m.counters());
   print_schedule_path(m);
   print_run_summary(m);
+  std::cout << "Theorem 1 bounds: comm <= "
+            << dc::core::formulas::dual_prefix_comm_paper(n) << ", comp <= "
+            << dc::core::formulas::dual_prefix_comp(n) << "\n";
+  return ok ? 0 : 1;
+}
+
+/// Kernel-measured peak resident set of this process, in bytes (Linux
+/// reports ru_maxrss in kilobytes).
+std::size_t peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+}
+
+int run_sharded_prefix(unsigned n, const std::string& op_name, unsigned shards,
+                       std::size_t budget, u64 seed) {
+  const dc::net::DualCube d(n);
+  dc::sim::ShardEngine eng(d, shards, budget);
+  for (unsigned k = 0; k < shards; ++k)
+    eng.machine(k).set_schedule_path(g_schedule);
+  if (g_trace) eng.set_trace(g_trace.get());
+
+  // Streaming input: a stateless per-index generator, so no global data
+  // vector ever exists — the only O(N) state is the result store, and with
+  // a tight --mem-budget not even that stays resident.
+  const auto data_of = [seed](u64 i) -> u64 {
+    u64 x = i + seed * 0x9E3779B97F4A7C15ull;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    return x % 1000;
+  };
+
+  // Streaming verification: the sink receives ascending slices tiling
+  // [0, N), so one running accumulator checks every prefix as it streams
+  // past without materializing the expected vector.
+  bool ok = true;
+  u64 last = 0;
+  const auto run_with = [&](const auto& op) {
+    u64 acc = op.identity();
+    u64 next_base = 0;
+    dc::core::sharded_dual_prefix(
+        eng, op, data_of,
+        [&](u64 base, const u64* values, std::size_t count) {
+          ok = ok && base == next_base;
+          for (std::size_t t = 0; t < count; ++t) {
+            acc = op.combine(acc, data_of(base + t));
+            ok = ok && values[t] == acc;
+          }
+          next_base = base + count;
+          if (count > 0) last = values[count - 1];
+        });
+    ok = ok && next_base == d.node_count();
+  };
+  if (op_name == "plus") {
+    run_with(dc::core::Plus<u64>{});
+  } else if (op_name == "min") {
+    run_with(dc::core::Min<u64>{});
+  } else if (op_name == "max") {
+    run_with(dc::core::Max<u64>{});
+  } else if (op_name == "xor") {
+    run_with(dc::core::Xor<u64>{});
+  } else {
+    std::cout << "unknown --op '" << op_name << "' (plus|min|max|xor)\n";
+    return 2;
+  }
+
+  const auto& st = eng.stats();
+  std::cout << "sharded D_prefix(" << op_name << ") on " << d.name() << " ("
+            << d.node_count() << " nodes, " << shards << " shards): "
+            << (ok ? "stream verified" : "WRONG") << "; last prefix = " << last
+            << "\n";
+  dc::Table t("sharded memory model");
+  t.header({"metric", "value"});
+  t.add("shards", shards);
+  t.add("nodes per shard", eng.shard_nodes());
+  t.add("memory budget bytes", budget);
+  t.add("working bytes / shard", eng.working_bytes(sizeof(u64)));
+  t.add("result store bytes", eng.store_bytes(sizeof(u64)));
+  t.add("predicted resident bytes", eng.predicted_resident_bytes(sizeof(u64)));
+  t.add("spilled", st.last_run_spilled ? "yes" : "no");
+  t.add("out of core (streamed cycles)",
+        st.last_run_out_of_core ? "yes" : "no");
+  t.add("spill slices written", st.spill_count);
+  t.add("spill bytes", st.spill_bytes);
+  t.add("cross-edge exchange bytes", st.cross_edge_bytes);
+  t.add("peak RSS bytes (process)", peak_rss_bytes());
+  std::cout << t;
+  print_counters(eng.counters());
+  eng.publish_metrics();
   std::cout << "Theorem 1 bounds: comm <= "
             << dc::core::formulas::dual_prefix_comm_paper(n) << ", comp <= "
             << dc::core::formulas::dual_prefix_comp(n) << "\n";
@@ -484,6 +590,9 @@ int main(int argc, char** argv) {
   const std::string pattern = cli.get_string("pattern", "random");
   const std::string faults = cli.get_string("faults", "");
   const std::string fault_policy = cli.get_string("fault-policy", "strict");
+  const unsigned shards = static_cast<unsigned>(cli.get_int("shards", 0));
+  const std::size_t mem_budget =
+      static_cast<std::size_t>(cli.get_int("mem-budget", 0));
   const std::string trace_file = cli.get_string("trace", "");
   // Bare --metrics parses as "true"; table is the human default.
   const std::string metrics = cli.get_string("metrics", "");
@@ -522,6 +631,27 @@ int main(int argc, char** argv) {
   }
 
   const auto run = [&]() -> int {
+    if (shards > 0) {
+      if (algo != "prefix") {
+        std::cout << "--shards supports only --algo=prefix (got '" << algo
+                  << "')\n";
+        return 2;
+      }
+      if (!faults.empty()) {
+        std::cout << "--shards and --faults cannot be combined\n";
+        return 2;
+      }
+      try {
+        return run_sharded_prefix(n, op, shards, mem_budget, seed);
+      } catch (const dc::CheckError& e) {
+        std::cout << "sharded run rejected: " << e.what() << "\n";
+        return 2;
+      }
+    }
+    if (mem_budget > 0) {
+      std::cout << "--mem-budget requires --shards\n";
+      return 2;
+    }
     if (!faults.empty())
       return run_with_faults(algo, n, faults, fault_policy, op, root, seed);
     if (algo == "prefix") return run_prefix(n, op, seed);

@@ -56,6 +56,9 @@ struct ArenaBase {
   /// between runs — when every Inbox has been recycled — this reads as the
   /// run's high-water scratch footprint.
   virtual std::size_t resident_bytes() const = 0;
+  /// Releases every pooled (idle) buffer. Buffers still held by live
+  /// Inboxes are untouched and recycle into the (now empty) pool as usual.
+  virtual void trim() = 0;
 };
 
 /// One pooled inbox: payload slots plus atomic claim stamps per receive
@@ -109,6 +112,8 @@ struct TypedArena final : ArenaBase {
     }
     return bytes;
   }
+
+  void trim() override { pool.clear(); }
 
   std::size_t size;
   std::vector<std::optional<Send<P>>> outbox;
@@ -177,6 +182,8 @@ struct TypedBlockArena final : ArenaBase {
     return bytes;
   }
 
+  void trim() override { pool.clear(); }
+
   std::size_t size;
   std::vector<std::unique_ptr<BlockBuffer<T>>> pool;
   std::uint64_t next_generation = 0;
@@ -225,6 +232,16 @@ class CommArena {
     for (const auto& [key, arena] : block_arenas_)
       total += arena->resident_bytes();
     return total;
+  }
+
+  /// Drops every idle pooled buffer across all payload types. The sharded
+  /// engine's out-of-core mode calls this after a shard's pass so only the
+  /// active shard's planes stay resident; steady-state zero-allocation
+  /// guarantees do not hold across a trim (the next cycle re-allocates its
+  /// plane), which is the explicit trade of spill mode.
+  void trim() {
+    for (const auto& [key, arena] : arenas_) arena->trim();
+    for (const auto& [key, arena] : block_arenas_) arena->trim();
   }
 
  private:

@@ -465,6 +465,103 @@ class Machine {
         });
   }
 
+  /// Tiled plane replay for shard-local schedules (sim/shard.hpp): the
+  /// receiver space is `tiles` consecutive copies of the `unit` cycle, and
+  /// every sender index in `unit` is tile-local — tile t's receiver row
+  /// t*B + v gathers from sender t*B + unit.recv_from[v] (B =
+  /// unit.recv_from.size(), with B * tiles == node_count()). One
+  /// cluster-sized compiled slice therefore drives the whole machine:
+  /// schedules stay O(cluster) instead of O(shard) no matter how many
+  /// cluster blocks the shard holds, which is what keeps mega-scale
+  /// shards' schedule memory off the linear-per-shard budget. Each tile
+  /// runs through the same SIMD gather kernel as the plane-source replay
+  /// overload; counters and trace book one comm cycle delivering
+  /// tiles * unit.message_count messages. Edge-load accounting is not
+  /// supported here (the unit slice carries no CSR slots — the sharded
+  /// engine interprets cycles instead when hot-spot counting is on).
+  template <typename T>
+  BlockInbox<T> comm_cycle_scheduled_blocks_tiled(const ScheduleCycle& unit,
+                                                  std::size_t tiles,
+                                                  std::size_t width,
+                                                  PlaneSrc<T> src) {
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    const std::size_t block = unit.recv_from.size();
+    DC_REQUIRE(!faults_,
+               "compiled replay skips per-message fault checks; a machine "
+               "with an attached FaultPlan must interpret every cycle");
+    DC_REQUIRE(block >= 1 && block * tiles == n,
+               "tiled schedule unit does not cover the node count");
+    DC_REQUIRE(width >= 1, "block width must be >= 1");
+    DC_REQUIRE(!edge_load_.enabled(),
+               "tiled replay carries no edge slots; interpret cycles when "
+               "edge-load accounting is enabled");
+    CycleSpan span(trace_, trace_track_, "comm_cycle_replay_blocks");
+    auto arena = arena_.get_blocks<T>(n);
+    auto buf = arena->acquire(width);
+
+    T* const plane = buf->values.data();
+    std::uint64_t* const stamp = buf->stamp.get();
+    const std::uint64_t gen = buf->generation;
+    const net::NodeId* const from = unit.recv_from.data();
+    parallel_for_affine(
+        0, n, width * sizeof(T),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t t = lo / block; t * block < hi; ++t) {
+            const std::size_t base = t * block;
+            const std::size_t row_lo = lo > base ? lo - base : 0;
+            const std::size_t row_hi = std::min(hi - base, block);
+            simd::gather_rows(plane + base * width, stamp + base, gen, from,
+                              kNoSender, row_lo, row_hi, width,
+                              src.base + base * src.stride, src.stride);
+          }
+        },
+        grain_, pool_);
+
+    const std::uint64_t delivered =
+        static_cast<std::uint64_t>(tiles) * unit.message_count;
+    ++counters_.comm_cycles;
+    counters_.messages += delivered;
+    ++replayed_cycles_;
+    span.finish(delivered);
+    if (metric_msgs_per_cycle_) metric_msgs_per_cycle_->observe(delivered);
+    return BlockInbox<T>(std::move(arena), std::move(buf));
+  }
+
+  /// Fused exchange-and-combine cycle over `blocks` equal node blocks:
+  /// body(b_lo, b_hi) performs, for blocks [b_lo, b_hi), both the cycle's
+  /// data movement and the dependent per-node combine in one sweep — no
+  /// comm plane is materialized at all, which is what makes mega-scale
+  /// sharded passes bandwidth- rather than dispatch-bound. The body must
+  /// touch only state owned by its blocks (exchanges must stay
+  /// block-internal), and must charge add_ops for the combines it applies.
+  /// Books exactly what the unfused pair would have: one comm cycle
+  /// delivering one message per node (on a cube exchange every node both
+  /// sends and receives) followed by one computation step.
+  template <typename Body>
+  void comm_compute_cycle_fused_blocks(std::size_t blocks, Body&& body) {
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    DC_REQUIRE(!faults_,
+               "fused cycles skip per-message fault checks; a machine with "
+               "an attached FaultPlan must interpret every cycle");
+    DC_REQUIRE(!edge_load_.enabled(),
+               "fused cycles carry no edge slots; interpret cycles when "
+               "edge-load accounting is enabled");
+    DC_REQUIRE(blocks >= 1 && n % blocks == 0,
+               "fused blocks do not evenly cover the node count");
+    const std::size_t block = n / blocks;
+    {
+      CycleSpan span(trace_, trace_track_, "comm_cycle_fused");
+      parallel_for_chunked(0, blocks, body,
+                           std::max<std::size_t>(1, grain_ / block), pool_);
+      ++counters_.comm_cycles;
+      counters_.messages += n;
+      span.finish(n);
+      if (metric_msgs_per_cycle_) metric_msgs_per_cycle_->observe(n);
+    }
+    ++counters_.comp_steps;
+    if (trace_) trace_->instant(trace_track_, 0, "compute_step");
+  }
+
   /// Packs a vector-payload inbox into a block plane. Used by
   /// ObliviousSection::exchange_blocks on the interpreted and record paths,
   /// where the exchange ran through comm_cycle (full validation, faults,
@@ -545,6 +642,22 @@ class Machine {
   void compute_step_chunked(Body&& body) {
     parallel_for_chunked(0, static_cast<std::size_t>(node_count()),
                          std::forward<Body>(body), grain_, pool_);
+    ++counters_.comp_steps;
+    if (trace_) trace_->instant(trace_track_, 0, "compute_step");
+  }
+
+  /// Streamed form of compute_step: body(0, node_count) is invoked exactly
+  /// once, on one pool worker, and must perform the per-node O(1) work of
+  /// every node itself. Used by out-of-core passes whose node state lives
+  /// in a spill file and streams through one caller-managed window —
+  /// concurrent chunks would race on that window buffer. Counted as ONE
+  /// computation step; charge add_ops exactly like the per-node form.
+  template <typename Body>
+  void compute_step_streamed(Body&& body) {
+    const std::size_t n = static_cast<std::size_t>(node_count());
+    parallel_for_chunked(
+        0, std::size_t{1},
+        [&](std::size_t, std::size_t) { body(std::size_t{0}, n); }, 1, pool_);
     ++counters_.comp_steps;
     if (trace_) trace_->instant(trace_track_, 0, "compute_step");
   }
@@ -671,6 +784,18 @@ class Machine {
                     static_cast<double>(trace_->dropped()));
     }
   }
+
+  /// Bytes of pooled communication scratch (inbox buffers and block
+  /// planes) currently resident in this machine's arena.
+  std::size_t comm_pool_resident_bytes() const {
+    return arena_.resident_bytes();
+  }
+
+  /// Releases every idle pooled communication buffer. The sharded engine's
+  /// out-of-core mode calls this after each shard pass so only one shard's
+  /// planes are ever resident; the next cycle re-acquires fresh buffers, so
+  /// zero-steady-state-allocation guarantees do not hold across a trim.
+  void trim_comm_pool() { arena_.trim(); }
 
  private:
   // pool_ is always non-null (the constructor resolves the shared pool

@@ -235,4 +235,21 @@ class ObliviousSection {
   const char* span_name_ = nullptr;  // interned; non-null iff traced
 };
 
+/// Fetches the compiled per-shard schedule slice for one in-cluster
+/// Cube_prefix pass over a 2^dims-node cluster, through the process-wide
+/// ScheduleCache (so every shard, every engine and every run share one
+/// copy, LRU-budgeted with all other schedules). The slice is synthesized
+/// — a dimension exchange is a fixed permutation, so no record run is
+/// needed — and is keyed by the cube shape alone: unlike recorded
+/// schedules it is tile-local and topology-independent by construction.
+inline std::shared_ptr<const Schedule> cube_exchange_schedule(unsigned dims) {
+  const ScheduleKey key{"cube_block#" + std::to_string(dims),
+                        "cube_exchange_slice",
+                        {dims},
+                        /*validate=*/false};
+  if (auto cached = ScheduleCache::instance().find(key)) return cached;
+  return ScheduleCache::instance().store(key,
+                                         make_cube_exchange_schedule(dims));
+}
+
 }  // namespace dc::sim

@@ -1,0 +1,64 @@
+#include "topology/shard_plan.hpp"
+
+namespace dc::net {
+
+namespace {
+
+bool is_pow2(dc::u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+ShardPlan::ShardPlan(const DualCube& d, unsigned shard_count)
+    : order_(d.order()), shard_count_(shard_count) {
+  DC_REQUIRE(shard_count >= 1, "shard count must be >= 1");
+  DC_REQUIRE(is_pow2(shard_count), "shard count must be a power of two");
+  DC_REQUIRE(shard_count <= clusters_total(),
+             "more shards than clusters: shards split along cluster "
+             "boundaries, so K <= 2^n");
+  const dc::u64 per_shard = clusters_per_shard();
+  const unsigned w = order_ - 1;
+  shards_.resize(shard_count_);
+  for (unsigned k = 0; k < shard_count_; ++k) {
+    shards_[k].reserve(static_cast<std::size_t>(per_shard));
+    for (dc::u64 key = dc::u64{k} * per_shard; key < dc::u64{k + 1} * per_shard;
+         ++key) {
+      shards_[k].push_back(ClusterRef{static_cast<unsigned>(key >> w),
+                                      key & (dc::bits::pow2(w) - 1)});
+    }
+  }
+}
+
+DualCubeAddress ShardPlan::decode(NodeId u) const {
+  const unsigned w = order_ - 1;
+  DC_REQUIRE(u < dc::bits::pow2(2 * order_ - 1), "node out of range");
+  const unsigned cls = static_cast<unsigned>(dc::bits::get(u, 2 * w));
+  const dc::u64 lo = dc::bits::field(u, 0, w);
+  const dc::u64 hi = dc::bits::field(u, w, w);
+  // Class 0: part I (low) = node, part II (high) = cluster; class 1 swaps.
+  if (cls == 0) return DualCubeAddress{0, hi, lo};
+  return DualCubeAddress{1, lo, hi};
+}
+
+NodeId ShardPlan::encode(unsigned cls, dc::u64 cluster, dc::u64 node) const {
+  const unsigned w = order_ - 1;
+  const dc::u64 lo = cls == 0 ? node : cluster;
+  const dc::u64 hi = cls == 0 ? cluster : node;
+  return (dc::u64{cls} << (2 * w)) | (hi << w) | lo;
+}
+
+std::vector<NodeId> ShardClusterTopology::neighbors(NodeId u) const {
+  DC_REQUIRE(u < node_count(), "node out of range");
+  std::vector<NodeId> out;
+  out.reserve(dims_);
+  for (unsigned i = 0; i < dims_; ++i) out.push_back(dc::bits::flip(u, i));
+  return out;
+}
+
+bool ShardClusterTopology::has_edge(NodeId u, NodeId v) const {
+  DC_REQUIRE(u < node_count() && v < node_count(), "node out of range");
+  const dc::u64 diff = u ^ v;
+  // One flipped bit, inside the node-ID field (same cluster block).
+  return diff != 0 && (diff & (diff - 1)) == 0 && diff < block_size();
+}
+
+}  // namespace dc::net

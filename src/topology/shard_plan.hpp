@@ -1,0 +1,163 @@
+// Cluster-aligned shard layout for mega-scale dual-cube simulation.
+//
+// The dual-cube D_n decomposes recursively into four disjoint copies of
+// D_(n-1) (paper, Section 4): split the clusters of each class by the top
+// bit of their cluster ID and the four (class, top-bit) quarters induce
+// vertex-disjoint subgraphs whose only external links are cross-edges.
+// Iterating that split gives a natural divide-and-conquer shard layout: a
+// shard key is the class bit followed by the cluster-ID bits from most to
+// least significant, and a K-way plan (K a power of two) assigns each
+// cluster to shard key >> (n - log2 K). Every shard is then
+//
+//   * cluster-aligned — clusters are never split, so the (n-1)-cube
+//     exchanges of Cube_prefix stay entirely shard-local;
+//   * contiguous — a shard's clusters occupy one interval of the
+//     (class, cluster) key space, and under the paper's Section 3 data
+//     arrangement its nodes hold one contiguous interval of global data
+//     indices per class;
+//   * uniform — all shards carry exactly clusters_total()/K clusters, so
+//     one compiled schedule slice serves every shard.
+//
+// Cross-edges are the only links a shard cuts, which is what lets the
+// sharded engine (sim/shard.hpp) replace the global cross-edge planes with
+// a compact per-class exchange buffer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bits.hpp"
+#include "support/check.hpp"
+#include "topology/dual_cube.hpp"
+#include "topology/topology.hpp"
+
+namespace dc::net {
+
+/// Maps every cluster of a dual-cube to one of K shards along the
+/// recursive D_(n-1) decomposition. Immutable after construction.
+class ShardPlan {
+ public:
+  /// One cluster, identified the way DualCubeAddress does.
+  struct ClusterRef {
+    unsigned cls;     ///< class indicator: 0 or 1
+    dc::u64 cluster;  ///< cluster ID within the class (n-1 bits)
+
+    friend bool operator==(const ClusterRef&, const ClusterRef&) = default;
+  };
+
+  /// Plan for `d` with `shard_count` shards. shard_count must be a power
+  /// of two between 1 and the total cluster count 2^n.
+  ShardPlan(const DualCube& d, unsigned shard_count);
+
+  unsigned order() const { return order_; }
+  unsigned shard_count() const { return shard_count_; }
+
+  /// Nodes per cluster, 2^(n-1).
+  dc::u64 cluster_size() const { return dc::bits::pow2(order_ - 1); }
+  /// Clusters across both classes, 2^n.
+  dc::u64 clusters_total() const { return dc::u64{2} << (order_ - 1); }
+  /// Clusters per shard (uniform by construction).
+  dc::u64 clusters_per_shard() const { return clusters_total() / shard_count_; }
+  /// Nodes per shard (uniform by construction).
+  NodeId shard_node_count() const {
+    return clusters_per_shard() * cluster_size();
+  }
+
+  /// Recursive-decomposition key of a cluster: the class bit followed by
+  /// the cluster-ID bits, most significant first. Shards are contiguous,
+  /// equal-size intervals of this key space.
+  dc::u64 cluster_key(unsigned cls, dc::u64 cluster) const {
+    DC_REQUIRE(cls <= 1, "class indicator must be 0 or 1");
+    DC_REQUIRE(cluster < dc::bits::pow2(order_ - 1), "cluster out of range");
+    return (dc::u64{cls} << (order_ - 1)) | cluster;
+  }
+
+  unsigned shard_of_cluster(unsigned cls, dc::u64 cluster) const {
+    return static_cast<unsigned>(cluster_key(cls, cluster) /
+                                 clusters_per_shard());
+  }
+
+  unsigned shard_of_node(NodeId u) const {
+    const DualCubeAddress a = decode(u);
+    return shard_of_cluster(a.cls, a.cluster);
+  }
+
+  /// The clusters of shard `k`, in ascending key order (class-0 clusters
+  /// by ascending cluster ID, then class-1).
+  const std::vector<ClusterRef>& shard_clusters(unsigned k) const {
+    DC_REQUIRE(k < shard_count_, "shard index out of range");
+    return shards_[k];
+  }
+
+  /// Dense shard-local index of node `u`: cluster-major (key order),
+  /// node-ID minor. Local cluster c spans [c * cluster_size(),
+  /// (c+1) * cluster_size()).
+  NodeId local_index(NodeId u) const {
+    const DualCubeAddress a = decode(u);
+    const dc::u64 key = cluster_key(a.cls, a.cluster);
+    return (key % clusters_per_shard()) * cluster_size() + a.node;
+  }
+
+  /// Global node label of shard `k`'s local index (inverse of
+  /// local_index).
+  NodeId global_node(unsigned k, NodeId local) const {
+    DC_REQUIRE(k < shard_count_, "shard index out of range");
+    DC_REQUIRE(local < shard_node_count(), "local index out of range");
+    const unsigned w = order_ - 1;
+    const dc::u64 key =
+        dc::u64{k} * clusters_per_shard() + (local >> w);
+    const ClusterRef c{static_cast<unsigned>(key >> w),
+                       key & (dc::bits::pow2(w) - 1)};
+    return encode(c.cls, c.cluster, local & (dc::bits::pow2(w) - 1));
+  }
+
+ private:
+  DualCubeAddress decode(NodeId u) const;
+  NodeId encode(unsigned cls, dc::u64 cluster, dc::u64 node) const;
+
+  unsigned order_;
+  unsigned shard_count_;
+  std::vector<std::vector<ClusterRef>> shards_;
+};
+
+/// A shard's induced intra-cluster graph: `clusters` disjoint copies of the
+/// (n-1)-cube, one per cluster block of the shard-local index space. This
+/// is the topology each per-shard Machine runs on — cross-edges are not
+/// part of it because the sharded engine carries them through the compact
+/// inter-shard exchange buffer instead of a comm plane.
+class ShardClusterTopology final : public Topology {
+ public:
+  /// `cube_dims` = n-1 (node-ID bits per cluster), `clusters` = clusters
+  /// per shard.
+  ShardClusterTopology(unsigned cube_dims, dc::u64 clusters)
+      : dims_(cube_dims), clusters_(clusters) {
+    DC_REQUIRE(clusters >= 1, "a shard holds at least one cluster");
+    DC_REQUIRE(cube_dims + 1 <= 40, "cluster cube too large to simulate");
+  }
+
+  std::string name() const override {
+    return "ShardClusters_" + std::to_string(dims_) + "x" +
+           std::to_string(clusters_);
+  }
+  NodeId node_count() const override {
+    return clusters_ << dims_;
+  }
+  std::vector<NodeId> neighbors(NodeId u) const override;
+  bool has_edge(NodeId u, NodeId v) const override;
+  std::size_t neighbor_count(NodeId u) const override {
+    DC_REQUIRE(u < node_count(), "node out of range");
+    return dims_;
+  }
+
+  unsigned cube_dims() const { return dims_; }
+  dc::u64 clusters() const { return clusters_; }
+  /// Nodes per cluster block, 2^cube_dims.
+  dc::u64 block_size() const { return dc::bits::pow2(dims_); }
+
+ private:
+  unsigned dims_;
+  dc::u64 clusters_;
+};
+
+}  // namespace dc::net

@@ -1,0 +1,415 @@
+// Sharded execution tests: the cluster-sharded engine must be
+// observationally identical to the flat engine — same D_prefix results,
+// same Counters, same per-edge loads — for every shard count, on both the
+// tiled-replay and interpreted paths, with and without the out-of-core
+// spill; and its steady-state runs must allocate nothing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/dual_prefix.hpp"
+#include "core/ops.hpp"
+#include "core/sharded_prefix.hpp"
+#include "sim/machine.hpp"
+#include "sim/schedule.hpp"
+#include "sim/shard.hpp"
+#include "support/rng.hpp"
+#include "topology/dual_cube.hpp"
+#include "topology/shard_plan.hpp"
+
+// Allocation counter backing the zero-allocation steady-state test (same
+// harness as sim_test.cpp: replacing the unaligned global pair covers all
+// of the engine's scratch and pooled planes).
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+namespace dc::sim {
+namespace {
+
+// ---------------------------------------------------------------- plan --
+
+TEST(ShardPlan, CoversEveryClusterExactlyOnce) {
+  for (unsigned n = 1; n <= 6; ++n) {
+    const net::DualCube d(n);
+    for (unsigned k = 1; k <= d.clusters_per_class() * 2; k *= 2) {
+      const net::ShardPlan plan(d, k);
+      std::set<std::pair<unsigned, dc::u64>> seen;
+      for (unsigned s = 0; s < k; ++s) {
+        EXPECT_EQ(plan.shard_clusters(s).size(), plan.clusters_per_shard());
+        for (const auto& c : plan.shard_clusters(s)) {
+          EXPECT_EQ(plan.shard_of_cluster(c.cls, c.cluster), s);
+          EXPECT_TRUE(seen.emplace(c.cls, c.cluster).second)
+              << "cluster assigned twice (n=" << n << " K=" << k << ")";
+        }
+      }
+      EXPECT_EQ(seen.size(), plan.clusters_total())
+          << "clusters missing (n=" << n << " K=" << k << ")";
+    }
+  }
+}
+
+TEST(ShardPlan, LocalGlobalRoundTripAndDataContiguity) {
+  for (unsigned n = 2; n <= 5; ++n) {
+    const net::DualCube d(n);
+    for (unsigned k : {1u, 2u, 4u}) {
+      const net::ShardPlan plan(d, k);
+      for (net::NodeId u = 0; u < d.node_count(); ++u) {
+        const unsigned s = plan.shard_of_node(u);
+        const net::NodeId l = plan.local_index(u);
+        EXPECT_LT(l, plan.shard_node_count());
+        EXPECT_EQ(plan.global_node(s, l), u);
+        // The property the streaming front-end rests on: shard s's local
+        // index l holds global data index s * shard_nodes + l.
+        EXPECT_EQ(core::dual_prefix_index_of_node(d, u),
+                  dc::u64{s} * plan.shard_node_count() + l);
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, RejectsInvalidShardCounts) {
+  const net::DualCube d(3);  // 2^3 = 8 clusters across both classes
+  EXPECT_THROW(net::ShardPlan(d, 0), dc::CheckError);
+  EXPECT_THROW(net::ShardPlan(d, 3), dc::CheckError);
+  EXPECT_THROW(net::ShardPlan(d, 16), dc::CheckError);
+  EXPECT_NO_THROW(net::ShardPlan(d, 8));
+}
+
+TEST(ShardClusterTopology, EdgesStayInsideClusterBlocks) {
+  const net::ShardClusterTopology t(2, 3);  // 3 blocks of a 2-cube
+  EXPECT_EQ(t.node_count(), 12u);
+  EXPECT_TRUE(t.has_edge(0, 1));
+  EXPECT_TRUE(t.has_edge(5, 7));
+  EXPECT_FALSE(t.has_edge(3, 4));  // adjacent labels, different blocks
+  EXPECT_FALSE(t.has_edge(0, 0));
+  for (net::NodeId u = 0; u < t.node_count(); ++u) {
+    EXPECT_EQ(t.neighbors(u).size(), 2u);
+    for (const net::NodeId v : t.neighbors(u)) {
+      EXPECT_TRUE(t.has_edge(u, v));
+      EXPECT_EQ(u >> 2, v >> 2) << "edge crossed a cluster block";
+    }
+  }
+}
+
+// -------------------------------------------------------------- parity --
+
+// Flat-engine reference for one run, with counters and per-edge loads.
+template <core::Monoid M>
+struct FlatRun {
+  std::vector<typename M::value_type> result;
+  Counters counters;
+  std::vector<std::uint64_t> loads;
+};
+
+template <core::Monoid M>
+FlatRun<M> flat_reference(const net::DualCube& d, const M& op,
+                          const std::vector<typename M::value_type>& data,
+                          bool inclusive, bool edge_load) {
+  Machine m(d);
+  if (edge_load) m.enable_edge_load();
+  FlatRun<M> run;
+  run.result = core::dual_prefix(m, d, op, data, {}, inclusive);
+  run.counters = m.counters();
+  if (edge_load) {
+    for (net::NodeId u = 0; u < d.node_count(); ++u) {
+      for (const net::NodeId v : d.neighbors(u)) {
+        run.loads.push_back(m.edge_load(u, v));
+      }
+    }
+  }
+  return run;
+}
+
+template <core::Monoid M>
+void expect_shard_parity(const net::DualCube& d, const M& op,
+                         const std::vector<typename M::value_type>& data,
+                         bool inclusive) {
+  const FlatRun<M> ref = flat_reference(d, op, data, inclusive, false);
+  for (unsigned k : {1u, 2u, 4u}) {
+    ShardEngine eng(d, k);
+    const auto got = core::sharded_dual_prefix(eng, op, data, inclusive);
+    EXPECT_EQ(got, ref.result) << "K=" << k;
+    EXPECT_EQ(eng.counters(), ref.counters) << "K=" << k;
+  }
+}
+
+TEST(ShardedDualPrefix, MatchesFlatEngineBitIdentically) {
+  const net::DualCube d(3);
+  std::vector<dc::u64> data(d.node_count());
+  dc::Rng rng(7);
+  for (auto& v : data) v = rng();
+  expect_shard_parity(d, core::Plus<dc::u64>{}, data, true);
+  expect_shard_parity(d, core::Plus<dc::u64>{}, data, false);
+  expect_shard_parity(d, core::Xor<dc::u64>{}, data, true);
+  std::vector<dc::u64> small(data.begin(), data.end());
+  for (auto& v : small) v %= 97;
+  expect_shard_parity(d, core::Min<dc::u64>{}, small, true);
+}
+
+TEST(ShardedDualPrefix, MatchesFlatEngineForNonCommutativeMonoid) {
+  // Concat is not plane-eligible, so every cycle interprets — and its
+  // results expose any ordering mistake in the compact exchange algebra.
+  const net::DualCube d(2);
+  std::vector<std::string> data(d.node_count());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::string(1, static_cast<char>('a' + (i % 26)));
+    data[i] += std::to_string(i);
+  }
+  expect_shard_parity(d, core::Concat{}, data, true);
+  expect_shard_parity(d, core::Concat{}, data, false);
+}
+
+TEST(ShardedDualPrefix, AllExchangeModesMatchFlatBitIdentically) {
+  const net::DualCube d(3);
+  std::vector<dc::u64> data(d.node_count());
+  dc::Rng rng(11);
+  for (auto& v : data) v = rng();
+  const core::Plus<dc::u64> op;
+  const FlatRun<core::Plus<dc::u64>> ref =
+      flat_reference(d, op, data, true, false);
+  for (const ShardExchangeMode mode :
+       {ShardExchangeMode::kFused, ShardExchangeMode::kTiledReplay,
+        ShardExchangeMode::kInterpreted}) {
+    for (unsigned k : {1u, 2u, 4u}) {
+      ShardEngine eng(d, k);
+      eng.set_exchange_mode(mode);
+      const auto got = core::sharded_dual_prefix(eng, op, data);
+      EXPECT_EQ(got, ref.result) << "K=" << k;
+      EXPECT_EQ(eng.counters(), ref.counters) << "K=" << k;
+      if (mode == ShardExchangeMode::kTiledReplay) {
+        EXPECT_GT(eng.machine(0).replayed_cycles(), 0u);
+      } else {
+        EXPECT_EQ(eng.machine(0).replayed_cycles(), 0u);
+      }
+    }
+  }
+}
+
+TEST(ShardedDualPrefix, InterpretedSchedulePathForcesInterpretedCycles) {
+  const net::DualCube d(3);
+  std::vector<dc::u64> data(d.node_count());
+  dc::Rng rng(11);
+  for (auto& v : data) v = rng();
+  const core::Plus<dc::u64> op;
+  const FlatRun<core::Plus<dc::u64>> ref =
+      flat_reference(d, op, data, true, false);
+  for (unsigned k : {1u, 2u, 4u}) {
+    ShardEngine eng(d, k);
+    for (unsigned s = 0; s < k; ++s) {
+      eng.machine(s).set_schedule_path(SchedulePath::kInterpreted);
+    }
+    const auto got = core::sharded_dual_prefix(eng, op, data);
+    EXPECT_EQ(got, ref.result) << "K=" << k;
+    EXPECT_EQ(eng.counters(), ref.counters) << "K=" << k;
+    EXPECT_EQ(eng.machine(0).replayed_cycles(), 0u);
+  }
+}
+
+TEST(ShardedDualPrefix, EdgeLoadsMatchFlatEngine) {
+  const net::DualCube d(3);
+  std::vector<dc::u64> data(d.node_count());
+  dc::Rng rng(13);
+  for (auto& v : data) v = rng();
+  const core::Plus<dc::u64> op;
+  const FlatRun<core::Plus<dc::u64>> ref =
+      flat_reference(d, op, data, true, true);
+  for (unsigned k : {1u, 2u, 4u}) {
+    ShardEngine eng(d, k);
+    eng.enable_edge_load();
+    const auto got = core::sharded_dual_prefix(eng, op, data);
+    EXPECT_EQ(got, ref.result) << "K=" << k;
+    EXPECT_EQ(eng.counters(), ref.counters) << "K=" << k;
+    std::vector<std::uint64_t> loads;
+    for (net::NodeId u = 0; u < d.node_count(); ++u) {
+      for (const net::NodeId v : d.neighbors(u)) {
+        loads.push_back(eng.edge_load(u, v));
+      }
+    }
+    EXPECT_EQ(loads, ref.loads) << "K=" << k;
+  }
+}
+
+TEST(ShardedDualPrefix, RepeatedRunsAccumulateCountersLikeFlat) {
+  const net::DualCube d(2);
+  std::vector<dc::u64> data(d.node_count());
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = i + 1;
+  const core::Plus<dc::u64> op;
+  Machine m(d);
+  ShardEngine eng(d, 2);
+  for (int r = 0; r < 3; ++r) {
+    const auto want = core::dual_prefix(m, d, op, data);
+    const auto got = core::sharded_dual_prefix(eng, op, data);
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(eng.counters(), m.counters());
+  }
+  EXPECT_EQ(eng.stats().runs, 3u);
+  eng.reset_counters();
+  EXPECT_EQ(eng.counters(), Counters{});
+  EXPECT_EQ(eng.stats().runs, 0u);
+}
+
+// --------------------------------------------------------------- spill --
+
+// A budget between working_bytes and working + store for a 4-shard engine.
+std::size_t eng_budget(const net::DualCube& d) {
+  const net::ShardPlan plan(d, 4);
+  const std::size_t shard_n = plan.shard_node_count();
+  return shard_n * (3 * sizeof(dc::u64) + 8) + shard_n;  // working + slack
+}
+
+TEST(ShardedDualPrefix, SpillingRunMatchesResidentRun) {
+  const net::DualCube d(3);
+  std::vector<dc::u64> data(d.node_count());
+  dc::Rng rng(17);
+  for (auto& v : data) v = rng();
+  const core::Plus<dc::u64> op;
+  const FlatRun<core::Plus<dc::u64>> ref =
+      flat_reference(d, op, data, true, false);
+
+  // Budget above one shard's working set but below working + store: the
+  // run must take the out-of-core path and still match exactly.
+  ShardEngine eng(d, 4, eng_budget(d));
+  ASSERT_TRUE(eng.will_spill(sizeof(dc::u64)));
+  const auto got = core::sharded_dual_prefix(eng, op, data);
+  EXPECT_EQ(got, ref.result);
+  EXPECT_EQ(eng.counters(), ref.counters);
+  EXPECT_TRUE(eng.stats().last_run_spilled);
+  EXPECT_EQ(eng.stats().spill_count, 4u);
+  EXPECT_EQ(eng.stats().spill_bytes,
+            dc::u64{d.node_count()} * sizeof(dc::u64));
+}
+
+TEST(ShardedDualPrefix, OutOfCoreRunMatchesResidentRun) {
+  const net::DualCube d(4);  // csize = 8, N = 128
+  std::vector<dc::u64> data(d.node_count());
+  dc::Rng rng(29);
+  for (auto& v : data) v = rng();
+  const core::Plus<dc::u64> op;
+  for (const bool inclusive : {true, false}) {
+    const FlatRun<core::Plus<dc::u64>> ref =
+        flat_reference(d, op, data, inclusive, false);
+    // Budgets below even one shard's working set but above the one-cluster
+    // streaming floor (4*8*csize = 256): the whole run streams
+    // cycle-by-cycle out of core. 512 gives whole-shard-dividing windows;
+    // 768 gives a 3-cluster window that tiles shards raggedly.
+    for (const std::size_t budget : {std::size_t{512}, std::size_t{768}}) {
+      for (unsigned k : {1u, 2u, 4u}) {
+        ShardEngine eng(d, k, budget);
+        ASSERT_TRUE(eng.out_of_core(sizeof(dc::u64)));
+        const auto got = core::sharded_dual_prefix(eng, op, data, inclusive);
+        EXPECT_EQ(got, ref.result) << "K=" << k << " budget=" << budget;
+        EXPECT_EQ(eng.counters(), ref.counters)
+            << "K=" << k << " budget=" << budget;
+        EXPECT_TRUE(eng.stats().last_run_out_of_core);
+        EXPECT_GT(eng.stats().spill_bytes, 0u);
+      }
+    }
+  }
+}
+
+TEST(ShardedDualPrefix, RefusesBudgetBelowStreamingWindow) {
+  // 16 bytes is below even one cluster's out-of-core window
+  // (oc_floor_bytes = 4 * 8 * csize = 128 for D_3), so not even the
+  // streaming path can run.
+  const net::DualCube d(3);
+  ShardEngine eng(d, 2, /*mem_budget_bytes=*/16);
+  std::vector<dc::u64> data(d.node_count(), 1);
+  EXPECT_THROW(core::sharded_dual_prefix(eng, core::Plus<dc::u64>{}, data),
+               dc::CheckError);
+}
+
+TEST(ShardedDualPrefix, RefusesSpillForNonTrivialPayload) {
+  const net::DualCube d(2);
+  // Budget forces a spill, but strings cannot stream bytewise.
+  ShardEngine eng(d, 4, /*mem_budget_bytes=*/
+                  net::ShardPlan(d, 4).shard_node_count() *
+                      (3 * sizeof(std::string) + 8));
+  std::vector<std::string> data(d.node_count(), "x");
+  ASSERT_TRUE(eng.will_spill(sizeof(std::string)));
+  EXPECT_THROW(core::sharded_dual_prefix(eng, core::Concat{}, data),
+               dc::CheckError);
+}
+
+// ---------------------------------------------------------- allocation --
+
+TEST(ShardedDualPrefix, SteadyStateRunsAllocateNothing) {
+  const net::DualCube d(4);
+  std::vector<dc::u64> data(d.node_count());
+  dc::Rng rng(23);
+  for (auto& v : data) v = rng();
+  const core::Plus<dc::u64> op;
+  ShardEngine eng(d, 4);
+  std::vector<dc::u64> out(d.node_count());
+  const auto run = [&] {
+    core::sharded_dual_prefix(
+        eng, op, [&](dc::u64 i) -> const dc::u64& { return data[i]; },
+        [&](dc::u64 base, const dc::u64* values, std::size_t count) {
+          std::copy(values, values + count,
+                  out.begin() + static_cast<std::ptrdiff_t>(base));
+        });
+  };
+  run();  // warm-up: sizes scratch, pools planes, caches the slice
+  const std::uint64_t before = g_allocation_count.load();
+  run();
+  run();
+  EXPECT_EQ(g_allocation_count.load(), before)
+      << "steady-state sharded runs must not allocate";
+  Machine m(d);
+  EXPECT_EQ(core::dual_prefix(m, d, op, data),
+            [&] { run(); return out; }());
+}
+
+// -------------------------------------------------------------- memory --
+
+TEST(ShardEngine, MemoryModelIsMonotoneInShardCount) {
+  const net::DualCube d(5);
+  std::size_t prev = SIZE_MAX;
+  for (unsigned k : {1u, 2u, 4u, 8u}) {
+    ShardEngine eng(d, k, /*mem_budget_bytes=*/1);  // budget irrelevant here
+    const std::size_t w = eng.working_bytes(8);
+    EXPECT_LT(w, prev) << "working set must shrink with more shards";
+    prev = w;
+    EXPECT_EQ(eng.store_bytes(8), dc::u64{d.node_count()} * 8);
+  }
+}
+
+TEST(ShardEngine, StatsTrackCompactExchangeTraffic) {
+  const net::DualCube d(3);
+  std::vector<dc::u64> data(d.node_count(), 2);
+  ShardEngine eng(d, 2);
+  core::sharded_dual_prefix(eng, core::Plus<dc::u64>{}, data);
+  const net::ShardPlan& plan = eng.plan();
+  EXPECT_EQ(eng.stats().cross_edge_bytes,
+            (2 * plan.clusters_total() + 1) * sizeof(dc::u64));
+  EXPECT_EQ(eng.stats().spill_count, 0u);
+  EXPECT_FALSE(eng.stats().last_run_spilled);
+}
+
+}  // namespace
+}  // namespace dc::sim

@@ -23,9 +23,17 @@ Two further gates run only on files that carry trajectory rows (rows whose
 name ends in "@<tag>", e.g. "BM_BlockSort/512_median@pr3"); the CI smoke
 file has none and skips both:
 
-  * Block-family coverage: BM_BlockSort, BM_BlockPrefix, BM_MergeSplit and
-    BM_BlockGather rows must be present — the SoA block-replay path and its
-    SIMD kernels must stay benchmarked.
+  * Block-family coverage: BM_BlockSort, BM_BlockPrefix, BM_MergeSplit,
+    BM_BlockGather and BM_ShardedDualPrefix rows must be present — the SoA
+    block-replay path, its SIMD kernels and the cluster-sharded engine must
+    stay benchmarked.
+  * Shard scaling: among the current fixed-cap sharded rows
+    "BM_ShardedDualPrefix/<n>/<K>/1", at the largest n carrying both a K=1
+    and a K=4 row, 4 shards must deliver >= 2x the K=1 nodes/sec. Under the
+    cap a too-coarse sharding streams its cycles out of core; this gate
+    keeps that cost bought back by sharding finer. Skipped when no capped
+    rows are recorded (the CI smoke file runs only the small resident
+    rows).
   * Median regression: for every plain "X_median" row with at least one
     recorded "X_median@..." predecessor, the current ns_per_op must not
     exceed 1.1x the most recent predecessor. "Most recent" means the
@@ -42,6 +50,7 @@ import re
 import sys
 
 REGRESSION_TOLERANCE = 1.1
+SHARD_SCALING_MIN = 2.0
 
 
 def pr_number(tag: str) -> int:
@@ -84,6 +93,7 @@ def check_block_family(names) -> list:
         "BM_BlockPrefix",
         "BM_MergeSplit",
         "BM_BlockGather",
+        "BM_ShardedDualPrefix",
     ):
         if not any(n == family or n.startswith(family + "/") for n in names):
             errors.append(f"missing block-family rows: no {family} benchmark")
@@ -111,6 +121,40 @@ def report_family_ratios(ratios) -> None:
             f"{family}: best {best_ratio:.2f}x ({best_name}), "
             f"worst {worst_ratio:.2f}x ({worst_name}) vs newest trajectory"
         )
+
+
+def check_shard_scaling(rows) -> list:
+    """Fixed-cap shard-scaling gate (see module docstring). Prefers
+    "_median" rows over single-rep rows for the same (n, K); only current
+    (un-tagged) rows participate."""
+    median, single = {}, {}
+    for row in rows:
+        name = row.get("name", "")
+        if "@" in name:
+            continue
+        m = re.match(r"BM_ShardedDualPrefix/(\d+)/(\d+)/1(_median)?$", name)
+        if not m:
+            continue
+        ips = row.get("items_per_sec")
+        if not isinstance(ips, (int, float)) or isinstance(ips, bool):
+            continue
+        (median if m.group(3) else single)[
+            (int(m.group(1)), int(m.group(2)))] = ips
+    table = {**single, **median}
+    sizes = [n for n, _ in table if (n, 1) in table and (n, 4) in table]
+    if not sizes:
+        return []
+    n = max(sizes)
+    ratio = table[(n, 4)] / table[(n, 1)]
+    if ratio < SHARD_SCALING_MIN:
+        return [
+            f"BM_ShardedDualPrefix/{n}: 4 shards deliver only {ratio:.2f}x "
+            f"the 1-shard nodes/sec at the shared memory cap (gate: >= "
+            f"{SHARD_SCALING_MIN:.1f}x)"
+        ]
+    print(f"shard scaling at fixed cap (n={n}): 4 shards = {ratio:.2f}x "
+          "1 shard nodes/sec")
+    return []
 
 
 def check_median_regressions(rows, ratios=None) -> list:
@@ -153,7 +197,12 @@ def check_median_regressions(rows, ratios=None) -> list:
 # Phase names the simulator emits (docs/MODEL.md "Observability"). Span
 # names may also be "record:<algo>" / "replay:<algo>" / "interp:<algo>" /
 # "phase:<label>" with a free-form suffix.
-KNOWN_SPANS = {"comm_cycle", "comm_cycle_replay", "comm_cycle_replay_blocks"}
+KNOWN_SPANS = {
+    "comm_cycle",
+    "comm_cycle_replay",
+    "comm_cycle_replay_blocks",
+    "comm_cycle_fused",
+}
 KNOWN_SPAN_PREFIXES = ("record:", "replay:", "interp:", "phase:")
 KNOWN_INSTANTS = {
     "compute_step",
@@ -280,6 +329,7 @@ def main() -> int:
     has_trajectory = any("@" in n for n in names)
     if has_trajectory:
         errors += check_block_family(names)
+        errors += check_shard_scaling(rows)
         ratios = []
         errors += check_median_regressions(rows, ratios)
         report_family_ratios(ratios)
