@@ -4,10 +4,21 @@
 // averages over several seeded fault draws and reports the total
 // communication cycles, repair cycles, and rerouted hops paid to the
 // faults — healthy runs must cost exactly the 2n-cycle optimum.
+//
+// A second axis sweeps *when* a link fault lands: "pre" installs a dead
+// cross edge before the run (the planner routes around it — detour
+// repairs, zero retries), "mid" flaps the same edge mid-collective (the
+// strict filter aborts the phase; the self-healing driver pays backoff,
+// re-plans on the new epoch and retries — zero detours planned up front).
+// With DC_FAULT_SWEEP_JSON=FILE the timeline rows are also written as a
+// JSON array for tools/check_bench_json.py's fault-sweep gate.
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -17,6 +28,7 @@
 #include "sim/faults.hpp"
 #include "sim/machine.hpp"
 #include "sim/metrics.hpp"
+#include "sim/recovery.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -31,6 +43,76 @@ struct Cell {
   u64 rerouted_hops = 0;
   u64 trials = 0;
 };
+
+/// One row of the injection-timing sweep (also the JSON record).
+struct TimelineRow {
+  unsigned n = 0;
+  std::string inject;  ///< "pre" | "mid"
+  u64 comm_cycles = 0;
+  std::size_t retries = 0;
+  std::size_t replans = 0;
+  u64 backoff_cycles = 0;
+  std::size_t repaired = 0;
+  bool correct = false;
+};
+
+/// Self-healing D_prefix under a cross-edge link fault injected either
+/// before the run or mid-collective (the cross exchange fires at cycle
+/// n-1, so a [n-1, n+2) flap is guaranteed to abort the in-flight phase).
+TimelineRow run_timeline_trial(unsigned n, bool mid,
+                               const std::vector<u64>& data) {
+  const dc::net::DualCube d(n);
+  const NodeId cross = d.cross_neighbor(0);
+  dc::sim::FaultTimeline tl(/*seed=*/1);
+  if (mid) {
+    tl.link_down(0, cross, n - 1);
+    tl.link_up(0, cross, n + 2);
+  } else {
+    tl.link_down(0, cross, 0);  // dead from the start, never heals
+  }
+  dc::sim::Machine m(d);
+  dc::sim::RecoveryDriver drv(
+      m, std::make_shared<const dc::sim::FaultTimeline>(std::move(tl)));
+  const dc::core::Plus<u64> plus;
+  const auto out = dc::sim::resilient_dual_prefix(drv, d, plus, data);
+  bool ok = out.size() == data.size();
+  u64 accum = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    accum += data[i];  // no node ever dies: every slot must be live
+    ok = ok && out[i].has_value() && *out[i] == accum;
+  }
+  ok = ok && m.replayed_cycles() == 0;  // never a stale compiled schedule
+  const auto& rep = drv.report();
+  TimelineRow row;
+  row.n = n;
+  row.inject = mid ? "mid" : "pre";
+  row.comm_cycles = m.counters().comm_cycles;
+  row.retries = rep.retries;
+  row.replans = rep.replans;
+  row.backoff_cycles = rep.backoff_cycles;
+  row.repaired = rep.transport.repaired;
+  row.correct = ok;
+  return row;
+}
+
+void write_sweep_json(const std::vector<TimelineRow>& rows,
+                      const char* path) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "  {\"n\": " << r.n << ", \"inject\": \"" << r.inject
+        << "\", \"comm_cycles\": " << r.comm_cycles
+        << ", \"retries\": " << r.retries << ", \"replans\": " << r.replans
+        << ", \"backoff_cycles\": " << r.backoff_cycles
+        << ", \"repaired\": " << r.repaired
+        << ", \"correct\": " << (r.correct ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::cout << "fault-sweep JSON: " << rows.size() << " rows -> " << path
+            << "\n";
+}
 
 }  // namespace
 
@@ -136,6 +218,44 @@ int main() {
   std::cout << "k=0 rows sit exactly on the 2n-cycle optimum; each added\n"
                "fault buys a bounded batch of detour cycles, never a wrong\n"
                "or missing answer on a live node.\n\n";
+
+  // ---- injection-timing axis: the same cross-edge fault, pre vs mid ----
+  dc::Table tt("Link-fault injection timing: planned detour vs retry-with-replan");
+  tt.header({"n", "inject", "comm cycles", "retries", "replans",
+             "backoff cycles", "repaired", "healthy 2n"});
+  std::vector<TimelineRow> timeline_rows;
+  for (unsigned n = 2; n <= 4; ++n) {
+    const dc::net::DualCube d(n);
+    std::vector<u64> data(d.node_count());
+    dc::Rng rng(77 + n);
+    for (auto& x : data) x = rng.below(1000);
+    for (const bool mid : {false, true}) {
+      const TimelineRow row = run_timeline_trial(n, mid, data);
+      acc.expect(row.correct, "timeline " + row.inject + " prefix correct n=" +
+                                  std::to_string(n));
+      if (mid) {
+        acc.expect(row.retries >= 1,
+                   "mid-run flap must trigger a retry, n=" + std::to_string(n));
+        acc.expect(row.replans == row.retries,
+                   "every retry re-plans, n=" + std::to_string(n));
+      } else {
+        acc.expect(row.retries == 0,
+                   "pre-run fault needs no retry, n=" + std::to_string(n));
+        acc.expect(row.repaired > 0,
+                   "pre-run fault is detoured, n=" + std::to_string(n));
+      }
+      tt.add(row.n, row.inject, row.comm_cycles, row.retries, row.replans,
+             row.backoff_cycles, row.repaired, 2 * n);
+      timeline_rows.push_back(row);
+    }
+  }
+  std::cout << tt << "\n";
+  std::cout << "pre-installed faults are routed around at plan time (detour\n"
+               "repairs, zero retries); mid-run flaps abort the phase and are\n"
+               "healed by backoff + re-plan (retries, zero planned detours).\n\n";
+  if (const char* path = std::getenv("DC_FAULT_SWEEP_JSON"))
+    write_sweep_json(timeline_rows, path);
+
   std::cout << dc::sim::metrics_report();
   return acc.finish("tab_fault_sweep");
 }

@@ -11,6 +11,9 @@
 //   ./dcsim --algo=route     --n=4 --pattern=random
 //   ./dcsim --algo=prefix    --n=3 --faults=random:2,7
 //   ./dcsim --algo=broadcast --n=3 --faults=nodes:3,17 --fault-policy=degrade
+//   ./dcsim --algo=sort      --n=3 --faults=nodes:5
+//   ./dcsim --algo=prefix    --n=4 --fault-timeline=link:0-1:down@2:up@4
+//   ./dcsim --algo=sort      --n=4 --fault-timeline=node:3:down@9:up@30
 //   ./dcsim --algo=prefix    --n=4 --trace=out.json --metrics
 //   ./dcsim --algo=prefix    --n=12 --shards=8 --mem-budget=100000000
 //
@@ -27,13 +30,26 @@
 // visible. --metrics[=table|json] arms the process metrics registry and
 // prints dc::sim::metrics_report() after the run.
 //
-// --faults=nodes:a,b,c | random:k[,seed] injects a fault scenario and runs
-// the fault-tolerant variant (prefix and broadcast only), printing a
-// graceful-degradation report. --fault-policy=strict (default) attaches the
-// plan to the machine so any unplanned touch of a dead node throws;
-// degrade drops such messages and counts them instead. Strict mode rejects
-// specs with n or more node faults up front (the n-connectivity guarantee
-// covers only fewer than n).
+// --faults=nodes:a,b,c | random:k[,seed] injects a static fault scenario
+// and runs the fault-tolerant variant (prefix, broadcast and sort),
+// printing a graceful-degradation report. --fault-policy=strict (default)
+// attaches the plan to the machine so any unplanned touch of a dead node
+// throws; degrade drops such messages and counts them instead. Strict mode
+// rejects specs with n or more node faults up front (the n-connectivity
+// guarantee covers only fewer than n).
+//
+// --fault-timeline=SPEC runs the self-healing driver over a *dynamic*
+// fault timeline: '+'-separated timed events
+//   node:ID:down@C[:up@C]   link:U-V:down@C[:up@C]   drop:PERMILLE@C1-C2
+// (cycles are machine comm-cycle indices). The collective plans against
+// the epoch live at its start; a mid-run epoch change aborts the phase in
+// flight, pays a bounded backoff, re-plans on the new faulted view and
+// retries from the last checkpoint (--retry-budget bounds total retries,
+// default 8). --fault-policy picks the budget-exhaustion behavior: strict
+// rethrows, degrade finishes one attempt dropping fault-touching
+// messages. Supports --algo=prefix|broadcast|sort, and --shards
+// (degrade only: per-shard machines filter the localized timeline while
+// the host-side exchange is unaffected).
 //
 // --shards=K runs D_prefix through the cluster-sharded engine (K per-shard
 // machines over the recursive D_(n-1) decomposition) with streaming input
@@ -62,6 +78,7 @@
 #include "collectives/reduce.hpp"
 #include "core/dual_prefix.hpp"
 #include "core/ft_dual_prefix.hpp"
+#include "core/ft_dual_sort.hpp"
 #include "core/sharded_prefix.hpp"
 #include "core/dual_sort.hpp"
 #include "core/enumeration_sort.hpp"
@@ -71,6 +88,7 @@
 #include "sim/fault_transport.hpp"
 #include "sim/faults.hpp"
 #include "sim/metrics.hpp"
+#include "sim/recovery.hpp"
 #include "sim/store_forward.hpp"
 #include "sim/trace.hpp"
 #include "support/cli.hpp"
@@ -218,12 +236,24 @@ std::size_t peak_rss_bytes() {
 }
 
 int run_sharded_prefix(unsigned n, const std::string& op_name, unsigned shards,
-                       std::size_t budget, u64 seed) {
+                       std::size_t budget, u64 seed,
+                       const std::string& timeline_spec) {
   const dc::net::DualCube d(n);
   dc::sim::ShardEngine eng(d, shards, budget);
   for (unsigned k = 0; k < shards; ++k)
     eng.machine(k).set_schedule_path(g_schedule);
   if (g_trace) eng.set_trace(g_trace.get());
+  // Sharded runs take the timeline under kDegrade only (the host-side
+  // cross-cluster exchange cannot retry a shard mid-cycle): the engine
+  // localizes node events to their home shard, rejects cross-cluster link
+  // faults, and applies drop windows everywhere with decorrelated seeds.
+  // The run becomes a fault-injection demo — diverged stream values are
+  // counted, not failed.
+  const bool faulted = !timeline_spec.empty();
+  if (faulted) {
+    const auto tl = dc::sim::parse_fault_timeline(timeline_spec, d, seed);
+    eng.attach_fault_timeline(tl, dc::sim::FaultPolicy::kDegrade);
+  }
 
   // Streaming input: a stateless per-index generator, so no global data
   // vector ever exists — the only O(N) state is the result store, and with
@@ -241,6 +271,7 @@ int run_sharded_prefix(unsigned n, const std::string& op_name, unsigned shards,
   // past without materializing the expected vector.
   bool ok = true;
   u64 last = 0;
+  std::size_t diverged = 0;
   const auto run_with = [&](const auto& op) {
     u64 acc = op.identity();
     u64 next_base = 0;
@@ -250,12 +281,15 @@ int run_sharded_prefix(unsigned n, const std::string& op_name, unsigned shards,
           ok = ok && base == next_base;
           for (std::size_t t = 0; t < count; ++t) {
             acc = op.combine(acc, data_of(base + t));
-            ok = ok && values[t] == acc;
+            if (values[t] != acc) ++diverged;
           }
           next_base = base + count;
           if (count > 0) last = values[count - 1];
         });
     ok = ok && next_base == d.node_count();
+    // Healthy runs must stream exactly; faulted degrade runs report the
+    // divergence instead of failing (dropped messages lose prefix terms).
+    ok = ok && (faulted || diverged == 0);
   };
   if (op_name == "plus") {
     run_with(dc::core::Plus<u64>{});
@@ -275,6 +309,10 @@ int run_sharded_prefix(unsigned n, const std::string& op_name, unsigned shards,
             << d.node_count() << " nodes, " << shards << " shards): "
             << (ok ? "stream verified" : "WRONG") << "; last prefix = " << last
             << "\n";
+  if (faulted) {
+    std::cout << "faulted stream (degrade): " << diverged << " of "
+              << d.node_count() << " values diverged from the healthy scan\n";
+  }
   dc::Table t("sharded memory model");
   t.header({"metric", "value"});
   t.add("shards", shards);
@@ -495,9 +533,50 @@ int run_ft_broadcast(unsigned n, NodeId root, const dc::sim::FaultPlan& plan,
   return ok ? 0 : 1;
 }
 
+int run_ft_sort(unsigned n, const std::string& dist_name, u64 seed,
+                const dc::sim::FaultPlan& plan, dc::sim::FaultPolicy policy) {
+  const dc::net::RecursiveDualCube r(n);
+  dc::sim::Machine m(r);
+  setup_machine(m, "measured");
+  m.attach_faults(std::make_shared<dc::sim::FaultPlan>(plan), policy);
+  dc::KeyDistribution dist = dc::KeyDistribution::kUniform;
+  for (const auto kd : dc::all_key_distributions())
+    if (dc::to_string(kd) == dist_name) dist = kd;
+  const auto keys = dc::generate_keys(dist, r.node_count(), seed);
+  dc::sim::FtReport rep;
+  const auto out =
+      dc::core::ft_dual_sort(m, r, keys, plan, /*descending=*/false, &rep);
+  // Dead nodes' keys are lost with them; every surviving key ends up
+  // sorted into the leading labels, the holes trail.
+  constexpr std::uint64_t kEver = ~std::uint64_t{0};
+  std::vector<u64> expected;
+  expected.reserve(keys.size());
+  for (NodeId u = 0; u < r.node_count(); ++u)
+    if (!plan.node_dead(u, kEver)) expected.push_back(keys[u]);
+  std::sort(expected.begin(), expected.end());
+  bool ok = true;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i < expected.size()) {
+      ok = ok && out[i].has_value() && *out[i] == expected[i];
+    } else {
+      ok = ok && !out[i].has_value();
+    }
+  }
+  std::cout << "fault-tolerant D_sort on " << r.name() << " ("
+            << dc::to_string(dist) << "): "
+            << (ok ? "survivor keys sorted" : "WRONG") << "; "
+            << expected.size() << " of " << r.node_count()
+            << " keys survive\n";
+  print_fault_report(plan, rep, policy);
+  print_counters(m.counters());
+  print_run_summary(m);
+  return ok ? 0 : 1;
+}
+
 int run_with_faults(const std::string& algo, unsigned n,
                     const std::string& spec, const std::string& policy_name,
-                    const std::string& op, NodeId root, u64 seed) {
+                    const std::string& op, const std::string& dist,
+                    NodeId root, u64 seed) {
   dc::sim::FaultPolicy policy = dc::sim::FaultPolicy::kStrict;
   if (policy_name == "degrade") {
     policy = dc::sim::FaultPolicy::kDegrade;
@@ -506,15 +585,21 @@ int run_with_faults(const std::string& algo, unsigned n,
               << "' (strict|degrade)\n";
     return 2;
   }
-  if (algo != "prefix" && algo != "broadcast") {
-    std::cout << "--faults supports only --algo=prefix|broadcast (got '"
+  if (algo != "prefix" && algo != "broadcast" && algo != "sort") {
+    std::cout << "--faults supports only --algo=prefix|broadcast|sort (got '"
               << algo << "')\n";
     return 2;
   }
+  // The sort runs on the recursive dual-cube; parse the spec against the
+  // topology the algorithm will actually see so node-range errors name it.
   const dc::net::DualCube d(n);
+  const dc::net::RecursiveDualCube r(n);
+  const dc::net::Topology& topo =
+      (algo == "sort") ? static_cast<const dc::net::Topology&>(r)
+                       : static_cast<const dc::net::Topology&>(d);
   dc::sim::FaultPlan plan;
   try {
-    plan = dc::sim::parse_fault_spec(spec, d, seed);
+    plan = dc::sim::parse_fault_spec(spec, topo, seed);
   } catch (const dc::CheckError& e) {
     std::cout << "bad --faults spec: " << e.what() << "\n";
     return 2;
@@ -522,7 +607,7 @@ int run_with_faults(const std::string& algo, unsigned n,
   if (policy == dc::sim::FaultPolicy::kStrict &&
       plan.node_fault_count() >= n) {
     std::cout << "strict policy covers only fewer than n=" << n
-              << " node faults (" << d.name() << " is " << n
+              << " node faults (" << topo.name() << " is " << n
               << "-connected); got " << plan.node_fault_count()
               << ". Use --fault-policy=degrade to attempt the run anyway.\n";
     return 2;
@@ -535,10 +620,211 @@ int run_with_faults(const std::string& algo, unsigned n,
   }
   try {
     if (algo == "prefix") return run_ft_prefix(n, op, seed, plan, policy);
+    if (algo == "sort") return run_ft_sort(n, dist, seed, plan, policy);
     return run_ft_broadcast(n, root, plan, policy);
   } catch (const dc::sim::FaultError& e) {
     std::cout << "fault-tolerant run failed: " << e.what() << "\n";
     return 1;
+  }
+}
+
+/// One-table view of what the self-healing driver actually did, plus the
+/// machine's timeline observations (epochs/rejoins) for the same run.
+void print_recovery_report(const dc::sim::RecoveryDriver& drv,
+                           const dc::sim::Machine& m) {
+  const auto& rep = drv.report();
+  dc::Table t("self-healing report");
+  t.header({"metric", "value"});
+  t.add("timeline epochs", drv.timeline().epoch_count());
+  t.add("fault epochs observed", m.fault_epochs_seen());
+  t.add("node rejoins observed", m.fault_rejoins());
+  t.add("phases", rep.phases);
+  t.add("attempts", rep.attempts);
+  t.add("retries", rep.retries);
+  t.add("replans", rep.replans);
+  t.add("restarts", rep.restarts);
+  t.add("backoff cycles paid", rep.backoff_cycles);
+  t.add("degraded finish", rep.degraded ? "yes" : "no");
+  t.add("messages repaired by detour", rep.transport.repaired);
+  t.add("extra hops beyond one link", rep.transport.rerouted_hops);
+  t.add("BFS fallback routes", rep.transport.bfs_fallbacks);
+  std::cout << t;
+}
+
+/// Rejects timelines whose peak simultaneous node-fault count breaks the
+/// n-connectivity guarantee when the run has no degrade fallback.
+bool timeline_within_bound(const dc::sim::FaultTimeline& tl, unsigned n,
+                           const dc::sim::RetryPolicy& rp) {
+  if (rp.degrade_on_exhaustion) return true;
+  const std::size_t peak = tl.max_concurrent_node_faults();
+  if (peak < n) return true;
+  std::cout << "strict policy covers only fewer than n=" << n
+            << " concurrent node faults; the timeline peaks at " << peak
+            << ". Use --fault-policy=degrade to attempt the run anyway.\n";
+  return false;
+}
+
+int run_resilient_prefix(unsigned n, const std::string& op_name, u64 seed,
+                         const std::string& spec,
+                         const dc::sim::RetryPolicy& rp) {
+  const dc::net::DualCube d(n);
+  const auto tl = std::make_shared<const dc::sim::FaultTimeline>(
+      dc::sim::parse_fault_timeline(spec, d, seed));
+  if (!timeline_within_bound(*tl, n, rp)) return 2;
+  dc::sim::Machine m(d);
+  setup_machine(m, "measured");
+  dc::Rng rng(seed);
+  std::vector<u64> data(d.node_count());
+  for (auto& x : data) x = rng.below(1000);
+
+  int rc = 2;
+  dc::sim::RecoveryDriver drv(m, tl, rp);
+  const auto run_with = [&](const auto& op) {
+    const auto out = dc::sim::resilient_dual_prefix(drv, d, op, data);
+    // Self-consistent check: holes are the slots the final epoch's plan
+    // masked out; every live slot must carry the scan over live inputs.
+    bool ok = true;
+    std::size_t holes = 0;
+    u64 acc = op.identity();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (!out[i].has_value()) {
+        ++holes;
+        continue;
+      }
+      acc = op.combine(acc, data[i]);
+      ok = ok && *out[i] == acc;
+    }
+    std::cout << "self-healing D_prefix(" << op_name << ") on " << d.name()
+              << ": " << (ok ? "correct on every live slot" : "WRONG")
+              << "; " << holes << " dead slots\n";
+    rc = ok ? 0 : 1;
+  };
+  if (op_name == "plus") {
+    run_with(dc::core::Plus<u64>{});
+  } else if (op_name == "min") {
+    run_with(dc::core::Min<u64>{});
+  } else if (op_name == "max") {
+    run_with(dc::core::Max<u64>{});
+  } else if (op_name == "xor") {
+    run_with(dc::core::Xor<u64>{});
+  } else {
+    std::cout << "unknown --op '" << op_name << "' (plus|min|max|xor)\n";
+    return 2;
+  }
+  print_recovery_report(drv, m);
+  print_counters(m.counters());
+  print_run_summary(m);
+  return rc;
+}
+
+int run_resilient_broadcast(unsigned n, NodeId root, u64 seed,
+                            const std::string& spec,
+                            const dc::sim::RetryPolicy& rp) {
+  const dc::net::DualCube d(n);
+  const auto tl = std::make_shared<const dc::sim::FaultTimeline>(
+      dc::sim::parse_fault_timeline(spec, d, seed));
+  if (!timeline_within_bound(*tl, n, rp)) return 2;
+  for (const auto& ev : tl->node_events()) {
+    if (ev.node == root) {
+      std::cout << "fault timeline kills the broadcast root " << root
+                << "; pick a live --root\n";
+      return 2;
+    }
+  }
+  dc::sim::Machine m(d);
+  setup_machine(m, "measured");
+  dc::sim::RecoveryDriver drv(m, tl, rp);
+  const auto out = dc::sim::resilient_dual_broadcast(drv, d, root, u64{42});
+  bool ok = true;
+  std::size_t holes = 0;
+  for (const auto& v : out) {
+    if (v.has_value()) {
+      ok = ok && *v == 42;
+    } else {
+      ++holes;
+    }
+  }
+  std::cout << "self-healing broadcast from node " << root << " on "
+            << d.name() << ": "
+            << (ok ? "value on every live node" : "WRONG") << "; " << holes
+            << " dead nodes\n";
+  print_recovery_report(drv, m);
+  print_counters(m.counters());
+  print_run_summary(m);
+  return ok ? 0 : 1;
+}
+
+int run_resilient_sort(unsigned n, const std::string& dist_name, u64 seed,
+                       const std::string& spec,
+                       const dc::sim::RetryPolicy& rp) {
+  const dc::net::RecursiveDualCube r(n);
+  const auto tl = std::make_shared<const dc::sim::FaultTimeline>(
+      dc::sim::parse_fault_timeline(spec, r, seed));
+  if (!timeline_within_bound(*tl, n, rp)) return 2;
+  dc::sim::Machine m(r);
+  setup_machine(m, "measured");
+  dc::KeyDistribution dist = dc::KeyDistribution::kUniform;
+  for (const auto kd : dc::all_key_distributions())
+    if (dc::to_string(kd) == dist_name) dist = kd;
+  const auto keys = dc::generate_keys(dist, r.node_count(), seed);
+
+  dc::sim::RecoveryDriver drv(m, tl, rp);
+  const auto out = dc::core::resilient_dual_sort(drv, r, keys);
+  // Survivor keys occupy the leading labels in sorted order; holes trail.
+  // A mid-run death loses only that node's key, so the survivors must be
+  // a sub-multiset of the input.
+  std::size_t live = 0;
+  while (live < out.size() && out[live].has_value()) ++live;
+  bool ok = true;
+  std::vector<u64> got;
+  got.reserve(live);
+  for (std::size_t i = 0; i < live; ++i) got.push_back(*out[i]);
+  for (std::size_t i = live; i < out.size(); ++i)
+    ok = ok && !out[i].has_value();
+  ok = ok && std::is_sorted(got.begin(), got.end());
+  auto pool = keys;
+  std::sort(pool.begin(), pool.end());
+  ok = ok && std::includes(pool.begin(), pool.end(), got.begin(), got.end());
+  std::cout << "self-healing D_sort on " << r.name() << " ("
+            << dc::to_string(dist) << "): "
+            << (ok ? "survivor keys sorted" : "WRONG") << "; " << live
+            << " of " << r.node_count() << " keys survive\n";
+  print_recovery_report(drv, m);
+  print_counters(m.counters());
+  print_run_summary(m);
+  return ok ? 0 : 1;
+}
+
+int run_with_timeline(const std::string& algo, unsigned n,
+                      const std::string& spec, const std::string& policy_name,
+                      const std::string& op, const std::string& dist,
+                      NodeId root, u64 seed, std::size_t retry_budget) {
+  dc::sim::RetryPolicy rp;
+  rp.retry_budget = retry_budget;
+  if (policy_name == "strict") {
+    rp.degrade_on_exhaustion = false;
+  } else if (policy_name == "degrade") {
+    rp.degrade_on_exhaustion = true;
+  } else {
+    std::cout << "unknown --fault-policy '" << policy_name
+              << "' (strict|degrade)\n";
+    return 2;
+  }
+  try {
+    if (algo == "prefix") return run_resilient_prefix(n, op, seed, spec, rp);
+    if (algo == "broadcast")
+      return run_resilient_broadcast(n, root, seed, spec, rp);
+    if (algo == "sort") return run_resilient_sort(n, dist, seed, spec, rp);
+    std::cout << "--fault-timeline supports only --algo=prefix|broadcast|sort"
+              << " (got '" << algo << "')\n";
+    return 2;
+  } catch (const dc::sim::FaultError& e) {
+    std::cout << "self-healing run failed (retry budget " << retry_budget
+              << " exhausted under strict): " << e.what() << "\n";
+    return 1;
+  } catch (const dc::CheckError& e) {
+    std::cout << "bad --fault-timeline spec: " << e.what() << "\n";
+    return 2;
   }
 }
 
@@ -590,6 +876,9 @@ int main(int argc, char** argv) {
   const std::string pattern = cli.get_string("pattern", "random");
   const std::string faults = cli.get_string("faults", "");
   const std::string fault_policy = cli.get_string("fault-policy", "strict");
+  const std::string fault_timeline = cli.get_string("fault-timeline", "");
+  const std::size_t retry_budget =
+      static_cast<std::size_t>(cli.get_int("retry-budget", 8));
   const unsigned shards = static_cast<unsigned>(cli.get_int("shards", 0));
   const std::size_t mem_budget =
       static_cast<std::size_t>(cli.get_int("mem-budget", 0));
@@ -641,8 +930,15 @@ int main(int argc, char** argv) {
         std::cout << "--shards and --faults cannot be combined\n";
         return 2;
       }
+      if (!fault_timeline.empty() && fault_policy != "degrade") {
+        std::cout << "--shards with --fault-timeline requires "
+                     "--fault-policy=degrade (per-shard machines cannot "
+                     "retry the host-side exchange)\n";
+        return 2;
+      }
       try {
-        return run_sharded_prefix(n, op, shards, mem_budget, seed);
+        return run_sharded_prefix(n, op, shards, mem_budget, seed,
+                                  fault_timeline);
       } catch (const dc::CheckError& e) {
         std::cout << "sharded run rejected: " << e.what() << "\n";
         return 2;
@@ -652,8 +948,16 @@ int main(int argc, char** argv) {
       std::cout << "--mem-budget requires --shards\n";
       return 2;
     }
+    if (!faults.empty() && !fault_timeline.empty()) {
+      std::cout << "--faults and --fault-timeline cannot be combined\n";
+      return 2;
+    }
+    if (!fault_timeline.empty())
+      return run_with_timeline(algo, n, fault_timeline, fault_policy, op,
+                               dist, root, seed, retry_budget);
     if (!faults.empty())
-      return run_with_faults(algo, n, faults, fault_policy, op, root, seed);
+      return run_with_faults(algo, n, faults, fault_policy, op, dist, root,
+                             seed);
     if (algo == "prefix") return run_prefix(n, op, seed);
     if (algo == "sort") return run_sort(n, dist, seed);
     if (algo == "radix") return run_radix(n, bits, seed);

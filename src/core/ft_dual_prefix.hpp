@@ -47,9 +47,10 @@ namespace detail {
 
 /// Deterministic proxy assignment: rep[u] = u for live nodes; for dead
 /// nodes the live node at minimal healthy-graph BFS distance, ties to the
-/// lowest label.
+/// lowest label. Works on any Topology (the fault-tolerant sort runs on
+/// the recursive presentation).
 inline std::vector<net::NodeId> ft_proxy_map(
-    const net::DualCube& d, const std::vector<net::NodeId>& dead_sorted) {
+    const net::Topology& d, const std::vector<net::NodeId>& dead_sorted) {
   const std::size_t n_nodes = d.node_count();
   std::vector<net::NodeId> rep(n_nodes);
   for (net::NodeId u = 0; u < n_nodes; ++u) rep[u] = u;

@@ -1,0 +1,21 @@
+// SimError — the simulator's model-violation exception.
+//
+// Thrown when an algorithm breaks the communication model (sends along a
+// non-edge, or some node would receive two messages in one cycle) and by
+// the fault-spec parsers when a CLI spec is malformed. Lives in its own
+// header because both sim/machine.hpp and sim/faults.hpp throw it, and
+// faults.hpp sits below machine.hpp in the include graph.
+#pragma once
+
+#include <string>
+
+#include "support/check.hpp"
+
+namespace dc::sim {
+
+class SimError : public dc::CheckError {
+ public:
+  explicit SimError(const std::string& what) : dc::CheckError(what) {}
+};
+
+}  // namespace dc::sim

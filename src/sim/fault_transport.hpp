@@ -105,6 +105,73 @@ inline std::vector<net::NodeId> bfs_path(const net::Topology& t,
   return {};
 }
 
+/// The drain's queue bookkeeping assumes every machine-accepted send is
+/// delivered; a transient drop would strand the packet forever. Checked
+/// against whichever fault source the machine carries.
+inline void require_drop_free(const Machine& m) {
+  if (const FaultPlan* p = m.fault_plan()) {
+    DC_REQUIRE(p->drop_permille() == 0,
+               "fault-tolerant collectives require a drop-free fault plan");
+  }
+  if (const FaultTimeline* tl = m.fault_timeline()) {
+    DC_REQUIRE(tl->max_drop_permille() == 0,
+               "fault-tolerant collectives require a drop-free fault plan");
+  }
+}
+
+/// Shared body of the deliver_with_detours overloads: `route(src, dst)`
+/// returns a fault-free path (front = src, back = dst; empty =
+/// disconnected) and whether it came from a BFS fallback.
+template <typename V, typename RouteFn>
+FtReport deliver_with_routes(Machine& m,
+                             std::vector<LogicalMessage<V>> msgs,
+                             std::vector<std::optional<V>>& recv,
+                             RouteFn&& route_fn) {
+  FtReport rep;
+  std::vector<DetourPacket<V>> packets;
+  packets.reserve(msgs.size());
+  for (auto& msg : msgs) {
+    if (msg.phys_src == msg.phys_dst) {
+      // One physical node holds both logical endpoints: no message.
+      recv[msg.logical_dst] = std::move(msg.payload);
+      continue;
+    }
+    auto [path, used_fallback] = route_fn(msg.phys_src, msg.phys_dst);
+    if (path.empty())
+      throw FaultError("fault set disconnects node " +
+                       std::to_string(msg.phys_dst) + " from node " +
+                       std::to_string(msg.phys_src));
+    if (used_fallback) ++rep.bfs_fallbacks;
+    const std::uint64_t hops = path.size() - 1;
+    // A logical message "deviates" when it is not the healthy single hop
+    // between its own logical endpoints.
+    const bool deviated = msg.forced_detour ||
+                          msg.phys_src != msg.logical_src ||
+                          msg.phys_dst != msg.logical_dst || hops > 1;
+    if (deviated) {
+      rep.rerouted_hops += hops;
+      ++rep.repaired;
+      if (TraceRecorder* rec = m.trace()) {
+        rec->instant(m.trace_track(), 0, "fault_detour", "logical_dst",
+                     msg.logical_dst, "hops", hops);
+      }
+    }
+    packets.push_back(DetourPacket<V>{msg.phys_src, std::move(path), 0, 0,
+                                      msg.logical_dst,
+                                      std::move(msg.payload)});
+  }
+  if (!packets.empty()) {
+    const RoutingReport drained = drain_packet_list(
+        m, std::move(packets),
+        [&](DetourPacket<V>&& p, std::uint64_t) {
+          recv[p.logical_dst] = std::move(p.payload);
+        });
+    rep.repair_cycles = drained.cycles;
+  }
+  if (rep.rerouted_hops > 0) m.note_rerouted(rep.rerouted_hops);
+  return rep;
+}
+
 }  // namespace detail
 
 /// Delivers a batch of logical messages over fault-free paths, writing
@@ -119,12 +186,7 @@ FtReport deliver_with_detours(Machine& m, const net::DualCube& d,
                               std::vector<LogicalMessage<V>> msgs,
                               dc::Rng& rng,
                               std::vector<std::optional<V>>& recv) {
-  if (m.fault_plan() != nullptr) {
-    // The drain's queue bookkeeping assumes every machine-accepted send is
-    // delivered; a transient drop would strand the packet forever.
-    DC_REQUIRE(m.fault_plan()->drop_permille() == 0,
-               "fault-tolerant collectives require a drop-free fault plan");
-  }
+  detail::require_drop_free(m);
   const std::unordered_set<net::NodeId> dead = plan.dead_node_set();
   const bool has_link_faults = plan.link_fault_count() > 0;
   std::optional<FaultyTopology> view;
@@ -136,55 +198,43 @@ FtReport deliver_with_detours(Machine& m, const net::DualCube& d,
     return false;
   };
 
-  FtReport rep;
-  std::vector<DetourPacket<V>> packets;
-  packets.reserve(msgs.size());
-  for (auto& msg : msgs) {
-    if (msg.phys_src == msg.phys_dst) {
-      // One physical node holds both logical endpoints: no message.
-      recv[msg.logical_dst] = std::move(msg.payload);
-      continue;
-    }
-    auto route = net::route_dual_cube_fault_tolerant(d, msg.phys_src,
-                                                     msg.phys_dst, dead, rng);
-    if (has_link_faults && !route.path.empty() &&
-        crosses_dead_link(route.path)) {
-      route.path = detail::bfs_path(*view, msg.phys_src, msg.phys_dst);
-      route.used_fallback = true;
-    }
-    if (route.path.empty())
-      throw FaultError("fault set disconnects node " +
-                       std::to_string(msg.phys_dst) + " from node " +
-                       std::to_string(msg.phys_src));
-    if (route.used_fallback) ++rep.bfs_fallbacks;
-    const std::uint64_t hops = route.path.size() - 1;
-    // A logical message "deviates" when it is not the healthy single hop
-    // between its own logical endpoints.
-    const bool deviated = msg.forced_detour ||
-                          msg.phys_src != msg.logical_src ||
-                          msg.phys_dst != msg.logical_dst || hops > 1;
-    if (deviated) {
-      rep.rerouted_hops += hops;
-      ++rep.repaired;
-      if (TraceRecorder* rec = m.trace()) {
-        rec->instant(m.trace_track(), 0, "fault_detour", "logical_dst",
-                     msg.logical_dst, "hops", hops);
-      }
-    }
-    packets.push_back(DetourPacket<V>{msg.phys_src, std::move(route.path), 0,
-                                      0, msg.logical_dst,
-                                      std::move(msg.payload)});
-  }
-  if (!packets.empty()) {
-    const RoutingReport drained = drain_packet_list(
-        m, std::move(packets),
-        [&](DetourPacket<V>&& p, std::uint64_t) {
-          recv[p.logical_dst] = std::move(p.payload);
-        });
-    rep.repair_cycles = drained.cycles;
-  }
-  if (rep.rerouted_hops > 0) m.note_rerouted(rep.rerouted_hops);
-  return rep;
+  return detail::deliver_with_routes(
+      m, std::move(msgs), recv,
+      [&](net::NodeId src, net::NodeId dst)
+          -> std::pair<std::vector<net::NodeId>, bool> {
+        auto route = net::route_dual_cube_fault_tolerant(d, src, dst, dead,
+                                                         rng);
+        if (has_link_faults && !route.path.empty() &&
+            crosses_dead_link(route.path)) {
+          route.path = detail::bfs_path(*view, src, dst);
+          route.used_fallback = true;
+        }
+        return {std::move(route.path), route.used_fallback};
+      });
+}
+
+/// Generic-topology overload: routes purely on the faulted view (direct
+/// hop when the healthy link survives, BFS shortest path otherwise). This
+/// is the router the recursive-presentation collectives use — the
+/// fault-tolerant sort runs on RecursiveDualCube, whose labels the
+/// standard-presentation dual-cube router does not speak — and it works
+/// on any Topology. Costs, trace events and disconnection behavior match
+/// the dual-cube overload.
+template <typename V>
+FtReport deliver_with_detours(Machine& m, const net::Topology& base,
+                              const FaultPlan& plan,
+                              std::vector<LogicalMessage<V>> msgs,
+                              std::vector<std::optional<V>>& recv) {
+  detail::require_drop_free(m);
+  const FaultyTopology view(base, plan);
+  return detail::deliver_with_routes(
+      m, std::move(msgs), recv,
+      [&](net::NodeId src, net::NodeId dst)
+          -> std::pair<std::vector<net::NodeId>, bool> {
+        if (view.has_edge(src, dst))
+          return {std::vector<net::NodeId>{src, dst}, false};
+        return {detail::bfs_path(view, src, dst), true};
+      });
 }
 
 }  // namespace dc::sim

@@ -58,6 +58,7 @@
 
 #include "sim/arena.hpp"
 #include "sim/counters.hpp"
+#include "sim/error.hpp"
 #include "sim/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/schedule.hpp"
@@ -69,13 +70,6 @@
 #include "topology/topology.hpp"
 
 namespace dc::sim {
-
-/// Thrown when an algorithm breaks the communication model (sends along a
-/// non-edge, or some node would receive two messages in one cycle).
-class SimError : public dc::CheckError {
- public:
-  explicit SimError(const std::string& what) : dc::CheckError(what) {}
-};
 
 class Machine {
  public:
@@ -104,12 +98,12 @@ class Machine {
   /// Path the oblivious algorithms take (see sim/oblivious.hpp). Defaults
   /// to compiled replay; set DC_SCHEDULE=interpreted to flip the process
   /// default, or call set_schedule_path per machine. A machine with an
-  /// attached FaultPlan always reports kInterpreted: a compiled schedule
-  /// captures the healthy pattern, and replaying it would skip the
-  /// per-message fault checks (and record runs under faults could observe
-  /// fault-dependent plans), so fault runs interpret every cycle.
+  /// attached FaultPlan or FaultTimeline always reports kInterpreted: a
+  /// compiled schedule captures the healthy pattern, and replaying it would
+  /// skip the per-message fault checks (and record runs under faults could
+  /// observe fault-dependent plans), so fault runs interpret every cycle.
   SchedulePath schedule_path() const {
-    return faults_ ? SchedulePath::kInterpreted : schedule_path_;
+    return has_faults() ? SchedulePath::kInterpreted : schedule_path_;
   }
   void set_schedule_path(SchedulePath p) { schedule_path_ = p; }
 
@@ -121,13 +115,41 @@ class Machine {
   /// cycles of one run. With no plan attached the comm path is untouched.
   void attach_faults(std::shared_ptr<const FaultPlan> plan,
                      FaultPolicy policy = FaultPolicy::kStrict) {
+    DC_REQUIRE(!timeline_,
+               "attach either a FaultPlan or a FaultTimeline, not both");
     faults_ = std::move(plan);
     fault_policy_ = policy;
   }
-  void clear_faults() { faults_.reset(); }
+
+  /// Attaches a dynamic fault timeline (sim/faults.hpp). Each comm cycle
+  /// is filtered against the faults live at its own cycle index, so links
+  /// flap and nodes die/rejoin mid-run; the machine traces every epoch
+  /// transition it crosses ("fault_epoch") and every node rejoin it passes
+  /// ("fault_rejoin"), and counts both (fault_epochs_seen / fault_rejoins).
+  /// Policy semantics per cycle are identical to attach_faults. Like a
+  /// plan, an attached timeline forces kInterpreted scheduling.
+  void attach_fault_timeline(std::shared_ptr<const FaultTimeline> timeline,
+                             FaultPolicy policy = FaultPolicy::kStrict) {
+    DC_REQUIRE(!faults_,
+               "attach either a FaultPlan or a FaultTimeline, not both");
+    timeline_ = std::move(timeline);
+    fault_policy_ = policy;
+    epoch_seen_ = false;
+  }
+  void clear_faults() {
+    faults_.reset();
+    timeline_.reset();
+  }
   const FaultPlan* fault_plan() const { return faults_.get(); }
-  bool has_faults() const { return faults_ != nullptr; }
+  const FaultTimeline* fault_timeline() const { return timeline_.get(); }
+  bool has_faults() const { return faults_ != nullptr || timeline_ != nullptr; }
   FaultPolicy fault_policy() const { return fault_policy_; }
+
+  /// Distinct timeline epochs this machine's cycles have crossed into, and
+  /// node rejoin events they have advanced past. Zero without an attached
+  /// timeline; monotone across clear_faults (totals for the machine).
+  std::uint64_t fault_epochs_seen() const { return fault_epochs_seen_; }
+  std::uint64_t fault_rejoins() const { return fault_rejoins_; }
 
   /// Credits `k` messages carried on fault-detour routes (multi-hop
   /// repairs, proxy-redirected exchanges). Called by the fault-tolerant
@@ -202,11 +224,16 @@ class Machine {
         },
         grain_, pool_);
 
-    // Fault filter: only with a plan attached does any message get a
-    // fault check; the healthy path is untouched. Runs sequentially (and
-    // deterministically) between planning and delivery, so a degraded
+    // Fault filter: only with a plan or timeline attached does any message
+    // get a fault check; the healthy path is untouched. Runs sequentially
+    // (and deterministically) between planning and delivery, so a degraded
     // message is simply absent from the delivery pass below.
-    if (faults_) filter_faults(arena->outbox);
+    if (faults_) {
+      filter_faults(*faults_, arena->outbox);
+    } else if (timeline_) {
+      note_timeline_cycle(counters_.comm_cycles);
+      filter_faults(*timeline_, arena->outbox);
+    }
 
     const net::FlatAdjacency* adj = nullptr;
     if (validate_ || edge_load_.enabled()) adj = &adjacency();
@@ -305,7 +332,7 @@ class Machine {
   Inbox<P> comm_cycle_scheduled(const ScheduleCycle& cyc,
                                 PayloadFn&& payload) {
     const std::size_t n = static_cast<std::size_t>(node_count());
-    DC_REQUIRE(!faults_,
+    DC_REQUIRE(!has_faults(),
                "compiled replay skips per-message fault checks; a machine "
                "with an attached FaultPlan must interpret every cycle");
     DC_REQUIRE(cyc.recv_from.size() == n,
@@ -486,7 +513,7 @@ class Machine {
                                                   PlaneSrc<T> src) {
     const std::size_t n = static_cast<std::size_t>(node_count());
     const std::size_t block = unit.recv_from.size();
-    DC_REQUIRE(!faults_,
+    DC_REQUIRE(!has_faults(),
                "compiled replay skips per-message fault checks; a machine "
                "with an attached FaultPlan must interpret every cycle");
     DC_REQUIRE(block >= 1 && block * tiles == n,
@@ -540,7 +567,7 @@ class Machine {
   template <typename Body>
   void comm_compute_cycle_fused_blocks(std::size_t blocks, Body&& body) {
     const std::size_t n = static_cast<std::size_t>(node_count());
-    DC_REQUIRE(!faults_,
+    DC_REQUIRE(!has_faults(),
                "fused cycles skip per-message fault checks; a machine with "
                "an attached FaultPlan must interpret every cycle");
     DC_REQUIRE(!edge_load_.enabled(),
@@ -754,6 +781,9 @@ class Machine {
     reg.set_gauge("sim.fault.messages_rerouted",
                   static_cast<double>(c.messages_rerouted));
     reg.set_gauge("sim.fault.cycles", static_cast<double>(c.fault_cycles));
+    reg.set_gauge("sim.fault.epochs",
+                  static_cast<double>(fault_epochs_seen_));
+    reg.set_gauge("sim.fault.rejoins", static_cast<double>(fault_rejoins_));
     if (edge_load_.enabled()) {
       const std::vector<std::uint64_t> loads = edge_load_.merged();
       std::uint64_t max = 0;
@@ -811,7 +841,7 @@ class Machine {
   BlockInbox<T> replay_blocks_impl(const ScheduleCycle& cyc, std::size_t width,
                                    PerRange&& per_range) {
     const std::size_t n = static_cast<std::size_t>(node_count());
-    DC_REQUIRE(!faults_,
+    DC_REQUIRE(!has_faults(),
                "compiled replay skips per-message fault checks; a machine "
                "with an attached FaultPlan must interpret every cycle");
     DC_REQUIRE(cyc.recv_from.size() == n,
@@ -850,14 +880,16 @@ class Machine {
     return *adj_;
   }
 
-  /// Applies the attached FaultPlan to this cycle's planned outbox, in
-  /// ascending sender order (so strict-mode errors are deterministic).
-  /// Under kStrict, the first message touching a dead node or link throws
-  /// FaultError; under kDegrade it is cleared and counted as lost.
-  /// Transient drops are cleared and counted under both policies.
-  template <typename P>
-  void filter_faults(std::vector<std::optional<Send<P>>>& outbox) {
-    const FaultPlan& f = *faults_;
+  /// Applies the attached fault source (FaultPlan or FaultTimeline — both
+  /// expose node_dead/link_dead/drops_message/any_active over cycle
+  /// indices) to this cycle's planned outbox, in ascending sender order
+  /// (so strict-mode errors are deterministic). Under kStrict, the first
+  /// message touching a dead node or link throws FaultError; under
+  /// kDegrade it is cleared and counted as lost. Transient drops are
+  /// cleared and counted under both policies.
+  template <typename F, typename P>
+  void filter_faults(const F& f,
+                     std::vector<std::optional<Send<P>>>& outbox) {
     const std::uint64_t cyc = counters_.comm_cycles;  // index of this cycle
     if (f.any_active(cyc)) {
       ++counters_.fault_cycles;
@@ -891,6 +923,40 @@ class Machine {
         note_fault_drop(u, cyc);
       }
     }
+  }
+
+  /// Timeline epoch bookkeeping, run once per filtered cycle, before the
+  /// filter: when `cyc` lands in a different epoch than the last filtered
+  /// cycle (or is the first), trace a "fault_epoch" instant; every node_up
+  /// event strictly between the previous filtered cycle and this one gets
+  /// a "fault_rejoin" instant. Cheap (two ordered-set lookups) and fully
+  /// deterministic — cycle indices, not wall clock.
+  void note_timeline_cycle(std::uint64_t cyc) {
+    const FaultTimeline& tl = *timeline_;
+    const std::size_t epoch = tl.epoch_of(cyc);
+    // Rejoins that became effective in (last seen cycle, cyc]. A node_up
+    // cycle is always >= 1, so the cyc == 0 underflow below yields the
+    // empty interval it should.
+    const std::uint64_t after = epoch_seen_ ? last_fault_cycle_ : cyc - 1;
+    if (after < cyc) {
+      for (const net::NodeId u : tl.rejoins_between(after, cyc)) {
+        ++fault_rejoins_;
+        if (trace_) {
+          trace_->instant(trace_track_, 0, "fault_rejoin", "node", u, "cycle",
+                          cyc);
+        }
+      }
+    }
+    if (!epoch_seen_ || epoch != current_epoch_) {
+      ++fault_epochs_seen_;
+      if (trace_) {
+        trace_->instant(trace_track_, 0, "fault_epoch", "epoch", epoch,
+                        "cycle", cyc);
+      }
+      current_epoch_ = epoch;
+      epoch_seen_ = true;
+    }
+    last_fault_cycle_ = cyc;
   }
 
   /// Accounts one fault-dropped message (degrade-policy kill or transient
@@ -994,7 +1060,14 @@ class Machine {
   std::size_t grain_ = 0;
   EdgeLoadCounters edge_load_;
   std::shared_ptr<const FaultPlan> faults_;
+  std::shared_ptr<const FaultTimeline> timeline_;
   FaultPolicy fault_policy_ = FaultPolicy::kStrict;
+  // Timeline epoch bookkeeping (note_timeline_cycle).
+  bool epoch_seen_ = false;
+  std::size_t current_epoch_ = 0;
+  std::uint64_t last_fault_cycle_ = 0;
+  std::uint64_t fault_epochs_seen_ = 0;
+  std::uint64_t fault_rejoins_ = 0;
 };
 
 }  // namespace dc::sim

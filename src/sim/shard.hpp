@@ -208,6 +208,61 @@ class ShardEngine {
     return *machines_[k];
   }
 
+  /// Localizes a global-label fault timeline onto the per-shard machines:
+  /// node events map to (owning shard, local index); link events must
+  /// join two nodes of one shard's cluster blocks (the engine virtualizes
+  /// cross-cluster links host-side, so they cannot fault — rejected with
+  /// SimError); drop windows apply to every shard, with the drop-hash
+  /// seed decorrelated per shard so shards do not lose mirror-image
+  /// messages. Every per-shard machine then interprets its cycles (the
+  /// sharded front-ends pick the interpreted exchange automatically via
+  /// Machine::schedule_path). Under kStrict a fault touch aborts the
+  /// whole run; kDegrade drops and counts per shard.
+  void attach_fault_timeline(const FaultTimeline& global,
+                             FaultPolicy policy = FaultPolicy::kStrict) {
+    std::vector<FaultTimeline> local;
+    local.reserve(machines_.size());
+    for (std::size_t k = 0; k < machines_.size(); ++k)
+      local.emplace_back(global.seed() ^ (k * 0x9e3779b97f4a7c15ull));
+    for (const auto& ev : global.node_events()) {
+      DC_REQUIRE(ev.node < node_count(),
+                 "fault timeline names node " << ev.node << " outside "
+                                              << d_.name());
+      const unsigned k = plan_.shard_of_node(ev.node);
+      const net::NodeId lu = plan_.local_index(ev.node);
+      local[k].node_down(lu, ev.from);
+      if (ev.to != FaultTimeline::kForever) local[k].node_up(lu, ev.to);
+    }
+    for (const auto& ev : global.link_events()) {
+      const unsigned ku = plan_.shard_of_node(ev.u);
+      const unsigned kv = plan_.shard_of_node(ev.v);
+      if (ku != kv || !shard_topo_.has_edge(plan_.local_index(ev.u),
+                                            plan_.local_index(ev.v))) {
+        throw SimError("fault timeline link " + std::to_string(ev.u) + "-" +
+                       std::to_string(ev.v) +
+                       " is virtualized by the sharded engine (cross-cluster "
+                       "exchange is host-side); only in-cluster links can "
+                       "fault under sharding");
+      }
+      local[ku].link_down(plan_.local_index(ev.u), plan_.local_index(ev.v),
+                          ev.from);
+      if (ev.to != FaultTimeline::kForever)
+        local[ku].link_up(plan_.local_index(ev.u), plan_.local_index(ev.v),
+                          ev.to);
+    }
+    for (const auto& w : global.drop_windows()) {
+      for (auto& tl : local) tl.drop_window(w.permille, w.from, w.to);
+    }
+    for (std::size_t k = 0; k < machines_.size(); ++k) {
+      machines_[k]->attach_fault_timeline(
+          std::make_shared<const FaultTimeline>(std::move(local[k])), policy);
+    }
+  }
+  void clear_faults() {
+    for (auto& m : machines_) m->clear_faults();
+  }
+  bool has_faults() const { return machines_[0]->has_faults(); }
+
   // ---- memory model -------------------------------------------------
 
   /// One shard's working set for element size `elem_bytes`: t-slice,
@@ -389,6 +444,9 @@ class ShardEngine {
       c.ops += mk.ops;
       c.messages_lost += mk.messages_lost;
       c.messages_rerouted += mk.messages_rerouted;
+      // Cycles are lock-stepped across shards, so a fault-active cycle is
+      // one cycle no matter how many shards saw it.
+      c.fault_cycles = std::max(c.fault_cycles, mk.fault_cycles);
     }
     c.comm_cycles += virtual_.comm_cycles;
     c.comp_steps += virtual_.comp_steps;
@@ -486,6 +544,19 @@ class ShardEngine {
                   static_cast<double>(stats_.spill_count));
     reg.set_gauge("sim.shard.spill_bytes",
                   static_cast<double>(stats_.spill_bytes));
+    if (has_faults()) {
+      std::uint64_t epochs = 0;
+      std::uint64_t rejoins = 0;
+      for (const auto& m : machines_) {
+        epochs = std::max(epochs, m->fault_epochs_seen());
+        rejoins += m->fault_rejoins();
+      }
+      reg.set_gauge("sim.fault.messages_lost",
+                    static_cast<double>(c.messages_lost));
+      reg.set_gauge("sim.fault.cycles", static_cast<double>(c.fault_cycles));
+      reg.set_gauge("sim.fault.epochs", static_cast<double>(epochs));
+      reg.set_gauge("sim.fault.rejoins", static_cast<double>(rejoins));
+    }
   }
 
  private:

@@ -595,4 +595,374 @@ TEST(FtCollectives, RefuseTransientDropPlansOnTheMachine) {
       CheckError);
 }
 
+// ------------------------------------------- exact fault-spec diagnostics
+
+template <typename Fn>
+void expect_sim_error(Fn&& fn, const std::string& msg) {
+  try {
+    fn();
+    ADD_FAILURE() << "expected SimError: " << msg;
+  } catch (const dc::sim::SimError& e) {
+    EXPECT_EQ(std::string(e.what()), msg);
+  }
+}
+
+TEST(FaultSpec, NamesTheExactMalformedPiece) {
+  const DualCube d(2);  // 8 nodes
+  expect_sim_error([&] { dc::sim::parse_fault_spec("", d); },
+                   "empty fault spec");
+  expect_sim_error(
+      [&] { dc::sim::parse_fault_spec("nodes", d); },
+      "fault spec must be nodes:a,b,... or random:k[,seed], got 'nodes'");
+  expect_sim_error([&] { dc::sim::parse_fault_spec("nodes:", d); },
+                   "empty number in fault spec 'nodes:'");
+  expect_sim_error([&] { dc::sim::parse_fault_spec("nodes:1,,2", d); },
+                   "empty number in fault spec 'nodes:1,,2'");
+  expect_sim_error([&] { dc::sim::parse_fault_spec("nodes:1x", d); },
+                   "bad number '1x' in fault spec 'nodes:1x'");
+  expect_sim_error([&] { dc::sim::parse_fault_spec("nodes:8", d); },
+                   "fault spec names node 8 but " + d.name() +
+                       " has 8 nodes");
+  expect_sim_error([&] { dc::sim::parse_fault_spec("nodes:3,1,3", d); },
+                   "fault spec names node 3 twice");
+  expect_sim_error(
+      [&] { dc::sim::parse_fault_spec("random:1,2,3", d); },
+      "random fault spec is random:k[,seed], got 'random:1,2,3'");
+  expect_sim_error([&] { dc::sim::parse_fault_spec("random:9", d); },
+                   "cannot kill 9 of 8 nodes");
+  expect_sim_error([&] { dc::sim::parse_fault_spec("bogus:1", d); },
+                   "unknown fault spec kind 'bogus' (nodes|random)");
+}
+
+// --------------------------------------------- pinned transient-drop hash
+
+TEST(TransientDropHash, GoldenValuesArePlatformStable) {
+  // The (seed, cycle, sender) -> permille formula is part of the model
+  // contract (docs/MODEL.md "Fault model"): identical runs must lose
+  // identical messages on every OS/arch/stdlib. These goldens pin it; a
+  // change here is a reproducibility break, not a refactor.
+  using dc::sim::detail::transient_drop_hash;
+  EXPECT_EQ(transient_drop_hash(0, 0, 0), 876u);
+  EXPECT_EQ(transient_drop_hash(42, 0, 0), 663u);
+  EXPECT_EQ(transient_drop_hash(42, 1, 0), 325u);
+  EXPECT_EQ(transient_drop_hash(42, 0, 1), 523u);
+  EXPECT_EQ(transient_drop_hash(42, 7, 3), 130u);
+  EXPECT_EQ(transient_drop_hash(1, 100, 63), 72u);
+  EXPECT_EQ(transient_drop_hash(2024, 31, 15), 451u);
+  EXPECT_EQ(transient_drop_hash(0xdeadbeefull, 5, 9), 705u);
+  // FaultPlan::drops_message is exactly "hash < permille".
+  const FaultPlan plan = FaultPlan(42).drop_messages(326);
+  EXPECT_TRUE(plan.drops_message(1, 0));    // 325 < 326
+  EXPECT_FALSE(plan.drops_message(0, 0));   // 663 >= 326
+  EXPECT_FALSE(plan.drops_message(0, 1));   // 523 >= 326
+}
+
+// ------------------------------------------ exhaustive link-fault sweeps
+
+std::vector<std::pair<NodeId, NodeId>> all_edges(const DualCube& d) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < d.node_count(); ++u)
+    for (const NodeId v : d.neighbors(u))
+      if (u < v) edges.emplace_back(u, v);
+  return edges;
+}
+
+TEST(FtLinkFaults, ExhaustiveEveryLinkSetBelowNOnD2) {
+  // D_n is n-regular with vertex connectivity n, so its edge connectivity
+  // is exactly n: any set of fewer than n link faults leaves it connected
+  // and both collectives must succeed with zero data loss. D_2: every
+  // single link, both collectives, both policies.
+  const DualCube d(2);
+  const Plus<dc::u64> op;
+  const auto data = iota_data(d.node_count());
+  for (const auto& [u, v] : all_edges(d)) {
+    FaultPlan plan;
+    plan.kill_link(u, v);
+    for (const FaultPolicy policy :
+         {FaultPolicy::kStrict, FaultPolicy::kDegrade}) {
+      expect_broadcast_correct(d, /*root=*/0, plan, policy, /*attach=*/true);
+      expect_prefix_correct(d, op, data, plan, policy, /*attach=*/true);
+    }
+  }
+}
+
+TEST(FtLinkFaults, ExhaustiveSinglesAndPairsOnD3) {
+  // D_3 (edge connectivity 3): every single link and every pair of links,
+  // both policies. 48 edges -> 48 + 1128 sets per policy per collective.
+  const DualCube d(3);
+  const Plus<dc::u64> op;
+  const auto data = iota_data(d.node_count());
+  const auto edges = all_edges(d);
+  ASSERT_EQ(edges.size(), d.node_count() * d.order() / 2);
+  const auto check = [&](const FaultPlan& plan, FaultPolicy policy) {
+    expect_broadcast_correct(d, /*root=*/0, plan, policy, /*attach=*/true);
+    expect_prefix_correct(d, op, data, plan, policy, /*attach=*/true);
+  };
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    FaultPlan one;
+    one.kill_link(edges[i].first, edges[i].second);
+    check(one, FaultPolicy::kStrict);
+    check(one, FaultPolicy::kDegrade);
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      FaultPlan two;
+      two.kill_link(edges[i].first, edges[i].second);
+      two.kill_link(edges[j].first, edges[j].second);
+      // Strict everywhere; degrade on a deterministic eighth of the pairs
+      // (the policies share the routing layer — degrade differs only in
+      // the filter's reaction, fully covered by the single-link sweep).
+      check(two, FaultPolicy::kStrict);
+      if ((i + j) % 8 == 0) check(two, FaultPolicy::kDegrade);
+    }
+  }
+}
+
+// ------------------------------------------------------- fault timelines
+
+using dc::sim::FaultTimeline;
+
+TEST(FaultTimelineTest, IntervalsFlapAndRejoin) {
+  FaultTimeline t;
+  t.link_down(0, 1, 4).link_up(0, 1, 9).link_down(1, 0, 20);
+  t.node_down(3, 2).node_up(3, 6);
+  EXPECT_FALSE(t.link_dead(0, 1, 3));
+  EXPECT_TRUE(t.link_dead(0, 1, 4));
+  EXPECT_TRUE(t.link_dead(1, 0, 8));   // orientation-free
+  EXPECT_FALSE(t.link_dead(0, 1, 9));  // half-open: up cycle is healthy
+  EXPECT_TRUE(t.link_dead(0, 1, 20));  // second flap, open-ended
+  EXPECT_TRUE(t.link_dead(0, 1, 1000));
+  EXPECT_FALSE(t.node_dead(3, 1));
+  EXPECT_TRUE(t.node_dead(3, 2));
+  EXPECT_TRUE(t.node_dead(3, 5));
+  EXPECT_FALSE(t.node_dead(3, 6));
+  EXPECT_EQ(t.rejoins_between(0, 5), std::vector<NodeId>{});
+  EXPECT_EQ(t.rejoins_between(5, 6), std::vector<NodeId>{3});
+  EXPECT_EQ(t.max_concurrent_node_faults(), 1u);
+  // any_active is exact: everything has healed by cycle 25? No — the
+  // second link flap never closes.
+  EXPECT_TRUE(t.any_active(25));
+  EXPECT_FALSE(t.any_active(10));  // between flaps, node healed
+}
+
+TEST(FaultTimelineTest, EpochsPartitionTheCycleAxis) {
+  FaultTimeline t;
+  t.node_down(2, 5).node_up(2, 8);
+  t.link_down(0, 1, 8);
+  t.drop_window(100, 12, 15);
+  // Boundaries: 0, 5, 8 (up + link down coincide), 12, 15.
+  EXPECT_EQ(t.epoch_starts(), (std::vector<std::uint64_t>{0, 5, 8, 12, 15}));
+  EXPECT_EQ(t.epoch_count(), 5u);
+  EXPECT_EQ(t.epoch_of(0), 0u);
+  EXPECT_EQ(t.epoch_of(4), 0u);
+  EXPECT_EQ(t.epoch_of(5), 1u);
+  EXPECT_EQ(t.epoch_of(7), 1u);
+  EXPECT_EQ(t.epoch_of(8), 2u);
+  EXPECT_EQ(t.epoch_of(14), 3u);
+  EXPECT_EQ(t.epoch_of(1000), 4u);
+}
+
+TEST(FaultTimelineTest, SnapshotsFreezeOneEpoch) {
+  FaultTimeline t(7);
+  t.node_down(2, 5).node_up(2, 8);
+  t.drop_window(250, 5, 8);
+  const FaultPlan before = t.snapshot(4);
+  EXPECT_TRUE(before.empty());
+  const FaultPlan during = t.snapshot(6);
+  EXPECT_EQ(during.dead_nodes(), std::vector<NodeId>{2});
+  EXPECT_EQ(during.drop_permille(), 250u);
+  EXPECT_EQ(during.seed(), 7u);
+  EXPECT_TRUE(during.node_dead(2, 0)) << "snapshots are from-start plans";
+  const FaultPlan after = t.snapshot(8);
+  EXPECT_TRUE(after.empty());
+  // The machine-facing queries agree with the snapshot at every cycle.
+  for (std::uint64_t c : {0ull, 5ull, 7ull, 8ull, 100ull}) {
+    EXPECT_EQ(t.node_dead(2, c), t.snapshot(c).node_dead(2, 0)) << c;
+  }
+  // Timeline drop decisions match a from-start plan with the same seed
+  // inside the window, and never fire outside it.
+  const FaultPlan noisy = FaultPlan(7).drop_messages(250);
+  for (NodeId s = 0; s < 8; ++s) {
+    EXPECT_EQ(t.drops_message(6, s), noisy.drops_message(6, s));
+    EXPECT_FALSE(t.drops_message(4, s));
+    EXPECT_FALSE(t.drops_message(8, s));
+  }
+}
+
+TEST(FaultTimelineTest, BuilderRejectsIllFormedSequences) {
+  expect_sim_error(
+      [] { FaultTimeline().node_down(3, 5).node_down(3, 7); },
+      "node 3 is already down at cycle 7");
+  expect_sim_error(
+      [] { FaultTimeline().node_up(3, 5); },
+      "node 3 is not down at cycle 5");
+  expect_sim_error(
+      [] { FaultTimeline().node_down(3, 5).node_up(3, 5); },
+      "node 3 up@5 must come after its down@5");
+  expect_sim_error(
+      [] {
+        FaultTimeline().node_down(3, 5).node_up(3, 8).node_down(3, 7);
+      },
+      "node 3 down/up events must be in cycle order");
+  expect_sim_error(
+      [] { FaultTimeline().link_down(2, 2, 1); },
+      "a link joins two distinct nodes");
+  expect_sim_error(
+      [] { FaultTimeline().link_up(0, 1, 4); },
+      "link 0-1 is not down at cycle 4");
+  expect_sim_error(
+      [] { FaultTimeline().drop_window(1001, 0, 5); },
+      "drop rate is per mille");
+  expect_sim_error(
+      [] { FaultTimeline().drop_window(10, 5, 5); },
+      "drop window [5, 5) is empty");
+  expect_sim_error(
+      [] { FaultTimeline().drop_window(10, 0, 5).drop_window(20, 4, 9); },
+      "drop windows overlap at cycle 4");
+}
+
+TEST(FaultTimelineSpec, ParsesFullGrammar) {
+  const DualCube d(2);
+  const FaultTimeline t = dc::sim::parse_fault_timeline(
+      "link:0-1:down@4:up@9+node:3:down@2+drop:50@10-12", d, /*seed=*/5);
+  EXPECT_EQ(t.seed(), 5u);
+  EXPECT_TRUE(t.link_dead(0, 1, 4));
+  EXPECT_FALSE(t.link_dead(0, 1, 9));
+  EXPECT_TRUE(t.node_dead(3, 2));
+  EXPECT_TRUE(t.node_dead(3, 1000)) << "no up event: down forever";
+  EXPECT_EQ(t.drop_permille_at(10), 50u);
+  EXPECT_EQ(t.drop_permille_at(12), 0u);
+  EXPECT_EQ(t.epoch_starts(), (std::vector<std::uint64_t>{0, 2, 4, 9, 10, 12}));
+}
+
+TEST(FaultTimelineSpec, NamesTheExactMalformedEvent) {
+  const DualCube d(2);
+  const auto parse = [&](const char* s) {
+    return [&d, s] { dc::sim::parse_fault_timeline(s, d); };
+  };
+  expect_sim_error(parse(""), "empty fault timeline spec");
+  expect_sim_error(parse("node"),
+                   "fault timeline event 'node' is missing a node id");
+  expect_sim_error(parse("node:9:down@0"),
+                   "fault timeline names node 9 but " + d.name() +
+                       " has 8 nodes");
+  expect_sim_error(parse("node:3"),
+                   "fault timeline event 'node:3' must be "
+                   "down@CYCLE[:up@CYCLE]");
+  expect_sim_error(parse("node:3:up@4"),
+                   "fault timeline event 'node:3:up@4' must be "
+                   "down@CYCLE[:up@CYCLE]");
+  expect_sim_error(parse("link"),
+                   "fault timeline event 'link' is missing U-V endpoints");
+  expect_sim_error(parse("link:01:down@0"),
+                   "fault timeline link endpoints must be U-V, got '01'");
+  expect_sim_error(parse("link:2-2:down@0"),
+                   "fault timeline link 2-2 joins a node to itself");
+  expect_sim_error(parse("link:0-3:down@0"),
+                   "fault timeline link 0-3 is not an edge of " + d.name());
+  expect_sim_error(parse("drop:50"),
+                   "fault timeline drop window must be drop:PERMILLE@FROM-TO, "
+                   "got 'drop:50'");
+  expect_sim_error(parse("drop:1001@0-5"),
+                   "fault timeline drop rate 1001 is per mille (<= 1000)");
+  expect_sim_error(parse("flood:1"),
+                   "unknown fault timeline event kind 'flood' (node|link|drop)");
+}
+
+// ---------------------------------------------- machine over a timeline
+
+TEST(MachineTimeline, FlapDropsOnlyInsideTheWindowAndCountsEpochs) {
+  const DualCube d(2);  // 0-1 is a cluster edge
+  Machine m(d);
+  auto t = std::make_shared<FaultTimeline>();
+  t->link_down(0, 1, 2).link_up(0, 1, 4);
+  m.attach_fault_timeline(t, FaultPolicy::kDegrade);
+  EXPECT_EQ(m.schedule_path(), dc::sim::SchedulePath::kInterpreted);
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    auto inbox =
+        m.comm_cycle<int>([&](NodeId u) -> std::optional<dc::sim::Send<int>> {
+          if (u != 0) return std::nullopt;
+          return dc::sim::Send<int>{1, cycle};
+        });
+    const bool down = cycle >= 2 && cycle < 4;
+    EXPECT_EQ(inbox[1].has_value(), !down) << "cycle " << cycle;
+  }
+  const auto c = m.counters();
+  EXPECT_EQ(c.messages_lost, 2u);
+  EXPECT_EQ(c.fault_cycles, 2u) << "any_active is exact: healed cycles are "
+                                   "not fault cycles";
+  // Saw epoch 0 at cycle 0, epoch 1 at cycle 2, epoch 2 at cycle 4.
+  EXPECT_EQ(m.fault_epochs_seen(), 3u);
+  EXPECT_EQ(m.fault_rejoins(), 0u);
+  m.clear_faults();
+  EXPECT_FALSE(m.has_faults());
+}
+
+TEST(MachineTimeline, StrictThrowsTheExactPlanMessages) {
+  const DualCube d(2);
+  Machine m(d);
+  auto t = std::make_shared<FaultTimeline>();
+  t->node_down(1, 1).node_up(1, 2);
+  m.attach_fault_timeline(t, FaultPolicy::kStrict);
+  const auto send01 = [&] {
+    m.comm_cycle<int>([](NodeId u) -> std::optional<dc::sim::Send<int>> {
+      if (u != 0) return std::nullopt;
+      return dc::sim::Send<int>{1, 7};
+    });
+  };
+  send01();  // cycle 0: healthy
+  try {
+    send01();  // cycle 1: node 1 is down
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_STREQ(e.what(), "node 0 sent to faulty node 1 (cycle 1)");
+  }
+  // The throw left cycle 1 uncounted; the retry replays cycle 1, which is
+  // still inside the outage -- back off one cycle first (send nothing),
+  // then the rejoin at cycle 2 lets the same send through.
+  EXPECT_EQ(m.counters().comm_cycles, 1u);
+  m.comm_cycle<int>([](NodeId) { return std::optional<dc::sim::Send<int>>{}; });
+  send01();  // cycle 2: node 1 rejoined
+  EXPECT_EQ(m.counters().comm_cycles, 3u);
+  EXPECT_EQ(m.fault_rejoins(), 1u);
+}
+
+TEST(MachineTimeline, RefusesCompiledReplayAndDoubleAttach) {
+  const DualCube d(2);
+  Machine m(d);
+  m.set_schedule_path(dc::sim::SchedulePath::kCompiled);
+  auto t = std::make_shared<FaultTimeline>();
+  t->link_down(0, 1, 100);
+  m.attach_fault_timeline(t);
+  EXPECT_EQ(m.schedule_path(), dc::sim::SchedulePath::kInterpreted);
+  dc::sim::ScheduleCycle cyc;
+  cyc.recv_from.assign(d.node_count(), dc::sim::kNoSender);
+  cyc.recv_slot.assign(d.node_count(), dc::sim::kNoEdgeSlot);
+  EXPECT_THROW(m.comm_cycle_scheduled<int>(cyc, [](NodeId) { return 0; }),
+               CheckError);
+  EXPECT_THROW(
+      m.attach_faults(std::make_shared<FaultPlan>(FaultPlan().kill_node(1))),
+      CheckError)
+      << "a machine carries a plan or a timeline, never both";
+  m.clear_faults();
+  EXPECT_EQ(m.schedule_path(), dc::sim::SchedulePath::kCompiled);
+}
+
+TEST(MachineTimeline, TimelineViewFingerprintsDifferPerEpoch) {
+  const DualCube d(3);
+  FaultTimeline t;
+  t.node_down(5, 10).node_up(5, 20).node_down(9, 20);
+  const dc::sim::FaultyTopology e0(d, t, 0);
+  const dc::sim::FaultyTopology e1(d, t, 10);
+  const dc::sim::FaultyTopology e2(d, t, 20);
+  const auto f0 = e0.flat_adjacency().fingerprint();
+  const auto f1 = e1.flat_adjacency().fingerprint();
+  const auto f2 = e2.flat_adjacency().fingerprint();
+  EXPECT_EQ(f0, d.flat_adjacency().fingerprint())
+      << "the pre-fault epoch is the healthy graph";
+  EXPECT_NE(f1, f0);
+  EXPECT_NE(f2, f0);
+  EXPECT_NE(f1, f2) << "each epoch's faulted view keys the schedule cache "
+                       "differently, so no epoch can replay another's "
+                       "schedule";
+}
+
 }  // namespace

@@ -4,6 +4,7 @@ trace-validate subcommand for dcsim --trace exports.
 
 Usage: check_bench_json.py [path]            (default: BENCH_sim.json)
        check_bench_json.py trace-validate TRACE.json
+       check_bench_json.py fault-sweep SWEEP.json
 
 trace-validate schema-checks a Chrome-trace export from `dcsim --trace`:
 every event carries name/ph/pid/tid/ts; 'B'/'E' spans are balanced per
@@ -209,6 +210,10 @@ KNOWN_INSTANTS = {
     "fault_drop",
     "fault_cycle",
     "fault_detour",
+    "fault_epoch",
+    "fault_rejoin",
+    "recovery_retry",
+    "recovery_replan",
     "schedule_cache_hit",
     "schedule_cache_miss",
     "schedule_commit",
@@ -305,6 +310,73 @@ def trace_validate(path: str) -> int:
     return 0
 
 
+def fault_sweep_validate(path: str) -> int:
+    """Schema gate for tab_fault_sweep's DC_FAULT_SWEEP_JSON export: a
+    non-empty array of injection-timing rows. Every row needs n >= 2,
+    inject "pre"|"mid", comm_cycles > 0, replans == retries and
+    correct == true; "pre" rows must show zero retries (the fault was
+    planned around), "mid" rows at least one (the flap aborted a phase),
+    and every n must carry both legs of the axis."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+    if not isinstance(rows, list) or not rows:
+        print(f"{path}: expected a non-empty JSON array", file=sys.stderr)
+        return 1
+
+    errors = []
+    legs = {}  # n -> set of inject values seen
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append(f"row {i}: not an object")
+            continue
+        n = row.get("n")
+        inject = row.get("inject")
+        label = f"row {i} (n={n}, inject={inject})"
+        if not isinstance(n, int) or n < 2:
+            errors.append(f"{label}: 'n' must be an integer >= 2")
+            continue
+        if inject not in ("pre", "mid"):
+            errors.append(f"{label}: 'inject' must be 'pre' or 'mid'")
+            continue
+        legs.setdefault(n, set()).add(inject)
+        for key in ("comm_cycles", "retries", "replans", "backoff_cycles",
+                    "repaired"):
+            value = row.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(f"{label}: missing or non-integer '{key}'")
+        if not row.get("comm_cycles", 0) > 0:
+            errors.append(f"{label}: comm_cycles must be > 0")
+        if row.get("replans") != row.get("retries"):
+            errors.append(f"{label}: every retry must re-plan "
+                          f"(retries={row.get('retries')}, "
+                          f"replans={row.get('replans')})")
+        if inject == "pre" and row.get("retries") != 0:
+            errors.append(f"{label}: pre-installed faults are planned "
+                          "around, expected 0 retries")
+        if inject == "mid" and not row.get("retries", 0) >= 1:
+            errors.append(f"{label}: a mid-run flap must trigger a retry")
+        if row.get("correct") is not True:
+            errors.append(f"{label}: 'correct' must be true")
+    for n, seen in sorted(legs.items()):
+        if seen != {"pre", "mid"}:
+            errors.append(f"n={n}: need both 'pre' and 'mid' rows, "
+                          f"got {sorted(seen)}")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"{path}: {len(errors)} problem(s) in {len(rows)} rows",
+              file=sys.stderr)
+        return 1
+    print(f"{path}: {len(rows)} fault-sweep rows OK "
+          f"({len(legs)} network size(s), both injection legs)")
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) > 1 and sys.argv[1] == "trace-validate":
         if len(sys.argv) != 3:
@@ -312,6 +384,12 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         return trace_validate(sys.argv[2])
+    if len(sys.argv) > 1 and sys.argv[1] == "fault-sweep":
+        if len(sys.argv) != 3:
+            print("usage: check_bench_json.py fault-sweep SWEEP.json",
+                  file=sys.stderr)
+            return 2
+        return fault_sweep_validate(sys.argv[2])
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sim.json"
     try:
         with open(path, encoding="utf-8") as f:
