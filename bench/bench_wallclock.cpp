@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "collectives/broadcast.hpp"
+#include "sim/schedule_store.hpp"
 #include "core/block_prefix.hpp"
 #include "core/block_sort.hpp"
 #include "core/cube_bitonic_sort.hpp"
@@ -357,6 +358,75 @@ void BM_CommCycleScheduled(benchmark::State& state) {
 BENCHMARK(BM_CommCycleScheduled)
     ->DenseRange(7, 15, 4)
     ->Unit(benchmark::kMicrosecond);
+
+// Cold vs warm start of the compiled D_n prefix. Cold: every iteration
+// starts from an empty ScheduleCache with no persistent store, so the run
+// pays the full record-and-validate pass before it can replay — the
+// first-process latency this repo had before the schedule store. Warm: a
+// store directory is primed once, and every iteration drops in-process
+// residency but keeps the store attached, so the section faults its
+// schedule in from the mmapped file and goes straight to replay. The
+// BM_WarmStart/<n>_median / BM_ColdStart/<n>_median ratio is gated at
+// <= 0.5 by tools/check_bench_json.py on trajectory files.
+void BM_ColdStart(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const dc::net::DualCube d(n);
+  const dc::core::Plus<u64> plus;
+  dc::Rng rng(1);
+  std::vector<u64> data(d.node_count());
+  for (auto& x : data) x = rng();
+  auto& cache = dc::sim::ScheduleCache::instance();
+  cache.attach_store(nullptr);
+  for (auto _ : state) {
+    cache.clear();
+    dc::sim::Machine m(d);
+    benchmark::DoNotOptimize(dc::core::dual_prefix(m, d, plus, data));
+  }
+  cache.clear();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.node_count()));
+}
+BENCHMARK(BM_ColdStart)
+    ->Arg(8)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WarmStart(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const dc::net::DualCube d(n);
+  const dc::core::Plus<u64> plus;
+  dc::Rng rng(1);
+  std::vector<u64> data(d.node_count());
+  for (auto& x : data) x = rng();
+  auto& cache = dc::sim::ScheduleCache::instance();
+  char dir[] = "/tmp/dcsched_bench_XXXXXX";
+  if (!::mkdtemp(dir)) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  dc::sim::attach_schedule_store(dir);
+  cache.clear();
+  {
+    dc::sim::Machine m(d);  // prime: record once, write through to disk
+    benchmark::DoNotOptimize(dc::core::dual_prefix(m, d, plus, data));
+  }
+  for (auto _ : state) {
+    cache.clear();  // drop residency; the store stays attached
+    dc::sim::Machine m(d);
+    benchmark::DoNotOptimize(dc::core::dual_prefix(m, d, plus, data));
+  }
+  cache.attach_store(nullptr);
+  cache.clear();
+  std::system((std::string("rm -rf ") + dir).c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.node_count()));
+}
+BENCHMARK(BM_WarmStart)
+    ->Arg(8)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true)
+    ->Unit(benchmark::kMillisecond);
 
 // Chunked parallel-loop dispatch: per-index accumulate into a flat array.
 // Ranges at or below the inline threshold measure the pure loop; larger

@@ -22,6 +22,13 @@
 // warm-up so the reported run replays it; interpreted plans and validates
 // every cycle. Counters and results are identical either way.
 //
+// --schedule-cache=DIR (or DC_SCHEDULE_CACHE=DIR) persists compiled
+// schedules to DIR as mmap-friendly files shared across processes: a
+// process finding its schedule on disk skips record-and-validate entirely
+// (the run summary's "schedule disk hits" row counts the loads). Corrupt
+// or stale files are rejected by checksum + embedded key and silently
+// fall back to recording.
+//
 // --trace=FILE.json records every comm cycle, oblivious-section
 // record/replay span, schedule-cache event and fault drop/detour into
 // FILE.json (Chrome-trace format — open in chrome://tracing or
@@ -89,6 +96,7 @@
 #include "sim/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/recovery.hpp"
+#include "sim/schedule_store.hpp"
 #include "sim/store_forward.hpp"
 #include "sim/trace.hpp"
 #include "support/cli.hpp"
@@ -130,6 +138,11 @@ void print_run_summary(const dc::sim::Machine& m) {
   t.add("schedule cache hits", cache.hits);
   t.add("schedule cache misses", cache.misses);
   t.add("schedule cache evictions", cache.evictions);
+  if (dc::sim::ScheduleCache::instance().has_store()) {
+    t.add("schedule disk hits", cache.disk_hits);
+    t.add("schedule disk misses", cache.disk_misses);
+    t.add("schedule disk bytes mapped", cache.disk_bytes_mapped);
+  }
   t.add("messages lost to faults", c.messages_lost);
   t.add("messages rerouted", c.messages_rerouted);
   t.add("fault-active cycles", c.fault_cycles);
@@ -892,6 +905,11 @@ int main(int argc, char** argv) {
       "schedule", env && std::string_view(env) == "interpreted"
                       ? "interpreted"
                       : "compiled");
+  // Persistent schedule store: --schedule-cache=DIR, defaulting to the
+  // DC_SCHEDULE_CACHE environment variable (empty = no persistence).
+  const char* cache_env = std::getenv("DC_SCHEDULE_CACHE");
+  const std::string schedule_cache =
+      cli.get_string("schedule-cache", cache_env ? cache_env : "");
   cli.finish();
 
   if (schedule == "compiled") {
@@ -902,6 +920,18 @@ int main(int argc, char** argv) {
     std::cout << "unknown --schedule '" << schedule
               << "' (compiled|interpreted)\n";
     return 2;
+  }
+
+  if (!schedule_cache.empty()) {
+    const auto store = dc::sim::attach_schedule_store(schedule_cache);
+    if (!store->enabled()) {
+      // Unusable directory: warn and run without persistence — the store
+      // degrades every load/save to a miss/no-op by construction.
+      std::cout << "warning: schedule cache directory '" << schedule_cache
+                << "' is not usable; running without persistence\n";
+    } else {
+      std::cout << "schedule cache: " << store->directory() << "\n";
+    }
   }
 
   dc::sim::MetricsFormat metrics_fmt = dc::sim::MetricsFormat::kTable;

@@ -21,17 +21,21 @@
 namespace dc::core {
 
 /// Inclusive prefix over `c` (index = recursive-presentation label) by
-/// emulating the ascend hypercube algorithm on D_n.
+/// emulating the ascend hypercube algorithm on D_n. The whole 6n-5-cycle
+/// run goes through one oblivious section keyed by the order, so after the
+/// first run the full emulation — every relayed dimension included —
+/// replays as compiled permutations.
 template <Monoid M>
 std::vector<typename M::value_type> emulated_prefix(
     sim::Machine& m, const net::RecursiveDualCube& r, const M& op,
     const std::vector<typename M::value_type>& c) {
   using V = typename M::value_type;
   DC_REQUIRE(c.size() == r.node_count(), "one input per node required");
+  sim::ObliviousSection sched(m, "emulated_prefix", {r.order()});
   std::vector<V> t = c;
   std::vector<V> s = c;
   for (unsigned i = 0; i < r.label_bits(); ++i) {
-    auto temp = dimension_exchange(m, r, i, t);
+    auto temp = dimension_exchange(m, sched, r, i, t);
     m.compute_step([&](net::NodeId u) {
       if (dc::bits::get(u, i) == 1) {
         s[u] = op.combine(temp[u], s[u]);
@@ -43,6 +47,7 @@ std::vector<typename M::value_type> emulated_prefix(
       }
     });
   }
+  sched.commit();
   return s;
 }
 

@@ -1,0 +1,211 @@
+// Schedule-aware fusion: overlap independent compiled sections on
+// disjoint ports.
+//
+// Two compiled schedules A and B from *independent* algorithm runs (no
+// data flows between them) can share the wire: a cycle of A and a cycle
+// of B may execute as one replay cycle iff their port usage is disjoint —
+// no node sends in both and no node receives in both (the simulator's
+// 1-port-per-direction rule; a node sending in A while receiving in B is
+// fine, exchanges do that within one section already). Because compiled
+// ScheduleCycle arrays enumerate every sender and receiver explicitly,
+// that legality check is a static precomputation over plain integer
+// arrays — no algorithm code runs to build a fusion plan.
+//
+// fuse_schedules() builds the plan with a forward-scan greedy: walk A's
+// cycles in order, and for each one claim the first not-yet-scheduled
+// B cycle it is port-disjoint with; B cycles skipped over are emitted
+// unfused, in order, before the merged step. Each section's internal
+// cycle order is preserved exactly (that is the only correctness
+// requirement independence leaves), and every merged step shortens the
+// fused stream by one cycle: total steps = |A| + |B| - merged.
+//
+// replay_fused() executes the plan. A merged step replays the merged
+// receiver arrays in one Machine::comm_cycle_scheduled pass; the sender
+// sets being disjoint lets one payload callback dispatch per sender to
+// the owning section, and each section's consumer sees only its own
+// deliveries through a SectionInbox filtered by that section's original
+// recv_from array. Fusion requires both schedules to already be compiled
+// (record runs interleave state with validation and cannot overlap);
+// callers fall back to sequential section runs when either is absent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/schedule.hpp"
+
+namespace dc::sim {
+
+/// "No cycle of this section at this step" marker.
+inline constexpr std::size_t kNoCycle = ~std::size_t{0};
+
+/// One cycle of the fused stream: a cycle index into schedule A, B, or —
+/// when merged — both (with the merged receiver arrays at merged_index).
+struct FusedStep {
+  std::size_t a = kNoCycle;
+  std::size_t b = kNoCycle;
+  std::size_t merged_index = kNoCycle;
+};
+
+/// A static fusion plan over two compiled schedules. Holds shared
+/// ownership of both inputs; unfused steps replay the original cycles
+/// in place, merged steps replay the precomputed union cycles.
+struct FusedSchedule {
+  std::shared_ptr<const Schedule> a;
+  std::shared_ptr<const Schedule> b;
+  std::vector<FusedStep> steps;
+  std::vector<ScheduleCycle> merged;  ///< union cycles, receiver-major
+  /// Per merged cycle, indexed by *sender*: 1 iff the sender belongs to
+  /// B (legal because merged sender sets are disjoint). Payload dispatch
+  /// in replay_fused reads this.
+  std::vector<std::vector<std::uint8_t>> merged_sender_from_b;
+
+  std::size_t merged_count() const { return merged.size(); }
+  /// Replay cycles saved versus running A then B unfused.
+  std::size_t cycles_saved() const {
+    return a->cycle_count() + b->cycle_count() - steps.size();
+  }
+};
+
+/// True iff the two cycles touch disjoint ports: no common receiver and
+/// no common sender. `sender_scratch` must hold n zero bytes on entry and
+/// is restored to zeros on exit (no allocation per check).
+inline bool cycles_port_disjoint(const ScheduleCycle& ca,
+                                 const ScheduleCycle& cb, std::size_t n,
+                                 std::vector<std::uint8_t>& sender_scratch) {
+  bool ok = true;
+  for (std::size_t v = 0; v < n && ok; ++v)
+    if (ca.recv_from[v] != kNoSender && cb.recv_from[v] != kNoSender)
+      ok = false;  // common receiver
+  for (std::size_t v = 0; v < n; ++v)
+    if (ca.recv_from[v] != kNoSender)
+      sender_scratch[static_cast<std::size_t>(ca.recv_from[v])] = 1;
+  for (std::size_t v = 0; v < n && ok; ++v) {
+    const net::NodeId u = cb.recv_from[v];
+    if (u != kNoSender && sender_scratch[static_cast<std::size_t>(u)])
+      ok = false;  // common sender
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    if (ca.recv_from[v] != kNoSender)
+      sender_scratch[static_cast<std::size_t>(ca.recv_from[v])] = 0;
+  return ok;
+}
+
+/// Builds the fusion plan for two compiled schedules over the same
+/// n-node topology (the caller guarantees both were recorded on it and
+/// that the two runs are data-independent).
+inline FusedSchedule fuse_schedules(std::shared_ptr<const Schedule> a,
+                                    std::shared_ptr<const Schedule> b,
+                                    std::size_t n) {
+  DC_REQUIRE(a && b, "fusion needs two compiled schedules");
+  FusedSchedule f;
+  f.a = std::move(a);
+  f.b = std::move(b);
+  std::vector<std::uint8_t> sender_scratch(n, 0);
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < f.a->cycle_count(); ++i) {
+    const ScheduleCycle& ca = f.a->cycle(i);
+    std::size_t k = j;
+    while (k < f.b->cycle_count() &&
+           !cycles_port_disjoint(ca, f.b->cycle(k), n, sender_scratch))
+      ++k;
+    if (k == f.b->cycle_count()) {
+      f.steps.push_back({i, kNoCycle, kNoCycle});
+      continue;
+    }
+    for (; j < k; ++j) f.steps.push_back({kNoCycle, j, kNoCycle});
+    const ScheduleCycle& cb = f.b->cycle(k);
+    ScheduleCycle u;
+    u.recv_from.resize(n);
+    u.recv_slot.resize(n);
+    std::vector<std::uint8_t> from_b(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (cb.recv_from[v] != kNoSender) {
+        u.recv_from[v] = cb.recv_from[v];
+        u.recv_slot[v] = cb.recv_slot[v];
+        from_b[static_cast<std::size_t>(cb.recv_from[v])] = 1;
+      } else {
+        u.recv_from[v] = ca.recv_from[v];
+        u.recv_slot[v] = ca.recv_slot[v];
+      }
+    }
+    u.message_count = ca.message_count + cb.message_count;
+    f.steps.push_back({i, k, f.merged.size()});
+    f.merged.push_back(std::move(u));
+    f.merged_sender_from_b.push_back(std::move(from_b));
+    j = k + 1;
+  }
+  for (; j < f.b->cycle_count(); ++j)
+    f.steps.push_back({kNoCycle, j, kNoCycle});
+  return f;
+}
+
+/// One section's view of a (possibly merged) replay cycle's inbox: only
+/// deliveries whose receiver appears in this section's own compiled cycle
+/// are visible, so each consumer sees exactly what its unfused run would
+/// have seen.
+template <typename P>
+class SectionInbox {
+ public:
+  SectionInbox(const Inbox<P>& in, const ScheduleCycle& own)
+      : in_(in), own_(own) {}
+
+  /// The payload node u received in this section this cycle, or nullptr.
+  const P* get(net::NodeId u) const {
+    if (own_.recv_from[static_cast<std::size_t>(u)] == kNoSender)
+      return nullptr;
+    const std::optional<P>& slot = in_[u];
+    return slot ? &*slot : nullptr;
+  }
+
+ private:
+  const Inbox<P>& in_;
+  const ScheduleCycle& own_;
+};
+
+/// Replays a fusion plan. Per step it issues exactly one
+/// comm_cycle_scheduled pass; payload_a/payload_b(cycle_index, sender)
+/// produce the section's outgoing payload (invoked once per delivered
+/// message, from pool workers — read-only on shared state, like plan
+/// callbacks), and consume_a/consume_b(cycle_index, SectionInbox) apply
+/// the section's per-cycle state update after the pass. Emits one
+/// "schedule_fuse" trace instant carrying the merged-cycle count.
+template <typename P, typename PayloadA, typename ConsumeA, typename PayloadB,
+          typename ConsumeB>
+void replay_fused(Machine& m, const FusedSchedule& f, PayloadA&& payload_a,
+                  ConsumeA&& consume_a, PayloadB&& payload_b,
+                  ConsumeB&& consume_b) {
+  if (TraceRecorder* rec = m.trace()) {
+    rec->instant(m.trace_track(), 0, "schedule_fuse", "merged",
+                 f.merged_count());
+  }
+  for (const FusedStep& step : f.steps) {
+    if (step.merged_index != kNoCycle) {
+      const std::vector<std::uint8_t>& from_b =
+          f.merged_sender_from_b[step.merged_index];
+      auto inbox = m.comm_cycle_scheduled<P>(
+          f.merged[step.merged_index], [&](net::NodeId u) -> P {
+            return from_b[static_cast<std::size_t>(u)]
+                       ? payload_b(step.b, u)
+                       : payload_a(step.a, u);
+          });
+      consume_a(step.a, SectionInbox<P>(inbox, f.a->cycle(step.a)));
+      consume_b(step.b, SectionInbox<P>(inbox, f.b->cycle(step.b)));
+    } else if (step.a != kNoCycle) {
+      const ScheduleCycle& cyc = f.a->cycle(step.a);
+      auto inbox = m.comm_cycle_scheduled<P>(
+          cyc, [&](net::NodeId u) -> P { return payload_a(step.a, u); });
+      consume_a(step.a, SectionInbox<P>(inbox, cyc));
+    } else {
+      const ScheduleCycle& cyc = f.b->cycle(step.b);
+      auto inbox = m.comm_cycle_scheduled<P>(
+          cyc, [&](net::NodeId u) -> P { return payload_b(step.b, u); });
+      consume_b(step.b, SectionInbox<P>(inbox, cyc));
+    }
+  }
+}
+
+}  // namespace dc::sim

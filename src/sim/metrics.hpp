@@ -19,6 +19,8 @@
 //   sim.comm_pool.high_water_bytes gauge, comm-scratch arena high water
 //   sim.schedule_cache.{entries,bytes,hits,misses,evictions}
 //                                 gauges published by metrics_report()
+//   sim.schedule.{disk_hits,disk_misses,disk_bytes_mapped}
+//                                 persistent-store traffic (schedule_store)
 //   sim.trace.{events,dropped}    gauges, recorder volume
 //
 // Registered references are valid for the process lifetime: reset() zeroes
@@ -239,6 +241,12 @@ inline std::string metrics_report(MetricsFormat fmt = MetricsFormat::kTable) {
                 static_cast<double>(cache.misses));
   reg.set_gauge("sim.schedule_cache.evictions",
                 static_cast<double>(cache.evictions));
+  reg.set_gauge("sim.schedule.disk_hits",
+                static_cast<double>(cache.disk_hits));
+  reg.set_gauge("sim.schedule.disk_misses",
+                static_cast<double>(cache.disk_misses));
+  reg.set_gauge("sim.schedule.disk_bytes_mapped",
+                static_cast<double>(cache.disk_bytes_mapped));
   const auto snap = reg.snapshot();
 
   if (fmt == MetricsFormat::kJson) {

@@ -49,25 +49,33 @@ class ObliviousSection {
       key_ = ScheduleKey{topology_identity(m_.topology()),
                          std::move(algorithm), std::move(params),
                          m_.validating()};
-      replay_ = ScheduleCache::instance().find(key_);
+      replay_ = ScheduleCache::instance().find(key_, &origin_);
       if (!replay_) {
         recorder_ = std::make_unique<ScheduleRecorder>(
             static_cast<std::size_t>(m_.node_count()));
       }
     }
     // The section's lifetime is one span on the machine's trace, named by
-    // the path it picked ("interp:" / "record:" / "replay:" + algorithm).
-    // The name is interned once per section — algorithm-run granularity,
-    // never per cycle — so traced cycles inside stay allocation-free.
+    // the path it picked ("interp:" / "record:" / "load:" / "replay:" +
+    // algorithm — "load:" marks a replay whose schedule was faulted in
+    // from the persistent store rather than already resident). The name is
+    // interned once per section — algorithm-run granularity, never per
+    // cycle — so traced cycles inside stay allocation-free.
     if (TraceRecorder* rec = m_.trace()) {
       const std::string& algo = interpreted ? algorithm : key_.algorithm;
-      const char* mode =
-          interpreted ? "interp:" : (replay_ ? "replay:" : "record:");
+      const char* mode = interpreted ? "interp:"
+                         : !replay_  ? "record:"
+                         : origin_ == ScheduleOrigin::kDisk ? "load:"
+                                                            : "replay:";
       span_name_ = rec->intern(std::string(mode) + algo);
       rec->begin(m_.trace_track(), 0, span_name_);
       if (!interpreted) {
         rec->instant(m_.trace_track(), 0,
                      replay_ ? "schedule_cache_hit" : "schedule_cache_miss");
+        if (origin_ == ScheduleOrigin::kDisk) {
+          rec->instant(m_.trace_track(), 0, "schedule_load", "cycles",
+                       replay_->cycle_count());
+        }
       }
     }
   }
@@ -82,6 +90,14 @@ class ObliviousSection {
 
   /// True iff this section replays a cached compiled schedule.
   bool replaying() const { return replay_ != nullptr; }
+
+  /// Where the replayed schedule came from (kMiss while recording).
+  ScheduleOrigin origin() const { return origin_; }
+
+  /// The compiled schedule this section replays, or nullptr when
+  /// recording/interpreting. Fusion drivers use this to line two sections'
+  /// cycle arrays up for the static port-conflict check.
+  std::shared_ptr<const Schedule> schedule() const { return replay_; }
 
   const ScheduleKey& key() const { return key_; }
 
@@ -227,6 +243,7 @@ class ObliviousSection {
  private:
   Machine& m_;
   ScheduleKey key_;
+  ScheduleOrigin origin_ = ScheduleOrigin::kMiss;
   std::shared_ptr<const Schedule> replay_;
   // unique_ptr (not optional): record-mode-only state, and GCC 12's
   // -Wmaybe-uninitialized misfires on optional's inlined payload destructor.

@@ -60,12 +60,68 @@ enum class SchedulePath {
   kInterpreted,  ///< plan / validate / claim every cycle
 };
 
+/// Dense per-node array of a compiled cycle that either owns its storage
+/// (recorded or synthesized schedules) or borrows it from a read-only
+/// mapping (schedules loaded from a persistent store, whose arrays live in
+/// mmapped file pages shared across processes). Replay only ever reads
+/// data()/size(), so both flavors are identical on the hot path; the
+/// mutating calls (assign/resize/operator[]) are owned-only and used by
+/// recorders and tests.
+template <typename T>
+class CycleArray {
+ public:
+  CycleArray() = default;
+
+  /// Borrows `size` elements at `data` — the caller keeps them alive and
+  /// immutable for the array's lifetime (the mapped Schedule holds the
+  /// mapping).
+  static CycleArray view(const T* data, std::size_t size) {
+    CycleArray a;
+    a.view_data_ = data;
+    a.view_size_ = size;
+    return a;
+  }
+
+  void assign(std::size_t n, const T& v) {
+    view_data_ = nullptr;
+    view_size_ = 0;
+    owned_.assign(n, v);
+  }
+  void resize(std::size_t n) {
+    view_data_ = nullptr;
+    view_size_ = 0;
+    owned_.resize(n);
+  }
+
+  const T* data() const { return view_data_ ? view_data_ : owned_.data(); }
+  std::size_t size() const { return view_data_ ? view_size_ : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  bool borrowed() const { return view_data_ != nullptr; }
+
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& operator[](std::size_t i) {
+    DC_REQUIRE(!view_data_, "mapped schedule arrays are immutable");
+    return owned_[i];
+  }
+
+  /// Heap bytes owned by this array (0 for a borrowed view — mapped bytes
+  /// are accounted once per Schedule, not per cycle).
+  std::size_t owned_capacity_bytes() const {
+    return owned_.capacity() * sizeof(T);
+  }
+
+ private:
+  std::vector<T> owned_;
+  const T* view_data_ = nullptr;
+  std::size_t view_size_ = 0;
+};
+
 /// One compiled cycle in receiver-major ("gather") form. All three fields
 /// are derived from a validated record run, so replay needs no checks: each
 /// receiver has at most one sender by construction.
 struct ScheduleCycle {
-  std::vector<net::NodeId> recv_from;     ///< per receiver: sender or kNoSender
-  std::vector<std::uint32_t> recv_slot;   ///< CSR slot of (sender -> receiver)
+  CycleArray<net::NodeId> recv_from;      ///< per receiver: sender or kNoSender
+  CycleArray<std::uint32_t> recv_slot;    ///< CSR slot of (sender -> receiver)
   std::uint64_t message_count = 0;        ///< messages delivered this cycle
 };
 
@@ -75,12 +131,18 @@ class Schedule {
  public:
   explicit Schedule(std::vector<ScheduleCycle> cycles)
       : cycles_(std::move(cycles)) {
-    byte_size_ = sizeof(Schedule);
-    for (const ScheduleCycle& c : cycles_) {
-      byte_size_ += sizeof(ScheduleCycle);
-      byte_size_ += c.recv_from.capacity() * sizeof(net::NodeId);
-      byte_size_ += c.recv_slot.capacity() * sizeof(std::uint32_t);
-    }
+    compute_byte_size();
+  }
+
+  /// A schedule whose cycle arrays are views into `mapping` (a read-only
+  /// mmapped store file of `mapped_bytes`). The mapping is released when
+  /// the last reference to this schedule drops.
+  Schedule(std::vector<ScheduleCycle> cycles,
+           std::shared_ptr<const void> mapping, std::size_t mapped_bytes)
+      : cycles_(std::move(cycles)),
+        mapping_(std::move(mapping)),
+        mapped_bytes_(mapped_bytes) {
+    compute_byte_size();
   }
 
   std::size_t cycle_count() const { return cycles_.size(); }
@@ -89,12 +151,28 @@ class Schedule {
     return cycles_[i];
   }
 
-  /// Resident bytes of this schedule (arrays + bookkeeping), computed once
-  /// at construction — the unit ScheduleCache budgets in.
+  /// Resident bytes of this schedule (owned arrays, bookkeeping, and the
+  /// full mapped region for disk-loaded schedules), computed once at
+  /// construction — the unit ScheduleCache budgets in.
   std::size_t byte_size() const { return byte_size_; }
 
+  /// Bytes of the read-only file mapping backing this schedule (0 when the
+  /// arrays are heap-owned).
+  std::size_t mapped_bytes() const { return mapped_bytes_; }
+
  private:
+  void compute_byte_size() {
+    byte_size_ = sizeof(Schedule) + mapped_bytes_;
+    for (const ScheduleCycle& c : cycles_) {
+      byte_size_ += sizeof(ScheduleCycle);
+      byte_size_ += c.recv_from.owned_capacity_bytes();
+      byte_size_ += c.recv_slot.owned_capacity_bytes();
+    }
+  }
+
   std::vector<ScheduleCycle> cycles_;
+  std::shared_ptr<const void> mapping_;
+  std::size_t mapped_bytes_ = 0;
   std::size_t byte_size_ = 0;
 };
 
@@ -126,17 +204,51 @@ struct ScheduleKeyHash {
   }
 };
 
+/// Interface of a persistent schedule store the cache can fault entries in
+/// from (and write new recordings through to). The mmap-backed
+/// implementation lives in sim/schedule_store.hpp; the interface is
+/// abstract so tests can substitute fakes. Both calls must be non-throwing:
+/// a corrupt, stale or unwritable store degrades to the record path, never
+/// into the run.
+class ScheduleStoreBase {
+ public:
+  virtual ~ScheduleStoreBase() = default;
+  /// Returns the persisted schedule for `key`, or nullptr when absent or
+  /// rejected (bad magic/version/checksum, key mismatch, truncation).
+  virtual std::shared_ptr<const Schedule> load(const ScheduleKey& key) = 0;
+  /// Persists `s` under `key`; returns false on failure. Idempotent — an
+  /// existing entry is left untouched (schedules are deterministic per
+  /// key, and the key embeds the adjacency fingerprint, so an existing
+  /// file is never stale for its own key).
+  virtual bool save(const ScheduleKey& key, const Schedule& s) = 0;
+};
+
+/// Where a ScheduleCache::find() result came from.
+enum class ScheduleOrigin {
+  kMiss,    ///< nowhere — the caller records
+  kMemory,  ///< the in-process cache
+  kDisk,    ///< faulted in from the attached persistent store
+};
+
 /// Process-wide schedule registry with a memory budget. Lookups happen
 /// once per algorithm run (not per cycle), so a mutex is plenty; entries
 /// are shared_ptr-to-const, so concurrent replays never copy or mutate a
 /// schedule — eviction only drops the cache's reference, replays in
 /// flight keep theirs alive.
 ///
-/// Budgeting: every entry is accounted at Schedule::byte_size(); when a
+/// Budgeting: every entry is accounted at Schedule::byte_size() — which
+/// for disk-loaded entries includes the full mmapped region — and when a
 /// store pushes the total past the capacity, least-recently-used entries
 /// are evicted until the total fits. The entry being stored is never
 /// evicted on its own insert, even if it alone exceeds the capacity —
 /// dropping it immediately would force an infinite record/re-record loop.
+///
+/// With a persistent store attached (attach_store), a find() miss faults
+/// the entry in from disk before reporting a miss, and every publish is
+/// written through. Disk hits are counted separately from in-memory hits:
+/// `hits` keeps meaning "the schedule was already resident in this
+/// process", so tests asserting an algorithm never touched the cache stay
+/// meaningful under a warm store.
 class ScheduleCache {
  public:
   /// Default capacity: 512 MiB — far above the whole test/bench suite's
@@ -149,9 +261,12 @@ class ScheduleCache {
     std::size_t entries = 0;         ///< schedules currently cached
     std::size_t bytes = 0;           ///< their accounted resident bytes
     std::size_t capacity_bytes = 0;  ///< the eviction threshold
-    std::uint64_t hits = 0;          ///< find() calls that returned a schedule
+    std::uint64_t hits = 0;          ///< find() hits served from memory
     std::uint64_t misses = 0;        ///< find() calls that returned nullptr
     std::uint64_t evictions = 0;     ///< entries dropped by the budget
+    std::uint64_t disk_hits = 0;     ///< find() hits faulted in from the store
+    std::uint64_t disk_misses = 0;   ///< store probes that found nothing usable
+    std::uint64_t disk_bytes_mapped = 0;  ///< mmapped bytes faulted in
   };
 
   static ScheduleCache& instance() {
@@ -159,21 +274,35 @@ class ScheduleCache {
     return cache;
   }
 
-  std::shared_ptr<const Schedule> find(const ScheduleKey& key) {
+  std::shared_ptr<const Schedule> find(const ScheduleKey& key,
+                                       ScheduleOrigin* origin = nullptr) {
     std::scoped_lock lock(mutex_);
     const auto it = map_.find(key);
-    if (it == map_.end()) {
-      ++misses_;
-      return nullptr;
+    if (it != map_.end()) {
+      ++hits_;
+      if (origin) *origin = ScheduleOrigin::kMemory;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // mark most recent
+      return it->second.schedule;
     }
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // mark most recent
-    return it->second.schedule;
+    if (store_) {
+      if (auto loaded = store_->load(key)) {
+        ++disk_hits_;
+        disk_bytes_mapped_ += loaded->mapped_bytes();
+        if (origin) *origin = ScheduleOrigin::kDisk;
+        return insert_locked(key, std::move(loaded), /*write_through=*/false);
+      }
+      ++disk_misses_;
+    }
+    ++misses_;
+    if (origin) *origin = ScheduleOrigin::kMiss;
+    return nullptr;
   }
 
   /// Publishes a schedule; if two recorders race on one key the first
   /// writer wins (both recorded the same deterministic plan). Returns the
-  /// cached entry.
+  /// cached entry. With a persistent store attached the schedule is also
+  /// written through (atomically; failures are silent — persistence is an
+  /// optimization, never a correctness dependency).
   std::shared_ptr<const Schedule> store(const ScheduleKey& key,
                                         std::shared_ptr<const Schedule> s) {
     std::scoped_lock lock(mutex_);
@@ -182,14 +311,18 @@ class ScheduleCache {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return it->second.schedule;
     }
-    const std::size_t entry_bytes = s->byte_size();
-    lru_.push_front(key);
-    auto cached = map_.emplace(key, Entry{std::move(s), lru_.begin(),
-                                          entry_bytes})
-                      .first->second.schedule;
-    bytes_ += entry_bytes;
-    evict_over_capacity();
-    return cached;
+    return insert_locked(key, std::move(s), /*write_through=*/true);
+  }
+
+  /// Attaches (or, with nullptr, detaches) the persistent backing store.
+  void attach_store(std::shared_ptr<ScheduleStoreBase> store) {
+    std::scoped_lock lock(mutex_);
+    store_ = std::move(store);
+  }
+
+  bool has_store() const {
+    std::scoped_lock lock(mutex_);
+    return store_ != nullptr;
   }
 
   std::size_t size() const {
@@ -199,8 +332,17 @@ class ScheduleCache {
 
   Stats stats() const {
     std::scoped_lock lock(mutex_);
-    return Stats{map_.size(), bytes_,   capacity_,
-                 hits_,       misses_,  evictions_};
+    Stats st;
+    st.entries = map_.size();
+    st.bytes = bytes_;
+    st.capacity_bytes = capacity_;
+    st.hits = hits_;
+    st.misses = misses_;
+    st.evictions = evictions_;
+    st.disk_hits = disk_hits_;
+    st.disk_misses = disk_misses_;
+    st.disk_bytes_mapped = disk_bytes_mapped_;
+    return st;
   }
 
   /// Sets the process-wide budget and evicts immediately if over it.
@@ -211,13 +353,15 @@ class ScheduleCache {
   }
 
   /// Drops every cached schedule and resets the statistics (tests use this
-  /// to force re-recording). The capacity is left as configured.
+  /// to force re-recording). The capacity and any attached store are left
+  /// as configured.
   void clear() {
     std::scoped_lock lock(mutex_);
     map_.clear();
     lru_.clear();
     bytes_ = 0;
     hits_ = misses_ = evictions_ = 0;
+    disk_hits_ = disk_misses_ = disk_bytes_mapped_ = 0;
   }
 
  private:
@@ -226,6 +370,20 @@ class ScheduleCache {
     std::list<ScheduleKey>::iterator lru_it;
     std::size_t bytes = 0;
   };
+
+  std::shared_ptr<const Schedule> insert_locked(
+      const ScheduleKey& key, std::shared_ptr<const Schedule> s,
+      bool write_through) {
+    const std::size_t entry_bytes = s->byte_size();
+    lru_.push_front(key);
+    auto cached =
+        map_.emplace(key, Entry{std::move(s), lru_.begin(), entry_bytes})
+            .first->second.schedule;
+    bytes_ += entry_bytes;
+    evict_over_capacity();
+    if (write_through && store_) store_->save(key, *cached);
+    return cached;
+  }
 
   void evict_over_capacity() {
     while (bytes_ > capacity_ && lru_.size() > 1) {
@@ -240,11 +398,15 @@ class ScheduleCache {
   mutable std::mutex mutex_;
   std::unordered_map<ScheduleKey, Entry, ScheduleKeyHash> map_;
   std::list<ScheduleKey> lru_;  ///< front = most recently used
+  std::shared_ptr<ScheduleStoreBase> store_;
   std::size_t bytes_ = 0;
   std::size_t capacity_ = kDefaultCapacityBytes;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t disk_hits_ = 0;
+  std::uint64_t disk_misses_ = 0;
+  std::uint64_t disk_bytes_mapped_ = 0;
 };
 
 /// Builds the receiver-major cycle of one dimension-`bit` exchange inside a

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "topology/recursive_dual_cube.hpp"
+
 namespace dc::net {
 
 using dc::bits::flip;
@@ -88,6 +90,14 @@ std::vector<NodeId> dual_cube_hamiltonian_cycle(const DualCube& d) {
       cycle.push_back(d.encode({1, j_t, id}));
   }
   DC_CHECK(cycle.size() == d.node_count(), "tour must cover every node");
+  return cycle;
+}
+
+std::vector<NodeId> recursive_dual_cube_hamiltonian_cycle(
+    const RecursiveDualCube& r) {
+  const DualCube d(r.order());
+  std::vector<NodeId> cycle = dual_cube_hamiltonian_cycle(d);
+  for (NodeId& u : cycle) u = r.from_standard(u);
   return cycle;
 }
 

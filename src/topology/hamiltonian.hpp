@@ -45,6 +45,14 @@ std::vector<NodeId> hypercube_hamiltonian_path(const Hypercube& q, NodeId x,
 /// Hamiltonian cycle of D_n for n >= 2, as the node sequence.
 std::vector<NodeId> dual_cube_hamiltonian_cycle(const DualCube& d);
 
+class RecursiveDualCube;
+
+/// Hamiltonian cycle of the recursive presentation of D_n (n >= 2): the
+/// standard-presentation cycle mapped through the label isomorphism, which
+/// preserves adjacency and hence dilation 1.
+std::vector<NodeId> recursive_dual_cube_hamiltonian_cycle(
+    const RecursiveDualCube& r);
+
 /// True iff `cycle` visits every node of `t` exactly once and consecutive
 /// nodes (cyclically) are adjacent.
 bool is_hamiltonian_cycle(const Topology& t, const std::vector<NodeId>& cycle);

@@ -1,0 +1,335 @@
+// Persistent schedule store tests: the mmap on-disk format must
+// round-trip byte-exactly, reject every flavor of damage gracefully
+// (fall back to the record path, count a disk miss, never throw), share
+// bytes across concurrent loaders, and stay inside the cache's LRU byte
+// budget — with `hits` still meaning "resident in this process" so
+// warm-store runs keep the PR 8 acceptance assertions meaningful.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dual_prefix.hpp"
+#include "core/ops.hpp"
+#include "core/sequential.hpp"
+#include "sim/machine.hpp"
+#include "sim/oblivious.hpp"
+#include "sim/schedule.hpp"
+#include "sim/schedule_store.hpp"
+#include "support/rng.hpp"
+#include "topology/dual_cube.hpp"
+
+namespace dc::sim {
+namespace {
+
+class ScheduleStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScheduleCache::instance().clear();
+    char tmpl[] = "/tmp/dcsched_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    ScheduleCache::instance().attach_store(nullptr);
+    ScheduleCache::instance().clear();
+    ScheduleCache::instance().set_capacity_bytes(
+        ScheduleCache::kDefaultCapacityBytes);
+    // Best-effort scrub of the temp dir.
+    std::system(("rm -rf " + dir_).c_str());
+  }
+
+  std::string dir_;
+};
+
+Schedule small_schedule(std::size_t n, std::size_t cycles) {
+  std::vector<ScheduleCycle> cyc(cycles);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    cyc[c].recv_from.assign(n, kNoSender);
+    cyc[c].recv_slot.assign(n, kNoEdgeSlot);
+    // A deterministic non-trivial pattern: node v receives from v^1.
+    for (std::size_t v = 0; v < n; ++v) {
+      cyc[c].recv_from[v] = static_cast<net::NodeId>(v ^ 1);
+      cyc[c].recv_slot[v] = static_cast<std::uint32_t>((v + c) % 7);
+    }
+    cyc[c].message_count = n;
+  }
+  return Schedule(std::move(cyc));
+}
+
+ScheduleKey small_key() {
+  return ScheduleKey{"T#42", "probe", {3, 7}, true};
+}
+
+std::size_t file_size_of(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  return f ? static_cast<std::size_t>(f.tellg()) : 0;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(f), {});
+}
+
+TEST_F(ScheduleStoreTest, RoundTripPreservesEveryArrayAndCount) {
+  ScheduleStore store(dir_);
+  ASSERT_TRUE(store.enabled());
+  const auto key = small_key();
+  const Schedule original = small_schedule(16, 5);
+  ASSERT_TRUE(store.save(key, original));
+
+  const auto loaded = store.load(key);
+  ASSERT_NE(loaded, nullptr);
+  ASSERT_EQ(loaded->cycle_count(), original.cycle_count());
+  EXPECT_GT(loaded->mapped_bytes(), 0u);
+  for (std::size_t c = 0; c < original.cycle_count(); ++c) {
+    const ScheduleCycle& a = original.cycle(c);
+    const ScheduleCycle& b = loaded->cycle(c);
+    EXPECT_TRUE(b.recv_from.borrowed()) << "loaded arrays must be views";
+    ASSERT_EQ(a.recv_from.size(), b.recv_from.size());
+    EXPECT_EQ(a.message_count, b.message_count);
+    for (std::size_t v = 0; v < a.recv_from.size(); ++v) {
+      EXPECT_EQ(a.recv_from[v], b.recv_from[v]);
+      EXPECT_EQ(a.recv_slot[v], b.recv_slot[v]);
+    }
+  }
+}
+
+TEST_F(ScheduleStoreTest, SerializationIsByteDeterministic) {
+  const auto key = small_key();
+  const Schedule s = small_schedule(8, 3);
+  const auto once = ScheduleStore::encode(key, s);
+  const auto twice = ScheduleStore::encode(key, s);
+  ASSERT_FALSE(once.empty());
+  EXPECT_EQ(once, twice);
+
+  // And the on-disk file is exactly those bytes.
+  ScheduleStore store(dir_);
+  ASSERT_TRUE(store.save(key, s));
+  const auto on_disk = slurp(store.entry_path(key));
+  ASSERT_EQ(on_disk.size(), once.size());
+  EXPECT_EQ(0, std::memcmp(on_disk.data(), once.data(), once.size()));
+}
+
+TEST_F(ScheduleStoreTest, SaveIsIdempotentAndAtomicallyVisible) {
+  ScheduleStore store(dir_);
+  const auto key = small_key();
+  ASSERT_TRUE(store.save(key, small_schedule(8, 3)));
+  const auto size_before = file_size_of(store.entry_path(key));
+  ASSERT_TRUE(store.save(key, small_schedule(8, 3)));
+  EXPECT_EQ(file_size_of(store.entry_path(key)), size_before);
+  // No temp-file litter after committed saves.
+  EXPECT_NE(std::system(("ls " + dir_ + "/*.tmp* >/dev/null 2>&1").c_str()),
+            0);
+}
+
+TEST_F(ScheduleStoreTest, MissingFileIsAMissNotAnError) {
+  ScheduleStore store(dir_);
+  EXPECT_EQ(store.load(small_key()), nullptr);
+}
+
+TEST_F(ScheduleStoreTest, TruncatedFileIsRejected) {
+  ScheduleStore store(dir_);
+  const auto key = small_key();
+  ASSERT_TRUE(store.save(key, small_schedule(8, 3)));
+  const std::string path = store.entry_path(key);
+  ASSERT_EQ(::truncate(path.c_str(), (long)file_size_of(path) - 4), 0);
+  EXPECT_EQ(store.load(key), nullptr);
+  ASSERT_EQ(::truncate(path.c_str(), 10), 0);  // shorter than the header
+  EXPECT_EQ(store.load(key), nullptr);
+}
+
+TEST_F(ScheduleStoreTest, CorruptPayloadFailsTheChecksum) {
+  ScheduleStore store(dir_);
+  const auto key = small_key();
+  ASSERT_TRUE(store.save(key, small_schedule(8, 3)));
+  const std::string path = store.entry_path(key);
+  auto bytes = slurp(path);
+  bytes[bytes.size() - 1] ^= 0x5a;  // flip one payload byte
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  EXPECT_EQ(store.load(key), nullptr);
+}
+
+TEST_F(ScheduleStoreTest, WrongMagicAndWrongVersionAreRejected) {
+  ScheduleStore store(dir_);
+  const auto key = small_key();
+  ASSERT_TRUE(store.save(key, small_schedule(8, 3)));
+  const std::string path = store.entry_path(key);
+  const auto pristine = slurp(path);
+
+  auto bad_magic = pristine;
+  bad_magic[0] = 'X';
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bad_magic.data(), static_cast<std::streamsize>(bad_magic.size()));
+  EXPECT_EQ(store.load(key), nullptr);
+
+  auto bad_version = pristine;
+  bad_version[8] = 99;  // version field
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bad_version.data(),
+             static_cast<std::streamsize>(bad_version.size()));
+  EXPECT_EQ(store.load(key), nullptr);
+}
+
+TEST_F(ScheduleStoreTest, EmbeddedKeyMismatchIsRejected) {
+  // A file renamed onto another key's path (hash collision, copied cache
+  // dirs...) must be rejected by the embedded-key comparison — topology
+  // fingerprint differences included, since the fingerprint lives in the
+  // key's topology string.
+  ScheduleStore store(dir_);
+  const auto key = small_key();
+  ScheduleKey other = key;
+  other.topology = "T#43";  // same graph name, different fingerprint
+  ASSERT_TRUE(store.save(key, small_schedule(8, 3)));
+  ASSERT_EQ(::rename(store.entry_path(key).c_str(),
+                     store.entry_path(other).c_str()),
+            0);
+  EXPECT_EQ(store.load(other), nullptr);
+
+  // Same for every other key component.
+  ScheduleKey wrong_params = key;
+  wrong_params.params = {3, 8};
+  ASSERT_EQ(::rename(store.entry_path(other).c_str(),
+                     store.entry_path(wrong_params).c_str()),
+            0);
+  EXPECT_EQ(store.load(wrong_params), nullptr);
+}
+
+TEST_F(ScheduleStoreTest, UnusableDirectoryDisablesQuietly) {
+  ScheduleStore store("/proc/definitely/not/writable");
+  EXPECT_FALSE(store.enabled());
+  EXPECT_EQ(store.load(small_key()), nullptr);
+  EXPECT_FALSE(store.save(small_key(), small_schedule(4, 1)));
+}
+
+// ------------------------------------------------------ cache integration
+
+TEST_F(ScheduleStoreTest, CacheFaultsInFromDiskAndCountsItSeparately) {
+  auto store = attach_schedule_store(dir_);
+  ASSERT_TRUE(store->enabled());
+  auto& cache = ScheduleCache::instance();
+  const auto key = small_key();
+
+  // Publish through the cache: write-through to disk.
+  cache.store(key, std::make_shared<const Schedule>(small_schedule(8, 3)));
+  EXPECT_EQ(file_size_of(store->entry_path(key)) > 0, true);
+
+  // Drop the in-memory copy; the next find must fault it in from disk
+  // and report kDisk — with `hits` (memory hits) untouched.
+  cache.clear();
+  ScheduleOrigin origin = ScheduleOrigin::kMiss;
+  const auto loaded = cache.find(key, &origin);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(origin, ScheduleOrigin::kDisk);
+  auto st = cache.stats();
+  EXPECT_EQ(st.hits, 0u) << "a disk load is not an in-memory hit";
+  EXPECT_EQ(st.misses, 0u) << "a disk load is not a miss either";
+  EXPECT_EQ(st.disk_hits, 1u);
+  EXPECT_GT(st.disk_bytes_mapped, 0u);
+
+  // Once resident, the same key is a plain memory hit.
+  origin = ScheduleOrigin::kMiss;
+  ASSERT_NE(cache.find(key, &origin), nullptr);
+  EXPECT_EQ(origin, ScheduleOrigin::kMemory);
+  st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.disk_hits, 1u);
+
+  // A key the store has never seen is a miss plus a disk miss.
+  ScheduleKey absent = key;
+  absent.algorithm = "absent";
+  EXPECT_EQ(cache.find(absent), nullptr);
+  st = cache.stats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.disk_misses, 1u);
+}
+
+TEST_F(ScheduleStoreTest, LruBudgetCoversMappedBytes) {
+  auto store = attach_schedule_store(dir_);
+  auto& cache = ScheduleCache::instance();
+  const auto key = small_key();
+  cache.store(key, std::make_shared<const Schedule>(small_schedule(64, 8)));
+  cache.clear();
+
+  const auto loaded = cache.find(key);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_GE(loaded->byte_size(), loaded->mapped_bytes())
+      << "a mapped schedule's accounted bytes must include the mapping";
+  EXPECT_GE(cache.stats().bytes, loaded->mapped_bytes());
+
+  // Shrinking the budget below the mapping evicts the loaded entry (the
+  // shared_ptr keeps the mapping alive for in-flight replays).
+  ScheduleKey other = key;
+  other.algorithm = "other";
+  cache.store(other, std::make_shared<const Schedule>(small_schedule(64, 8)));
+  cache.set_capacity_bytes(loaded->byte_size() / 2);
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST_F(ScheduleStoreTest, ConcurrentLoadersShareOneEntry) {
+  auto store = attach_schedule_store(dir_);
+  auto& cache = ScheduleCache::instance();
+  const auto key = small_key();
+  cache.store(key, std::make_shared<const Schedule>(small_schedule(32, 4)));
+  cache.clear();
+
+  // Two loaders race the same key through the store (TSan covers the
+  // interleavings); both must observe a usable schedule and the cache
+  // must end up with exactly one entry.
+  std::shared_ptr<const Schedule> got[2];
+  std::thread a([&] { got[0] = cache.find(key); });
+  std::thread b([&] { got[1] = cache.find(key); });
+  a.join();
+  b.join();
+  ASSERT_NE(got[0], nullptr);
+  ASSERT_NE(got[1], nullptr);
+  EXPECT_EQ(got[0], got[1]) << "one mapping shared, not two";
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+}
+
+// ----------------------------------------------------- end-to-end replay
+
+TEST_F(ScheduleStoreTest, WarmStoreSkipsRecordAndValidate) {
+  const net::DualCube d(3);
+  const core::Plus<u64> plus;
+  Rng rng(7);
+  std::vector<u64> data(d.node_count());
+  for (auto& x : data) x = rng.below(1000);
+  const auto expected = core::seq_inclusive_scan(plus, data);
+
+  attach_schedule_store(dir_);
+
+  // "Process 1": cold — records, validates, commits, writes through.
+  {
+    Machine m(d);
+    m.set_schedule_path(SchedulePath::kCompiled);
+    EXPECT_EQ(core::dual_prefix(m, d, plus, data), expected);
+    EXPECT_EQ(m.replayed_cycles(), 0u);
+  }
+
+  // "Process 2": same store, empty in-process cache. Every cycle must
+  // replay from the mapped schedule — zero record-and-validate passes.
+  ScheduleCache::instance().clear();
+  {
+    Machine m(d);
+    m.set_schedule_path(SchedulePath::kCompiled);
+    EXPECT_EQ(core::dual_prefix(m, d, plus, data), expected);
+    EXPECT_EQ(m.replayed_cycles(), m.counters().comm_cycles)
+        << "warm start must replay every cycle";
+    const auto st = ScheduleCache::instance().stats();
+    EXPECT_GE(st.disk_hits, 1u);
+    EXPECT_EQ(st.hits, 0u) << "nothing was resident before the load";
+  }
+}
+
+}  // namespace
+}  // namespace dc::sim

@@ -5,6 +5,7 @@ trace-validate subcommand for dcsim --trace exports.
 Usage: check_bench_json.py [path]            (default: BENCH_sim.json)
        check_bench_json.py trace-validate TRACE.json
        check_bench_json.py fault-sweep SWEEP.json
+       check_bench_json.py pipeline-fusion TABLE.json
 
 trace-validate schema-checks a Chrome-trace export from `dcsim --trace`:
 every event carries name/ph/pid/tid/ts; 'B'/'E' spans are balanced per
@@ -35,6 +36,10 @@ file has none and skips both:
     keeps that cost bought back by sharding finer. Skipped when no capped
     rows are recorded (the CI smoke file runs only the small resident
     rows).
+  * Warm/cold start: the BM_ColdStart/BM_WarmStart family must be present,
+    and at every shared size the warm median (schedules loaded from the
+    persistent store) must be <= 0.5x the cold median (record-and-validate
+    from scratch).
   * Median regression: for every plain "X_median" row with at least one
     recorded "X_median@..." predecessor, the current ns_per_op must not
     exceed 1.1x the most recent predecessor. "Most recent" means the
@@ -158,6 +163,50 @@ def check_shard_scaling(rows) -> list:
     return []
 
 
+WARM_COLD_MAX_RATIO = 0.5
+
+
+def check_warm_cold(rows) -> list:
+    """Cold-start gate: for every size with both a BM_ColdStart/<n>_median
+    and a BM_WarmStart/<n>_median current row, the warm median (replay of
+    schedules loaded from the persistent store) must be at most
+    WARM_COLD_MAX_RATIO x the cold median (record-and-validate from
+    scratch). Trajectory-tagged rows don't participate. Missing families
+    are reported — once persistence is benchmarked it must stay
+    benchmarked."""
+    cold, warm = {}, {}
+    for row in rows:
+        name = row.get("name", "")
+        if "@" in name:
+            continue
+        m = re.match(r"BM_(Cold|Warm)Start/(\d+)(?:/repeats:\d+)?_median$",
+                     name)
+        if not m:
+            continue
+        value = row.get("ns_per_op")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        (cold if m.group(1) == "Cold" else warm)[int(m.group(2))] = value
+
+    if not cold or not warm:
+        return ["missing BM_ColdStart/BM_WarmStart median rows: schedule "
+                "persistence must stay benchmarked"]
+    errors = []
+    for n in sorted(set(cold) & set(warm)):
+        ratio = warm[n] / cold[n]
+        if ratio > WARM_COLD_MAX_RATIO:
+            errors.append(
+                f"BM_WarmStart/{n}: warm start is {ratio:.2f}x the cold "
+                f"median (gate: <= {WARM_COLD_MAX_RATIO:.1f}x) — loading "
+                "from the schedule store should skip record-and-validate")
+        else:
+            print(f"warm start (n={n}): {ratio:.2f}x the cold median")
+    if not set(cold) & set(warm):
+        errors.append("BM_ColdStart and BM_WarmStart rows never share a "
+                      "size; the warm/cold ratio is ungated")
+    return errors
+
+
 def check_median_regressions(rows, ratios=None) -> list:
     # Trajectory rows: "X@tag" -> list of (pr_number, ns_per_op) under X.
     history = {}
@@ -197,14 +246,17 @@ def check_median_regressions(rows, ratios=None) -> list:
 
 # Phase names the simulator emits (docs/MODEL.md "Observability"). Span
 # names may also be "record:<algo>" / "replay:<algo>" / "interp:<algo>" /
-# "phase:<label>" with a free-form suffix.
+# "load:<algo>" (replay of a schedule faulted in from the persistent
+# store) / "fuse:<label>" (fused multi-section replay) / "phase:<label>"
+# with a free-form suffix.
 KNOWN_SPANS = {
     "comm_cycle",
     "comm_cycle_replay",
     "comm_cycle_replay_blocks",
     "comm_cycle_fused",
 }
-KNOWN_SPAN_PREFIXES = ("record:", "replay:", "interp:", "phase:")
+KNOWN_SPAN_PREFIXES = ("record:", "replay:", "interp:", "load:", "fuse:",
+                       "phase:")
 KNOWN_INSTANTS = {
     "compute_step",
     "fault_drop",
@@ -217,6 +269,8 @@ KNOWN_INSTANTS = {
     "schedule_cache_hit",
     "schedule_cache_miss",
     "schedule_commit",
+    "schedule_load",
+    "schedule_fuse",
 }
 
 
@@ -377,6 +431,67 @@ def fault_sweep_validate(path: str) -> int:
     return 0
 
 
+def pipeline_fusion_validate(path: str) -> int:
+    """Gate for tab_pipeline_broadcast's DC_PIPELINE_JSON export: a
+    non-empty array of rows carrying the fused-vs-unfused cycle counts.
+    Every row needs n >= 2, chunks >= 1, positive ring/binomial cycle
+    counts, correct == true, and fused_cycles == unfused_cycles - merged;
+    at least one row must actually merge cycles (merged >= 1) — fusion
+    must keep reducing total replay cycles."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            rows = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+    if not isinstance(rows, list) or not rows:
+        print(f"{path}: expected a non-empty JSON array", file=sys.stderr)
+        return 1
+
+    errors = []
+    any_merged = False
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append(f"row {i}: not an object")
+            continue
+        n = row.get("n")
+        label = f"row {i} (n={n}, chunks={row.get('chunks')})"
+        if not isinstance(n, int) or n < 2:
+            errors.append(f"{label}: 'n' must be an integer >= 2")
+            continue
+        for key in ("chunks", "ring_cycles", "binomial_cycles",
+                    "unfused_cycles", "fused_cycles", "merged"):
+            value = row.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(f"{label}: missing or non-integer '{key}'")
+        if errors and errors[-1].startswith(label):
+            continue
+        if row["chunks"] < 1 or row["ring_cycles"] <= 0 \
+                or row["binomial_cycles"] <= 0:
+            errors.append(f"{label}: cycle counts must be positive")
+        if row["fused_cycles"] != row["unfused_cycles"] - row["merged"]:
+            errors.append(
+                f"{label}: fused_cycles ({row['fused_cycles']}) != "
+                f"unfused_cycles - merged "
+                f"({row['unfused_cycles']} - {row['merged']})")
+        if row["merged"] >= 1:
+            any_merged = True
+        if row.get("correct") is not True:
+            errors.append(f"{label}: 'correct' must be true")
+    if not any_merged:
+        errors.append("no row merged any cycles: fusion no longer reduces "
+                      "total replay cycles")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"{path}: {len(errors)} problem(s) in {len(rows)} rows",
+              file=sys.stderr)
+        return 1
+    print(f"{path}: {len(rows)} pipeline-fusion rows OK")
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) > 1 and sys.argv[1] == "trace-validate":
         if len(sys.argv) != 3:
@@ -390,6 +505,12 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         return fault_sweep_validate(sys.argv[2])
+    if len(sys.argv) > 1 and sys.argv[1] == "pipeline-fusion":
+        if len(sys.argv) != 3:
+            print("usage: check_bench_json.py pipeline-fusion TABLE.json",
+                  file=sys.stderr)
+            return 2
+        return pipeline_fusion_validate(sys.argv[2])
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sim.json"
     try:
         with open(path, encoding="utf-8") as f:
@@ -408,6 +529,7 @@ def main() -> int:
     if has_trajectory:
         errors += check_block_family(names)
         errors += check_shard_scaling(rows)
+        errors += check_warm_cold(rows)
         ratios = []
         errors += check_median_regressions(rows, ratios)
         report_family_ratios(ratios)
