@@ -50,6 +50,33 @@ void BM_DualPrefix(benchmark::State& state) {
 }
 BENCHMARK(BM_DualPrefix)->DenseRange(2, 8, 2)->Unit(benchmark::kMicrosecond);
 
+// Same run with dcsim's always-on crash-buffer flight recorder attached
+// (small per-slot rings, no --trace/--profile). check_bench_json.py gates
+// this median at <= 1.02x the bare BM_DualPrefix median: the flight
+// recorder must stay cheap enough to leave on for every run.
+void BM_DualPrefixFlightRecorder(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  const dc::net::DualCube d(n);
+  const dc::core::Plus<u64> plus;
+  dc::Rng rng(1);
+  std::vector<u64> data(d.node_count());
+  for (auto& x : data) x = rng();
+  // One process-lifetime recorder, as in dcsim: the rings wrap freely and
+  // only the steady-state per-event cost is on the clock.
+  dc::sim::TraceRecorder rec(dc::ThreadPool::shared().size() + 1,
+                             /*caller_capacity=*/256, /*worker_capacity=*/64);
+  for (auto _ : state) {
+    dc::sim::Machine m(d);
+    m.set_trace(&rec, "measured");
+    benchmark::DoNotOptimize(dc::core::dual_prefix(m, d, plus, data));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.node_count()));
+}
+BENCHMARK(BM_DualPrefixFlightRecorder)
+    ->DenseRange(2, 8, 2)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_CubePrefix(benchmark::State& state) {
   const unsigned d = static_cast<unsigned>(state.range(0));
   const dc::net::Hypercube q(d);

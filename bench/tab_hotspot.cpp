@@ -11,6 +11,7 @@
 
 #include "bench/bench_util.hpp"
 #include "core/dual_sort.hpp"
+#include "sim/profile.hpp"
 #include "sim/store_forward.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
@@ -42,19 +43,27 @@ LoadSplit split_loads(const dc::sim::Machine& m, unsigned class_bit) {
   LoadSplit s;
   const auto& adj = m.topology().flat_adjacency();
   const std::vector<u64> loads = m.edge_load_merged();
+  const auto is_cross = [&](NodeId u, NodeId v) {
+    return (u ^ v) == (u64{1} << class_bit);
+  };
   std::size_t slot = 0;
   for (NodeId u = 0; u < adj.node_count(); ++u) {
     for (const NodeId v : adj.row(u)) {
       const u64 load = loads[slot++];
-      if ((u ^ v) == (u64{1} << class_bit)) {
+      if (is_cross(u, v)) {
         s.cross_total += load;
-        s.cross_max = std::max(s.cross_max, load);
       } else {
         s.cluster_total += load;
-        s.cluster_max = std::max(s.cluster_max, load);
       }
     }
   }
+  // Per-class maxima come from the report layer's deterministic hot-edge
+  // ranking over the same snapshot (top-1 of each class).
+  const auto cross = dc::sim::top_k_hot_edges(adj, loads, 1, is_cross);
+  const auto cluster = dc::sim::top_k_hot_edges(
+      adj, loads, 1, [&](NodeId u, NodeId v) { return !is_cross(u, v); });
+  if (!cross.empty()) s.cross_max = cross[0].load;
+  if (!cluster.empty()) s.cluster_max = cluster[0].load;
   return s;
 }
 

@@ -69,7 +69,19 @@
 // (slower, but peak resident stays under the cap at any N — use more
 // shards to bring the cycles back in core). The run reports the
 // memory-model prediction next to the kernel-measured peak RSS.
+//
+// --profile attaches the cycle profiler to the measured machine(s):
+// critical-path attribution per trace track, per-cycle receiver-band
+// imbalance telemetry (sim.imbalance.* histograms under --metrics), and
+// the top-5 hottest directed edges in the run summary. --report=FILE.json
+// writes the structured run report (sim/run_report.hpp, schema v1):
+// counters, profile, imbalance, fault/recovery section, schedule-cache
+// stats and the flight-recorder tail. The flight recorder itself is
+// always on — every run carries a small trace ring (crash-buffer sized
+// unless --trace/--profile grows it), and a run that dies with
+// SimError/FaultError still writes its report for post-mortem reading.
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -95,7 +107,9 @@
 #include "sim/fault_transport.hpp"
 #include "sim/faults.hpp"
 #include "sim/metrics.hpp"
+#include "sim/profile.hpp"
 #include "sim/recovery.hpp"
+#include "sim/run_report.hpp"
 #include "sim/schedule_store.hpp"
 #include "sim/store_forward.hpp"
 #include "sim/trace.hpp"
@@ -113,15 +127,29 @@ using dc::net::NodeId;
 dc::sim::SchedulePath g_schedule = dc::sim::SchedulePath::kCompiled;
 
 // Shared by every machine the run constructs (warm-up and measured), so
-// record and replay land on separate tracks of one timeline. Null unless
-// --trace was given.
+// record and replay land on separate tracks of one timeline. Always
+// non-null after flag parsing: without --trace/--profile it is the
+// crash-buffer-sized flight recorder, with them a full-capacity recorder.
 std::unique_ptr<dc::sim::TraceRecorder> g_trace;
 
+// Non-null with --profile: per-cycle imbalance telemetry, critical-path
+// attribution and hot-edge ranking for the measured run.
+std::unique_ptr<dc::sim::CycleProfiler> g_profiler;
+
+// The structured run report, filled incrementally by the run paths and
+// serialized at exit (--report=FILE.json) or on SimError/FaultError.
+dc::sim::RunReport g_report;
+
 /// Applies the process-wide run configuration to a machine: the schedule
-/// path and, when --trace is active, a trace track labelled `label`.
+/// path, a trace track labelled `label`, and — for the measured machine
+/// under --profile — the cycle profiler plus per-edge load accounting.
 void setup_machine(dc::sim::Machine& m, const std::string& label) {
   m.set_schedule_path(g_schedule);
   if (g_trace) m.set_trace(g_trace.get(), label);
+  if (g_profiler && label == "measured") {
+    m.attach_profiler(g_profiler.get());
+    m.enable_edge_load();
+  }
 }
 
 /// One-table end-of-run summary: schedule-cache statistics plus this
@@ -147,7 +175,32 @@ void print_run_summary(const dc::sim::Machine& m) {
   t.add("messages rerouted", c.messages_rerouted);
   t.add("fault-active cycles", c.fault_cycles);
   std::cout << t;
+  if (m.edge_load_enabled()) {
+    const std::vector<u64> loads = m.edge_load_merged();
+    if (g_profiler) g_profiler->note_edge_loads(loads);
+    const auto hot = dc::sim::top_k_hot_edges(
+        m.topology().flat_adjacency(), loads, 5);
+    dc::Table h("hottest directed edges");
+    h.header({"edge", "messages"});
+    for (const auto& e : hot)
+      h.add(std::to_string(e.u) + " -> " + std::to_string(e.v), e.load);
+    std::cout << h;
+    g_report.hot_edges = hot;
+  }
   m.publish_metrics();
+
+  // Report assembly: this machine is the measured run, so its counters,
+  // cache snapshot and fault observations are the report's.
+  g_report.counters = c;
+  g_report.cache = cache;
+  g_report.reconciled = {"measured"};
+  if (g_profiler) {
+    g_report.has_imbalance = true;
+    g_report.imbalance = g_profiler->summary();
+  }
+  g_report.fault.active = g_report.fault.active || m.has_faults();
+  g_report.fault.epochs = m.fault_epochs_seen();
+  g_report.fault.rejoins = m.fault_rejoins();
 }
 
 void print_schedule_path(const dc::sim::Machine& m) {
@@ -256,6 +309,9 @@ int run_sharded_prefix(unsigned n, const std::string& op_name, unsigned shards,
   for (unsigned k = 0; k < shards; ++k)
     eng.machine(k).set_schedule_path(g_schedule);
   if (g_trace) eng.set_trace(g_trace.get());
+  // Shards run lock-stepped cycles sequentially under the host, so one
+  // profiler observes every shard's cycles without racing.
+  if (g_profiler) eng.attach_profiler(g_profiler.get());
   // Sharded runs take the timeline under kDegrade only (the host-side
   // cross-cluster exchange cannot retry a shard mid-cycle): the engine
   // localizes node events to their home shard, rejects cross-cluster link
@@ -344,6 +400,30 @@ int run_sharded_prefix(unsigned n, const std::string& op_name, unsigned shards,
   std::cout << t;
   print_counters(eng.counters());
   eng.publish_metrics();
+
+  // Report assembly: executed cycles live on shard 0's track, the
+  // virtualized cross/distribution booking is reported separately so
+  // report-validate can reconcile track totals + virtual == counters.
+  g_report.counters = eng.counters();
+  g_report.has_virtual = true;
+  g_report.virtual_counters = eng.virtual_counters();
+  g_report.reconciled = {"shards/shard0"};
+  g_report.cache = dc::sim::ScheduleCache::instance().stats();
+  if (g_profiler) {
+    g_report.has_imbalance = true;
+    g_report.imbalance = g_profiler->summary();
+  }
+  g_report.fault.active = faulted;
+  if (faulted) {
+    u64 epochs = 0;
+    u64 rejoins = 0;
+    for (unsigned k = 0; k < shards; ++k) {
+      epochs = std::max(epochs, eng.machine(k).fault_epochs_seen());
+      rejoins += eng.machine(k).fault_rejoins();
+    }
+    g_report.fault.epochs = epochs;
+    g_report.fault.rejoins = rejoins;
+  }
   std::cout << "Theorem 1 bounds: comm <= "
             << dc::core::formulas::dual_prefix_comm_paper(n) << ", comp <= "
             << dc::core::formulas::dual_prefix_comp(n) << "\n";
@@ -637,6 +717,8 @@ int run_with_faults(const std::string& algo, unsigned n,
     return run_ft_broadcast(n, root, plan, policy);
   } catch (const dc::sim::FaultError& e) {
     std::cout << "fault-tolerant run failed: " << e.what() << "\n";
+    g_report.status = "fault_error";
+    g_report.error = e.what();
     return 1;
   }
 }
@@ -662,6 +744,14 @@ void print_recovery_report(const dc::sim::RecoveryDriver& drv,
   t.add("extra hops beyond one link", rep.transport.rerouted_hops);
   t.add("BFS fallback routes", rep.transport.bfs_fallbacks);
   std::cout << t;
+
+  g_report.fault.active = true;
+  g_report.fault.retries = rep.retries;
+  g_report.fault.replans = rep.replans;
+  g_report.fault.backoff_cycles = rep.backoff_cycles;
+  g_report.fault.current_epoch =
+      drv.timeline().epoch_of(m.counters().comm_cycles);
+  g_report.fault.epoch_starts = drv.timeline().epoch_starts();
 }
 
 /// Rejects timelines whose peak simultaneous node-fault count breaks the
@@ -834,6 +924,8 @@ int run_with_timeline(const std::string& algo, unsigned n,
   } catch (const dc::sim::FaultError& e) {
     std::cout << "self-healing run failed (retry budget " << retry_budget
               << " exhausted under strict): " << e.what() << "\n";
+    g_report.status = "fault_error";
+    g_report.error = e.what();
     return 1;
   } catch (const dc::CheckError& e) {
     std::cout << "bad --fault-timeline spec: " << e.what() << "\n";
@@ -896,6 +988,9 @@ int main(int argc, char** argv) {
   const std::size_t mem_budget =
       static_cast<std::size_t>(cli.get_int("mem-budget", 0));
   const std::string trace_file = cli.get_string("trace", "");
+  // Bare --profile parses as "true": attach the cycle profiler.
+  const bool profile = !cli.get_string("profile", "").empty();
+  const std::string report_file = cli.get_string("report", "");
   // Bare --metrics parses as "true"; table is the human default.
   const std::string metrics = cli.get_string("metrics", "");
   // The flag's default follows the process-wide DC_SCHEDULE override so
@@ -941,13 +1036,20 @@ int main(int argc, char** argv) {
     std::cout << "unknown --metrics '" << metrics << "' (table|json)\n";
     return 2;
   }
-  // Arm before any machine is constructed: machines resolve their metric
-  // targets at construction time.
+  // Arm before any machine is constructed: machines (and the profiler)
+  // resolve their metric targets at construction time.
   if (!metrics.empty()) dc::sim::MetricsRegistry::arm();
-  if (!trace_file.empty()) {
-    g_trace = std::make_unique<dc::sim::TraceRecorder>(
-        dc::ThreadPool::shared().size() + 1);
+  // The flight recorder is always on: without --trace/--profile the rings
+  // are small crash buffers (newest events only), with either flag they
+  // grow to full trace capacity so nothing drops and the profile can
+  // reconcile against the counters.
+  const std::size_t trace_slots = dc::ThreadPool::shared().size() + 1;
+  if (!trace_file.empty() || profile) {
+    g_trace = std::make_unique<dc::sim::TraceRecorder>(trace_slots);
+  } else {
+    g_trace = std::make_unique<dc::sim::TraceRecorder>(trace_slots, 256, 64);
   }
+  if (profile) g_profiler = std::make_unique<dc::sim::CycleProfiler>();
 
   const auto run = [&]() -> int {
     if (shards > 0) {
@@ -999,9 +1101,34 @@ int main(int argc, char** argv) {
               << "' (prefix|sort|radix|enum|broadcast|allreduce|route)\n";
     return 2;
   };
-  const int rc = run();
 
-  if (g_trace) {
+  g_report.algo = algo;
+  g_report.n = n;
+  g_report.seed = seed;
+  g_report.profiled = profile;
+  const auto t0 = std::chrono::steady_clock::now();
+  int rc = 2;
+  // The flight recorder's reason to exist: a run that dies mid-collective
+  // still writes its report, with the newest trace events of every worker
+  // as the crash tail.
+  try {
+    rc = run();
+  } catch (const dc::sim::FaultError& e) {
+    g_report.status = "fault_error";
+    g_report.error = e.what();
+    std::cout << "fault error: " << e.what() << "\n";
+    rc = 1;
+  } catch (const dc::sim::SimError& e) {
+    g_report.status = "sim_error";
+    g_report.error = e.what();
+    std::cout << "simulation error: " << e.what() << "\n";
+    rc = 1;
+  }
+  g_report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (!trace_file.empty()) {
     std::ofstream out(trace_file);
     if (!out) {
       std::cout << "cannot open --trace file '" << trace_file << "'\n";
@@ -1011,6 +1138,22 @@ int main(int argc, char** argv) {
     std::cout << "trace: " << g_trace->emitted() << " events ("
               << g_trace->dropped() << " dropped) -> " << trace_file
               << " (open in https://ui.perfetto.dev)\n";
+  }
+  dc::sim::fill_from_recorder(g_report, *g_trace);
+  if (!report_file.empty()) {
+    std::ofstream out(report_file);
+    if (!out) {
+      std::cout << "cannot open --report file '" << report_file << "'\n";
+      return 2;
+    }
+    dc::sim::write_report_json(out, g_report);
+    std::cout << "run report: " << report_file << " (schema v"
+              << dc::sim::kReportSchemaVersion << ", "
+              << g_report.flight.size() << " flight-recorder events)\n";
+  } else if (g_report.status != "ok") {
+    std::cout << "flight recorder: " << g_report.flight.size()
+              << " events retained; re-run with --report=FILE.json for the "
+                 "full crash report\n";
   }
   if (!metrics.empty()) std::cout << dc::sim::metrics_report(metrics_fmt);
   return rc;

@@ -85,7 +85,11 @@ FusedPrefixBroadcastResult<typename M::value_type> fused_prefix_broadcast(
     return out;
   }
 
-  const sim::FusedSchedule plan = sim::fuse_schedules(sa, sb, n);
+  // Fuse under the band cost model: same merge count as the pure greedy
+  // scan, but among equal-cardinality pairings the planner prefers the
+  // partner cycle with the lower merged receiver-band spread.
+  const sim::CycleCostModel cost;
+  const sim::FusedSchedule plan = sim::fuse_schedules(sa, sb, n, &cost);
   out.fused = true;
   out.fused_steps = plan.steps.size();
   out.unfused_cycles = sa->cycle_count() + sb->cycle_count();

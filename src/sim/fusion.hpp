@@ -19,6 +19,15 @@
 // requirement independence leaves), and every merged step shortens the
 // fused stream by one cycle: total steps = |A| + |B| - merged.
 //
+// With a CycleCostModel (sim/profile.hpp) the greedy plan gets a
+// refinement pass: each merged step may swap its B cycle for another
+// not-yet-merged B cycle strictly between its merged neighbours (so both
+// sections' internal orders and the merge count are untouched) when that
+// strictly lowers the merged cycle's receive-band spread. Ties keep the
+// greedy choice, so a cost-blind run and an all-ties run produce
+// byte-identical plans — step count, merge count and replayed results
+// never change, only *which* equally-mergeable cycles share a step.
+//
 // replay_fused() executes the plan. A merged step replays the merged
 // receiver arrays in one Machine::comm_cycle_scheduled pass; the sender
 // sets being disjoint lets one payload callback dispatch per sender to
@@ -35,6 +44,7 @@
 #include <vector>
 
 #include "sim/machine.hpp"
+#include "sim/profile.hpp"
 #include "sim/schedule.hpp"
 
 namespace dc::sim {
@@ -94,52 +104,118 @@ inline bool cycles_port_disjoint(const ScheduleCycle& ca,
   return ok;
 }
 
+namespace detail {
+
+/// Builds the union cycle of a merged (A cycle, B cycle) pair and appends
+/// the merged step. Port disjointness was already established.
+inline void append_merged_step(FusedSchedule& f, std::size_t i, std::size_t k,
+                               std::size_t n) {
+  const ScheduleCycle& ca = f.a->cycle(i);
+  const ScheduleCycle& cb = f.b->cycle(k);
+  ScheduleCycle u;
+  u.recv_from.resize(n);
+  u.recv_slot.resize(n);
+  std::vector<std::uint8_t> from_b(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (cb.recv_from[v] != kNoSender) {
+      u.recv_from[v] = cb.recv_from[v];
+      u.recv_slot[v] = cb.recv_slot[v];
+      from_b[static_cast<std::size_t>(cb.recv_from[v])] = 1;
+    } else {
+      u.recv_from[v] = ca.recv_from[v];
+      u.recv_slot[v] = ca.recv_slot[v];
+    }
+  }
+  u.message_count = ca.message_count + cb.message_count;
+  f.steps.push_back({i, k, f.merged.size()});
+  f.merged.push_back(std::move(u));
+  f.merged_sender_from_b.push_back(std::move(from_b));
+}
+
+}  // namespace detail
+
 /// Builds the fusion plan for two compiled schedules over the same
 /// n-node topology (the caller guarantees both were recorded on it and
-/// that the two runs are data-independent).
+/// that the two runs are data-independent). With a cost model, equally
+/// greedy merge candidates are re-chosen toward the lower merged-cycle
+/// receive-band spread — same step count, same merge count, bit-identical
+/// replay results (and the exact greedy plan whenever every cost ties).
 inline FusedSchedule fuse_schedules(std::shared_ptr<const Schedule> a,
                                     std::shared_ptr<const Schedule> b,
-                                    std::size_t n) {
+                                    std::size_t n,
+                                    const CycleCostModel* cost = nullptr) {
   DC_REQUIRE(a && b, "fusion needs two compiled schedules");
   FusedSchedule f;
   f.a = std::move(a);
   f.b = std::move(b);
   std::vector<std::uint8_t> sender_scratch(n, 0);
-  std::size_t j = 0;
-  for (std::size_t i = 0; i < f.a->cycle_count(); ++i) {
-    const ScheduleCycle& ca = f.a->cycle(i);
-    std::size_t k = j;
-    while (k < f.b->cycle_count() &&
-           !cycles_port_disjoint(ca, f.b->cycle(k), n, sender_scratch))
-      ++k;
-    if (k == f.b->cycle_count()) {
-      f.steps.push_back({i, kNoCycle, kNoCycle});
-      continue;
+
+  // Pass 1 — forward-scan greedy pair selection: pairs[m] = (A cycle,
+  // B cycle) of merged step m, with both components strictly increasing.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < f.a->cycle_count(); ++i) {
+      const ScheduleCycle& ca = f.a->cycle(i);
+      std::size_t k = j;
+      while (k < f.b->cycle_count() &&
+             !cycles_port_disjoint(ca, f.b->cycle(k), n, sender_scratch))
+        ++k;
+      if (k == f.b->cycle_count()) continue;
+      pairs.emplace_back(i, k);
+      j = k + 1;
     }
-    for (; j < k; ++j) f.steps.push_back({kNoCycle, j, kNoCycle});
-    const ScheduleCycle& cb = f.b->cycle(k);
-    ScheduleCycle u;
-    u.recv_from.resize(n);
-    u.recv_slot.resize(n);
-    std::vector<std::uint8_t> from_b(n, 0);
-    for (std::size_t v = 0; v < n; ++v) {
-      if (cb.recv_from[v] != kNoSender) {
-        u.recv_from[v] = cb.recv_from[v];
-        u.recv_slot[v] = cb.recv_slot[v];
-        from_b[static_cast<std::size_t>(cb.recv_from[v])] = 1;
+  }
+
+  // Pass 2 (cost model only) — per merged step, consider every unmerged
+  // B cycle strictly between the neighbouring merged B cycles; those
+  // windows keep B's internal order and the merge count intact. Swap in
+  // the alternative with the strictly lowest merged spread (ties keep
+  // the greedy choice, preserving plan parity when all costs tie).
+  if (cost != nullptr) {
+    for (std::size_t m = 0; m < pairs.size(); ++m) {
+      const std::size_t i = pairs[m].first;
+      const ScheduleCycle& ca = f.a->cycle(i);
+      const std::size_t lo = m == 0 ? 0 : pairs[m - 1].second + 1;
+      const std::size_t hi = m + 1 < pairs.size() ? pairs[m + 1].second
+                                                  : f.b->cycle_count();
+      std::size_t best = pairs[m].second;
+      std::uint64_t best_spread =
+          cost->merged_spread(ca, f.b->cycle(best), n);
+      for (std::size_t k = lo; k < hi; ++k) {
+        if (k == pairs[m].second) continue;
+        if (!cycles_port_disjoint(ca, f.b->cycle(k), n, sender_scratch))
+          continue;
+        const std::uint64_t spread =
+            cost->merged_spread(ca, f.b->cycle(k), n);
+        if (spread < best_spread) {
+          best = k;
+          best_spread = spread;
+        }
+      }
+      pairs[m].second = best;
+    }
+  }
+
+  // Pass 3 — emit the step stream from the final pairing: unfused B
+  // cycles fill the gaps in order, unpaired A cycles replay alone.
+  {
+    std::size_t m = 0;
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < f.a->cycle_count(); ++i) {
+      if (m < pairs.size() && pairs[m].first == i) {
+        const std::size_t k = pairs[m].second;
+        for (; j < k; ++j) f.steps.push_back({kNoCycle, j, kNoCycle});
+        detail::append_merged_step(f, i, k, n);
+        j = k + 1;
+        ++m;
       } else {
-        u.recv_from[v] = ca.recv_from[v];
-        u.recv_slot[v] = ca.recv_slot[v];
+        f.steps.push_back({i, kNoCycle, kNoCycle});
       }
     }
-    u.message_count = ca.message_count + cb.message_count;
-    f.steps.push_back({i, k, f.merged.size()});
-    f.merged.push_back(std::move(u));
-    f.merged_sender_from_b.push_back(std::move(from_b));
-    j = k + 1;
+    for (; j < f.b->cycle_count(); ++j)
+      f.steps.push_back({kNoCycle, j, kNoCycle});
   }
-  for (; j < f.b->cycle_count(); ++j)
-    f.steps.push_back({kNoCycle, j, kNoCycle});
   return f;
 }
 

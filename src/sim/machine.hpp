@@ -61,6 +61,7 @@
 #include "sim/error.hpp"
 #include "sim/faults.hpp"
 #include "sim/metrics.hpp"
+#include "sim/profile.hpp"
 #include "sim/schedule.hpp"
 #include "sim/simd.hpp"
 #include "sim/trace.hpp"
@@ -161,6 +162,15 @@ class Machine {
   /// replay path (comm_cycle_scheduled). Zero on a machine that only ever
   /// interpreted or recorded.
   std::uint64_t replayed_cycles() const { return replayed_cycles_; }
+
+  /// Attaches a per-cycle imbalance profiler (sim/profile.hpp): every comm
+  /// cycle — interpreted, replayed, tiled or fused — feeds one
+  /// deterministic band-stat sample into it from the driver thread. The
+  /// profiler must outlive the machine's cycles; pass nullptr to detach.
+  /// Costs one O(n) receiver scan per cycle while attached, nothing when
+  /// detached (dcsim turns it on with --profile).
+  void attach_profiler(CycleProfiler* profiler) { profiler_ = profiler; }
+  CycleProfiler* profiler() const { return profiler_; }
 
   /// Run parallel steps on `pool` instead of the shared pool. Call before
   /// the first cycle / before enable_edge_load.
@@ -310,6 +320,10 @@ class Machine {
       throw_first_violation(arena->outbox);
     }
 
+    if (profiler_ != nullptr) {
+      profiler_->note_cycle_mask(
+          n, [&](std::size_t v) { return slots[v].has_value(); });
+    }
     ++counters_.comm_cycles;
     const std::uint64_t count = delivered.load(std::memory_order_relaxed);
     counters_.messages += count;
@@ -368,6 +382,7 @@ class Machine {
         },
         grain_, pool_);
 
+    if (profiler_ != nullptr) profiler_->note_cycle(cyc, n);
     ++counters_.comm_cycles;
     counters_.messages += cyc.message_count;
     ++replayed_cycles_;
@@ -544,6 +559,7 @@ class Machine {
         },
         grain_, pool_);
 
+    if (profiler_ != nullptr) profiler_->note_cycle_tiled(unit, block, tiles);
     const std::uint64_t delivered =
         static_cast<std::uint64_t>(tiles) * unit.message_count;
     ++counters_.comm_cycles;
@@ -580,6 +596,7 @@ class Machine {
       CycleSpan span(trace_, trace_track_, "comm_cycle_fused");
       parallel_for_chunked(0, blocks, body,
                            std::max<std::size_t>(1, grain_ / block), pool_);
+      if (profiler_ != nullptr) profiler_->note_cycle_uniform(n);
       ++counters_.comm_cycles;
       counters_.messages += n;
       span.finish(n);
@@ -742,6 +759,7 @@ class Machine {
     if (edge_load_.enabled()) return;
     edge_load_.init(pool().size() + 1, adjacency().directed_edge_count());
   }
+  bool edge_load_enabled() const { return edge_load_.enabled(); }
   /// Messages carried by the directed edge u -> v over the whole run.
   /// Counts are unspecified for a cycle that threw SimError.
   std::uint64_t edge_load(net::NodeId u, net::NodeId v) const {
@@ -766,10 +784,14 @@ class Machine {
   /// registry: final step counters, fault totals, merged edge-load
   /// imbalance (max/mean), pooled comm-scratch high water, and trace
   /// volume. No-op when the registry is unarmed. Call between runs, then
-  /// render with metrics_report().
+  /// render with metrics_report(). A publish is a run boundary: every
+  /// per-run gauge family is cleared first, so gauges another run wrote
+  /// (sim.shard.*, another machine's sim.edge_load.*) never survive into
+  /// this run's report stale.
   void publish_metrics() const {
     if (!MetricsRegistry::armed()) return;
     auto& reg = MetricsRegistry::instance();
+    clear_per_run_gauges(reg);
     const Counters c = counters();
     reg.set_gauge("sim.comm_cycles", static_cast<double>(c.comm_cycles));
     reg.set_gauge("sim.comp_steps", static_cast<double>(c.comp_steps));
@@ -864,6 +886,7 @@ class Machine {
         },
         grain_, pool_);
 
+    if (profiler_ != nullptr) profiler_->note_cycle(cyc, n);
     ++counters_.comm_cycles;
     counters_.messages += cyc.message_count;
     ++replayed_cycles_;
@@ -1055,6 +1078,7 @@ class Machine {
   std::unique_ptr<TraceRecorder> owned_trace_;  // only via enable_trace()
   Histogram* metric_msgs_per_cycle_ = nullptr;  // null = registry unarmed
   MetricCounter* metric_fault_drops_ = nullptr;
+  CycleProfiler* profiler_ = nullptr;  // null = imbalance profiling off
   CommArena arena_;
   mutable const net::FlatAdjacency* adj_ = nullptr;
   std::size_t grain_ = 0;

@@ -35,6 +35,7 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -202,6 +203,22 @@ class MetricsRegistry {
     gauges_.clear();
   }
 
+  /// Drops every gauge whose name starts with `prefix`. Publish boundaries
+  /// use this to retire per-run gauges a new run does not re-write (e.g. a
+  /// flat run following a sharded one must not keep reporting sim.shard.*),
+  /// so metrics_report() never mixes runs.
+  void clear_gauges_with_prefix(std::string_view prefix) {
+    std::scoped_lock lock(mutex_);
+    for (auto it = gauges_.begin(); it != gauges_.end();) {
+      const std::string_view name = it->first;
+      if (name.substr(0, prefix.size()) == prefix) {
+        it = gauges_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
  private:
   static std::atomic<bool>& armed_flag() {
     static std::atomic<bool> flag{false};
@@ -213,6 +230,23 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, double> gauges_;
 };
+
+/// Retires every per-run gauge family at a publish boundary. Machines and
+/// the shard engine call this at the top of publish_metrics(), then
+/// re-write the gauges that describe *their* run — so two algorithm
+/// invocations in one process never leak stale gauges (a flat run after a
+/// sharded one drops sim.shard.*, an un-traced run after a traced one
+/// drops sim.trace.*, and so on). Process-lifetime gauges (the
+/// sim.schedule_cache.* family metrics_report() refreshes at call time)
+/// are deliberately not listed.
+inline void clear_per_run_gauges(MetricsRegistry& reg) {
+  for (const std::string_view prefix :
+       {std::string_view{"sim.edge_load."}, std::string_view{"sim.shard."},
+        std::string_view{"sim.fault."}, std::string_view{"sim.trace."},
+        std::string_view{"sim.comm_pool."}, std::string_view{"sim.chunk."}}) {
+    reg.clear_gauges_with_prefix(prefix);
+  }
+}
 
 enum class MetricsFormat { kTable, kJson };
 

@@ -141,6 +141,10 @@ class RecoveryDriver {
         return;
       } catch (const FaultError&) {
         if (retries_used_ >= policy_.retry_budget) {
+          if (TraceRecorder* rec = m_.trace()) {
+            rec->instant(m_.trace_track(), 0, "recovery_exhausted", "retries",
+                         retries_used_, "cycle", now());
+          }
           if (!policy_.degrade_on_exhaustion) throw;
           run_degraded(label, body);
           return;

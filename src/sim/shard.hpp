@@ -462,6 +462,12 @@ class ShardEngine {
     edge_runs_ = 0;
   }
 
+  /// The analytically booked model costs (cross cycles + distribution pass)
+  /// that `counters()` adds on top of the per-shard machine totals. The
+  /// report layer surfaces these separately so phase attribution over the
+  /// shard-0 trace can reconcile against the executed portion alone.
+  const Counters& virtual_counters() const { return virtual_; }
+
   const ShardStats& stats() const { return stats_; }
 
   /// Per-directed-edge accounting across the whole dual-cube. Enable
@@ -505,6 +511,13 @@ class ShardEngine {
   TraceRecorder* trace() const { return trace_; }
   std::uint32_t trace_track() const { return trace_track_; }
 
+  /// Forwards a cycle profiler to every per-shard machine. Safe because
+  /// the host drives shards sequentially — cycles of different shards
+  /// never observe the profiler concurrently.
+  void attach_profiler(CycleProfiler* profiler) {
+    for (auto& m : machines_) m->attach_profiler(profiler);
+  }
+
   /// Opens / closes the compact inter-shard exchange phase on the engine
   /// track and books its buffer traffic. The front-end brackets its
   /// totals->prefixes scan with these.
@@ -527,10 +540,14 @@ class ShardEngine {
 
   /// Publishes the engine's end-of-run gauges (aggregated step counters
   /// under the flat sim.* names, plus the sim.shard.* family) into the
-  /// armed metrics registry. No-op when the registry is unarmed.
+  /// armed metrics registry. A publish is a run boundary: per-run gauge
+  /// families from any previous run (flat or sharded) are cleared first so
+  /// a report never mixes stale sim.edge_load.* / sim.shard.* values into
+  /// this run's snapshot. No-op when the registry is unarmed.
   void publish_metrics() const {
     if (!MetricsRegistry::armed()) return;
     auto& reg = MetricsRegistry::instance();
+    clear_per_run_gauges(reg);
     const Counters c = counters();
     reg.set_gauge("sim.comm_cycles", static_cast<double>(c.comm_cycles));
     reg.set_gauge("sim.comp_steps", static_cast<double>(c.comp_steps));

@@ -154,6 +154,14 @@ class TraceRecorder {
     return static_cast<std::uint32_t>(tracks_.size() - 1);
   }
 
+  /// Labels of every registered track, in track (pid) order. Drives the
+  /// profile/report layer (sim/profile.hpp) — the track index of any
+  /// TraceEvent indexes this vector.
+  std::vector<std::string> track_labels() const {
+    std::scoped_lock lock(mutex_);
+    return tracks_;
+  }
+
   /// Copies `s` into recorder-owned storage and returns a stable pointer.
   /// For names built at algorithm-run granularity (e.g. "replay:dual_sort");
   /// never call per cycle. Repeated strings share one copy.

@@ -91,6 +91,61 @@ TEST_F(FusionTest, FusePlanPreservesOrderAndCyclecount) {
   EXPECT_EQ(b_seen, want_b);
 }
 
+TEST_F(FusionTest, CostModelTieBreaksTowardLowerMergedSpread) {
+  // n = 32 puts two nodes in each of the 16 imbalance bands, so merged
+  // spreads can differ. A0 receives at node 0 (band 0). B0 also lands in
+  // band 0 (union spread 2); B1 lands in band 1 (union spread 1). Both
+  // are port-disjoint with A0, so pure greedy pairs A0 with B0 while the
+  // cost model prefers B1.
+  const std::size_t n = 32;
+  auto a = std::make_shared<const Schedule>(
+      std::vector<ScheduleCycle>{cycle_of(n, {{0, 16}})});
+  auto b = std::make_shared<const Schedule>(std::vector<ScheduleCycle>{
+      cycle_of(n, {{1, 17}}), cycle_of(n, {{2, 18}})});
+
+  const FusedSchedule greedy = fuse_schedules(a, b, n);
+  ASSERT_EQ(greedy.merged_count(), 1u);
+  ASSERT_EQ(greedy.steps.size(), 2u);
+  EXPECT_EQ(greedy.steps[0].a, 0u);
+  EXPECT_EQ(greedy.steps[0].b, 0u);  // greedy takes the first candidate
+
+  const CycleCostModel cost;
+  const FusedSchedule refined = fuse_schedules(a, b, n, &cost);
+  ASSERT_EQ(refined.merged_count(), 1u);
+  ASSERT_EQ(refined.steps.size(), greedy.steps.size())
+      << "the refinement never changes the merge count";
+  // The displaced B0 replays unfused first, then the better-balanced pair.
+  EXPECT_EQ(refined.steps[0].a, kNoCycle);
+  EXPECT_EQ(refined.steps[0].b, 0u);
+  EXPECT_EQ(refined.steps[1].a, 0u);
+  EXPECT_EQ(refined.steps[1].b, 1u);
+  ASSERT_NE(refined.steps[1].merged_index, kNoCycle);
+  EXPECT_EQ(refined.merged[refined.steps[1].merged_index].message_count, 2u);
+}
+
+TEST_F(FusionTest, CostModelKeepsGreedyPlanWhenAllCostsTie) {
+  // n = 8 gives every node its own band, so every single-receiver merge
+  // candidate has the same spread: the cost model must keep the greedy
+  // pairing bit-for-bit (plan parity under ties).
+  const std::size_t n = 8;
+  auto a = std::make_shared<const Schedule>(std::vector<ScheduleCycle>{
+      cycle_of(n, {{1, 0}}), cycle_of(n, {{2, 1}}), cycle_of(n, {{3, 2}})});
+  auto b = std::make_shared<const Schedule>(std::vector<ScheduleCycle>{
+      cycle_of(n, {{5, 4}}), cycle_of(n, {{1, 0}}), cycle_of(n, {{6, 7}})});
+
+  const FusedSchedule g = fuse_schedules(a, b, n);
+  const CycleCostModel cost;
+  const FusedSchedule c = fuse_schedules(a, b, n, &cost);
+  ASSERT_EQ(c.steps.size(), g.steps.size());
+  EXPECT_EQ(c.merged_count(), g.merged_count());
+  for (std::size_t s = 0; s < g.steps.size(); ++s) {
+    EXPECT_EQ(c.steps[s].a, g.steps[s].a) << "step " << s;
+    EXPECT_EQ(c.steps[s].b, g.steps[s].b) << "step " << s;
+    EXPECT_EQ(c.steps[s].merged_index, g.steps[s].merged_index)
+        << "step " << s;
+  }
+}
+
 TEST_F(FusionTest, FullPermutationsNeverFuse) {
   const std::size_t n = 4;
   std::vector<std::pair<std::size_t, std::size_t>> perm;

@@ -1,0 +1,366 @@
+// Profiler and run-report tests: the deterministic band partition, the
+// fusion cost model's spread arithmetic, critical-path attribution
+// reconciling exactly against Counters (flat and sharded), per-run gauge
+// reset at publish boundaries, hot-edge ranking, and the run report's
+// byte-level determinism contract (same seed + DC_THREADS => identical
+// bytes modulo wall_seconds).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/dual_prefix.hpp"
+#include "core/dual_sort.hpp"
+#include "core/sharded_prefix.hpp"
+#include "sim/machine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/profile.hpp"
+#include "sim/run_report.hpp"
+#include "sim/shard.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "topology/dual_cube.hpp"
+#include "topology/recursive_dual_cube.hpp"
+
+namespace dc::sim {
+namespace {
+
+std::vector<u64> inputs(std::size_t n) {
+  std::vector<u64> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = (i * 2654435761ull) % 997;
+  return v;
+}
+
+// ---------------------------------------------------------- band partition
+
+TEST(Profile, BandPartitionIsDeterministicAndContiguous) {
+  EXPECT_EQ(imbalance_band_count(0), 1u);
+  EXPECT_EQ(imbalance_band_count(8), 8u);
+  EXPECT_EQ(imbalance_band_count(64), kImbalanceBands);
+  const std::size_t n = 64;
+  const std::size_t bands = imbalance_band_count(n);
+  std::size_t prev = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t band = imbalance_band_of(v, n, bands);
+    EXPECT_GE(band, prev);
+    EXPECT_LT(band, bands);
+    prev = band;
+  }
+  EXPECT_EQ(imbalance_band_of(0, n, bands), 0u);
+  EXPECT_EQ(imbalance_band_of(n - 1, n, bands), bands - 1);
+}
+
+// Builds a cycle where exactly `recvs` receive one message each.
+ScheduleCycle cycle_receiving(std::size_t n,
+                              const std::vector<std::size_t>& recvs) {
+  ScheduleCycle c;
+  c.recv_from.assign(n, kNoSender);
+  c.recv_slot.assign(n, kNoEdgeSlot);
+  for (const std::size_t v : recvs) {
+    c.recv_from[v] = static_cast<net::NodeId>((v + n / 2) % n);
+    c.recv_slot[v] = 0;
+  }
+  c.message_count = recvs.size();
+  return c;
+}
+
+TEST(Profile, CostModelSpreadsMatchHandCounts) {
+  const std::size_t n = 32;  // 16 bands, two nodes per band
+  const CycleCostModel cost;
+  // Both receivers in band 0: counts {2, 0, ...} -> spread 2.
+  EXPECT_EQ(cost.spread(cycle_receiving(n, {0, 1}), n), 2u);
+  // One receiver in each of two bands -> spread 1.
+  EXPECT_EQ(cost.spread(cycle_receiving(n, {0, 2}), n), 1u);
+  // Every node receives -> perfectly balanced.
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  EXPECT_EQ(cost.spread(cycle_receiving(n, all), n), 0u);
+  // merged_spread of port-disjoint cycles is the spread of the union.
+  EXPECT_EQ(
+      cost.merged_spread(cycle_receiving(n, {0}), cycle_receiving(n, {1}), n),
+      2u);
+  EXPECT_EQ(
+      cost.merged_spread(cycle_receiving(n, {0}), cycle_receiving(n, {2}), n),
+      1u);
+}
+
+TEST(Profile, PhaseOfSpanMapsPrefixesAndPhases) {
+  EXPECT_EQ(phase_of_span("record:emulated_prefix"), "record");
+  EXPECT_EQ(phase_of_span("replay:emulated_prefix"), "replay");
+  EXPECT_EQ(phase_of_span("interp:route"), "interp");
+  EXPECT_EQ(phase_of_span("load:disk"), "load");
+  EXPECT_EQ(phase_of_span("fuse:prefix_broadcast"), "fuse");
+  EXPECT_EQ(phase_of_span("phase:shard_exchange"), "shard_exchange");
+  EXPECT_EQ(phase_of_span("phase:resilient_prefix"), "resilient_prefix");
+  EXPECT_EQ(phase_of_span("comm_cycle"), "");
+}
+
+// ------------------------------------------------ critical-path attribution
+
+TEST(Profile, ProfilerAccountsEveryMeasuredCycleFlat) {
+  ScheduleCache::instance().clear();
+  const net::DualCube d(4);
+  TraceRecorder rec(dc::ThreadPool::shared().size() + 1);
+  {
+    // Warm-up records and caches the schedule: the measured run replays.
+    Machine warm(d);
+    warm.set_trace(&rec, "warm-up");
+    (void)core::dual_prefix(warm, d, core::Plus<u64>{},
+                            inputs(d.node_count()));
+  }
+  Machine m(d);
+  m.set_trace(&rec, "measured");
+  CycleProfiler prof;
+  m.attach_profiler(&prof);
+  (void)core::dual_prefix(m, d, core::Plus<u64>{}, inputs(d.node_count()));
+
+  // The profiler sampled exactly the measured machine's cycles.
+  EXPECT_EQ(prof.summary().cycles, m.counters().comm_cycles);
+
+  const Profile p = build_profile(rec);
+  ASSERT_TRUE(p.complete);
+  EXPECT_EQ(p.dropped_events, 0u);
+  const TrackProfile* measured = nullptr;
+  for (const auto& t : p.tracks)
+    if (t.label == "measured") measured = &t;
+  ASSERT_NE(measured, nullptr);
+  // Reconciliation: the track's cycle total is the machine's counter, and
+  // the per-phase attribution partitions it exactly.
+  EXPECT_EQ(measured->total_cycles, m.counters().comm_cycles);
+  EXPECT_EQ(measured->total_messages, m.counters().messages);
+  std::uint64_t phase_cycles = 0;
+  std::uint64_t phase_messages = 0;
+  for (const auto& ph : measured->phases) {
+    phase_cycles += ph.cycles;
+    phase_messages += ph.messages;
+  }
+  EXPECT_EQ(phase_cycles, measured->total_cycles);
+  EXPECT_EQ(phase_messages, measured->total_messages);
+  // Phases come back hottest-first.
+  for (std::size_t i = 1; i < measured->phases.size(); ++i)
+    EXPECT_GE(measured->phases[i - 1].cycles, measured->phases[i].cycles);
+  ScheduleCache::instance().clear();
+}
+
+TEST(Profile, ShardedTrackPlusVirtualReconcilesAgainstCounters) {
+  ScheduleCache::instance().clear();
+  const net::DualCube d(7);
+  ShardEngine eng(d, 4);
+  TraceRecorder rec(dc::ThreadPool::shared().size() + 1);
+  eng.set_trace(&rec);
+  CycleProfiler prof;
+  eng.attach_profiler(&prof);
+  const auto data_of = [](u64 i) -> u64 { return (i * 37) % 1000; };
+  u64 seen = 0;
+  core::sharded_dual_prefix(
+      eng, core::Plus<u64>{}, data_of,
+      [&](u64, const u64*, std::size_t count) { seen += count; });
+  EXPECT_EQ(seen, d.node_count());
+
+  const Counters total = eng.counters();
+  const Counters& virt = eng.virtual_counters();
+  EXPECT_GT(virt.comm_cycles, 0u) << "sharded runs book virtual cycles";
+
+  const Profile p = build_profile(rec);
+  ASSERT_TRUE(p.complete);
+  const TrackProfile* shard0 = nullptr;
+  for (const auto& t : p.tracks)
+    if (t.label == "shards/shard0") shard0 = &t;
+  ASSERT_NE(shard0, nullptr);
+  // Executed cycles live on shard 0's track; the virtualized cross and
+  // distribution booking closes the gap to the aggregate counters.
+  EXPECT_EQ(shard0->total_cycles + virt.comm_cycles, total.comm_cycles);
+  // One profiler heard every shard's lock-stepped cycles.
+  EXPECT_EQ(prof.summary().cycles,
+            (total.comm_cycles - virt.comm_cycles) * eng.shard_count());
+  ScheduleCache::instance().clear();
+}
+
+TEST(Profile, ImbalanceSummaryBoundsHold) {
+  ScheduleCache::instance().clear();
+  const net::RecursiveDualCube r(4);
+  Machine m(r);
+  CycleProfiler prof;
+  m.attach_profiler(&prof);
+  auto keys = dc::generate_keys(dc::KeyDistribution::kUniform,
+                                r.node_count(), 11);
+  core::dual_sort(m, r, keys);
+  const ImbalanceSummary s = prof.summary();
+  EXPECT_EQ(s.cycles, m.counters().comm_cycles);
+  EXPECT_LE(s.band_min, s.band_max);
+  EXPECT_LE(s.spread_max, s.band_max);
+  EXPECT_GE(s.spread_sum, s.spread_max);
+  ScheduleCache::instance().clear();
+}
+
+TEST(Profile, ImbalanceTelemetryIsThreadCountInvariant) {
+  const auto run = [](std::size_t workers) {
+    ScheduleCache::instance().clear();
+    dc::ThreadPool pool(workers);
+    const net::DualCube d(4);
+    Machine m(d);
+    m.set_thread_pool(&pool);
+    m.set_parallel_grain(1);
+    m.set_schedule_path(SchedulePath::kInterpreted);
+    CycleProfiler prof;
+    m.attach_profiler(&prof);
+    (void)core::dual_prefix(m, d, core::Plus<u64>{},
+                            inputs(d.node_count()));
+    ScheduleCache::instance().clear();
+    return prof.summary();
+  };
+  const ImbalanceSummary one = run(1);
+  const ImbalanceSummary four = run(4);
+  EXPECT_EQ(one.cycles, four.cycles);
+  EXPECT_EQ(one.band_min, four.band_min);
+  EXPECT_EQ(one.band_max, four.band_max);
+  EXPECT_EQ(one.spread_max, four.spread_max);
+  EXPECT_EQ(one.spread_sum, four.spread_sum);
+}
+
+// ------------------------------------------------------------- gauge reset
+
+TEST(Profile, PerRunGaugesClearAtPublishBoundaries) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  MetricsRegistry::arm();
+  const net::DualCube d(3);
+  {
+    Machine m(d);
+    m.enable_edge_load();
+    auto inbox = m.comm_cycle<int>(
+        [&](net::NodeId u) { return Send<int>{d.cross_neighbor(u), 1}; });
+    m.publish_metrics();
+  }
+  const auto has_edge_gauge = [&reg]() {
+    for (const auto& [name, v] : reg.snapshot().gauges)
+      if (name.rfind("sim.edge_load.", 0) == 0) return true;
+    return false;
+  };
+  EXPECT_TRUE(has_edge_gauge());
+  {
+    // A second run without edge loads publishes: the stale sim.edge_load.*
+    // gauges from the previous run must not leak into its snapshot.
+    Machine m(d);
+    auto inbox = m.comm_cycle<int>(
+        [&](net::NodeId u) { return Send<int>{d.cross_neighbor(u), 1}; });
+    m.publish_metrics();
+  }
+  EXPECT_FALSE(has_edge_gauge());
+  MetricsRegistry::disarm();
+  reg.reset();
+}
+
+TEST(Profile, ClearGaugesWithPrefixIsExact) {
+  auto& reg = MetricsRegistry::instance();
+  reg.reset();
+  reg.set_gauge("sim.edge_load.max", 5);
+  reg.set_gauge("sim.edge_loader", 6);  // prefix must not over-match
+  reg.set_gauge("sim.comm_cycles", 7);
+  reg.clear_gauges_with_prefix("sim.edge_load.");
+  bool cleared_survives = false, other_survives = false, comm_survives = false;
+  for (const auto& [name, v] : reg.snapshot().gauges) {
+    if (name == "sim.edge_load.max") cleared_survives = true;
+    if (name == "sim.edge_loader") other_survives = true;
+    if (name == "sim.comm_cycles") comm_survives = true;
+  }
+  EXPECT_FALSE(cleared_survives);
+  EXPECT_TRUE(other_survives);
+  EXPECT_TRUE(comm_survives);
+  reg.reset();
+}
+
+// --------------------------------------------------------------- hot edges
+
+TEST(Profile, TopKHotEdgesRanksDeterministically) {
+  const net::DualCube d(3);
+  const auto& adj = d.flat_adjacency();
+  std::vector<std::uint64_t> loads(adj.directed_edge_count(), 0);
+  loads[9] = 9;
+  loads[3] = 7;
+  loads[5] = 7;
+  const auto top = top_k_hot_edges(adj, loads, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].load, 9u);
+  EXPECT_EQ(top[1].load, 7u);
+  EXPECT_EQ(top[2].load, 7u);
+  // Ties break toward the lexicographically smaller edge (slots are
+  // row-major, so slot 3's edge precedes slot 5's).
+  EXPECT_TRUE(top[1].u < top[2].u ||
+              (top[1].u == top[2].u && top[1].v < top[2].v));
+  // k caps the result.
+  EXPECT_EQ(top_k_hot_edges(adj, loads, 1).size(), 1u);
+  // The predicate filters: keep only edges that flip the class bit.
+  const unsigned class_bit = 2 * 3 - 2;
+  const auto cross = top_k_hot_edges(
+      adj, loads, 100, [&](net::NodeId u, net::NodeId v) {
+        return (u ^ v) == (net::NodeId{1} << class_bit);
+      });
+  for (const auto& e : cross)
+    EXPECT_EQ(e.u ^ e.v, net::NodeId{1} << class_bit);
+  EXPECT_EQ(cross.size(), d.node_count());
+}
+
+// -------------------------------------------------------- report goldens
+
+std::string golden_report() {
+  ScheduleCache::instance().clear();
+  const net::RecursiveDualCube r(4);
+  TraceRecorder rec(dc::ThreadPool::shared().size() + 1);
+  Machine m(r);
+  m.set_trace(&rec, "measured");
+  CycleProfiler prof;
+  m.attach_profiler(&prof);
+  m.enable_edge_load();
+  auto keys = dc::generate_keys(dc::KeyDistribution::kUniform,
+                                r.node_count(), 7);
+  core::dual_sort(m, r, keys);
+
+  // Mirror the dcsim assembly for a flat profiled run.
+  RunReport rep;
+  rep.algo = "sort";
+  rep.n = 4;
+  rep.seed = 7;
+  rep.profiled = true;
+  rep.counters = m.counters();
+  rep.reconciled = {"measured"};
+  rep.has_imbalance = true;
+  const auto loads = m.edge_load_merged();
+  prof.note_edge_loads(loads);
+  rep.imbalance = prof.summary();
+  rep.hot_edges = top_k_hot_edges(r.flat_adjacency(), loads, 5);
+  rep.cache = ScheduleCache::instance().stats();
+  fill_from_recorder(rep, rec);
+  rep.wall_seconds = 0.0;  // the single nondeterministic field
+  ScheduleCache::instance().clear();
+  return report_json(rep);
+}
+
+TEST(RunReport, ByteIdenticalForSameSeedAndThreads) {
+  const std::string one = golden_report();
+  const std::string two = golden_report();
+  EXPECT_EQ(one, two);
+  EXPECT_NE(one.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(one.find("\"tool\":\"dcsim\""), std::string::npos);
+  EXPECT_NE(one.find("\"flight_recorder\""), std::string::npos);
+  EXPECT_NE(one.find("\"imbalance\""), std::string::npos);
+  EXPECT_NE(one.find("\"hot_edges\""), std::string::npos);
+}
+
+TEST(RunReport, EscapesAndNullSectionsSerialize) {
+  RunReport rep;
+  rep.algo = "quote\"back\\slash";
+  rep.status = "sim_error";
+  rep.error = "bad \"thing\"";
+  const std::string json = report_json(rep);
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("\"profile\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"imbalance\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"virtual_counters\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"sim_error\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dc::sim

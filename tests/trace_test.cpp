@@ -18,6 +18,7 @@
 #include "sim/machine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/oblivious.hpp"
+#include "sim/run_report.hpp"
 #include "sim/trace.hpp"
 #include "support/thread_pool.hpp"
 #include "topology/dual_cube.hpp"
@@ -220,6 +221,59 @@ TEST(Trace, RingWrapKeepsMostRecentAndCountsDrops) {
   EXPECT_EQ(events.front().arg_a, 12u);  // oldest retained
   EXPECT_EQ(events.back().arg_a, 19u);   // newest
   EXPECT_NE(rec.json().find("\"dropped_events\":12"), std::string::npos);
+}
+
+TEST(Trace, FlightRecorderWrapKeepsNewestPerSlotMonotone) {
+  // One caller ring (cap 8) and two worker rings (cap 4 each), all pushed
+  // far past capacity: the dump must hold exactly the newest N events of
+  // every slot, merged into one strictly monotone logical timeline.
+  TraceRecorder rec(3, /*caller_capacity=*/8, /*worker_capacity=*/4);
+  const std::uint32_t track = rec.register_track("flight");
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    rec.instant(track, 0, "compute_step", "i", i);
+    rec.instant(track, 1, "compute_step", "i", 100 + i);
+    rec.instant(track, 2, "compute_step", "i", 200 + i);
+  }
+  EXPECT_EQ(rec.emitted(), 90u);
+  EXPECT_EQ(rec.dropped(), 90u - (8u + 4u + 4u));
+
+  const auto events = rec.merged();
+  ASSERT_EQ(events.size(), 16u);
+  std::map<std::uint32_t, std::vector<std::uint64_t>> per_slot;
+  std::uint64_t last_ts = 0;
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) {
+      EXPECT_GT(e.ts, last_ts);
+    }
+    first = false;
+    last_ts = e.ts;
+    per_slot[e.slot].push_back(e.arg_a);
+  }
+  const auto newest = [](std::uint64_t base, std::uint64_t cap) {
+    std::vector<std::uint64_t> want;
+    for (std::uint64_t i = 30 - cap; i < 30; ++i) want.push_back(base + i);
+    return want;
+  };
+  EXPECT_EQ(per_slot[0], newest(0, 8));
+  EXPECT_EQ(per_slot[1], newest(100, 4));
+  EXPECT_EQ(per_slot[2], newest(200, 4));
+}
+
+TEST(Trace, FlightRecorderDumpCapsAtNewestEvents) {
+  TraceRecorder rec(1, /*caller_capacity=*/1024);
+  const std::uint32_t track = rec.register_track("flight");
+  for (std::uint64_t i = 0; i < 800; ++i)
+    rec.instant(track, 0, "compute_step", "i", i);
+
+  RunReport r;
+  fill_from_recorder(r, rec);
+  ASSERT_EQ(r.flight.size(), kFlightDumpCap);
+  EXPECT_EQ(r.flight.front().arg_a, 800 - kFlightDumpCap);
+  EXPECT_EQ(r.flight.back().arg_a, 799u);
+  EXPECT_EQ(r.flight_dropped, 0u);
+  for (std::size_t i = 1; i < r.flight.size(); ++i)
+    EXPECT_GT(r.flight[i].ts, r.flight[i - 1].ts);
 }
 
 TEST(Trace, MessagesPerCycleCompatAndScope) {

@@ -6,6 +6,14 @@ Usage: check_bench_json.py [path]            (default: BENCH_sim.json)
        check_bench_json.py trace-validate TRACE.json
        check_bench_json.py fault-sweep SWEEP.json
        check_bench_json.py pipeline-fusion TABLE.json
+       check_bench_json.py report-validate REPORT.json
+
+report-validate schema-checks a structured run-report from
+`dcsim --report=FILE.json`: pinned schema_version, required sections,
+per-track phase sums equal to the track's total cycles, cross-counter
+reconciliation (profiled tracks + virtual counters == Counters.comm_cycles
+when no trace events were dropped), imbalance-summary bounds and a
+strictly monotone flight-recorder timeline.
 
 trace-validate schema-checks a Chrome-trace export from `dcsim --trace`:
 every event carries name/ph/pid/tid/ts; 'B'/'E' spans are balanced per
@@ -266,6 +274,7 @@ KNOWN_INSTANTS = {
     "fault_rejoin",
     "recovery_retry",
     "recovery_replan",
+    "recovery_exhausted",
     "schedule_cache_hit",
     "schedule_cache_miss",
     "schedule_commit",
@@ -492,6 +501,147 @@ def pipeline_fusion_validate(path: str) -> int:
     return 0
 
 
+REPORT_SCHEMA_VERSION = 1
+
+
+def report_validate(path: str) -> int:
+    """Gate for dcsim --report run-reports (docstring at module top)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+    if not isinstance(doc, dict):
+        print(f"{path}: expected a JSON object", file=sys.stderr)
+        return 1
+
+    errors = []
+    if doc.get("schema_version") != REPORT_SCHEMA_VERSION:
+        errors.append(f"schema_version must be {REPORT_SCHEMA_VERSION}, "
+                      f"got {doc.get('schema_version')!r}")
+    if doc.get("tool") != "dcsim":
+        errors.append(f"tool must be 'dcsim', got {doc.get('tool')!r}")
+    for key in ("algo", "status"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            errors.append(f"missing or empty '{key}'")
+    for key in ("n", "seed"):
+        if not isinstance(doc.get(key), int) or isinstance(doc.get(key), bool):
+            errors.append(f"missing or non-integer '{key}'")
+    for key in ("counters", "fault", "schedule_cache", "flight_recorder"):
+        if not isinstance(doc.get(key), dict):
+            errors.append(f"missing object section '{key}'")
+    if not isinstance(doc.get("hot_edges"), list):
+        errors.append("missing array section 'hot_edges'")
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"{path}: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+
+    counters = doc["counters"]
+    comm_cycles = counters.get("comm_cycles")
+    if not isinstance(comm_cycles, int):
+        errors.append("counters.comm_cycles must be an integer")
+        comm_cycles = None
+    elif doc["status"] == "ok" and comm_cycles <= 0:
+        # A failed run legitimately dies before any counters are filled.
+        errors.append("counters.comm_cycles must be positive on an ok run")
+
+    # Critical-path attribution: per-track phase sums always equal the
+    # track total, and — when the trace ring never wrapped — the profiled
+    # tracks plus virtual (modeled, unexecuted) cycles reconcile exactly
+    # against the simulator's own Counters.
+    profile = doc.get("profile")
+    reconciled_cycles = 0
+    any_reconciled = False
+    if isinstance(profile, dict):
+        for track in profile.get("tracks", []):
+            label = track.get("label", "?")
+            phase_sum = sum(p.get("cycles", 0) for p in track.get("phases", []))
+            if phase_sum != track.get("total_cycles"):
+                errors.append(
+                    f"track '{label}': phase cycles sum to {phase_sum}, "
+                    f"total_cycles is {track.get('total_cycles')}")
+            if track.get("reconciled"):
+                any_reconciled = True
+                reconciled_cycles += track.get("total_cycles", 0)
+        if profile.get("dropped_events") == 0 and any_reconciled \
+                and isinstance(comm_cycles, int):
+            virtual = doc.get("virtual_counters")
+            virtual_cycles = virtual.get("comm_cycles", 0) \
+                if isinstance(virtual, dict) else 0
+            if reconciled_cycles + virtual_cycles != comm_cycles:
+                errors.append(
+                    f"reconciliation failed: profiled tracks account for "
+                    f"{reconciled_cycles} cycles + {virtual_cycles} virtual "
+                    f"!= counters.comm_cycles {comm_cycles}")
+
+    imbalance = doc.get("imbalance")
+    if isinstance(imbalance, dict):
+        if imbalance.get("band_min", 0) > imbalance.get("band_max", 0):
+            errors.append("imbalance: band_min exceeds band_max")
+        if imbalance.get("spread_max", 0) > imbalance.get("band_max", 0):
+            errors.append("imbalance: spread_max exceeds band_max")
+        if imbalance.get("spread_sum", 0) < imbalance.get("spread_max", 0):
+            errors.append("imbalance: spread_sum below spread_max")
+
+    flight = doc["flight_recorder"].get("events", [])
+    last_ts = None
+    for i, e in enumerate(flight):
+        ts = e.get("ts")
+        if not isinstance(ts, int):
+            errors.append(f"flight event {i}: missing integer 'ts'")
+            continue
+        if last_ts is not None and ts <= last_ts:
+            errors.append(f"flight event {i} ({e.get('name')}): ts {ts} not "
+                          f"strictly increasing (previous {last_ts})")
+        last_ts = ts
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"{path}: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    tracks = len(profile.get("tracks", [])) if isinstance(profile, dict) else 0
+    print(f"{path}: report OK (status={doc['status']}, "
+          f"{comm_cycles} comm cycles, {tracks} profiled track(s), "
+          f"{len(flight)} flight events)")
+    return 0
+
+
+FLIGHT_RECORDER_MAX_RATIO = 1.02
+
+
+def check_flight_recorder_overhead(rows) -> list:
+    """Always-on flight-recorder gate: the crash-buffer-attached
+    BM_DualPrefixFlightRecorder/8 median must stay within
+    FLIGHT_RECORDER_MAX_RATIO of the bare BM_DualPrefix/8 median. Skipped
+    when either current row is absent (e.g. the CI smoke file)."""
+    table = {}
+    for row in rows:
+        name = row.get("name", "")
+        if "@" in name:
+            continue
+        if name in ("BM_DualPrefix/8_median",
+                    "BM_DualPrefixFlightRecorder/8_median"):
+            value = row.get("ns_per_op")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                table[name] = value
+    bare = table.get("BM_DualPrefix/8_median")
+    recorded = table.get("BM_DualPrefixFlightRecorder/8_median")
+    if bare is None or recorded is None or bare <= 0:
+        return []
+    ratio = recorded / bare
+    if ratio > FLIGHT_RECORDER_MAX_RATIO:
+        return [
+            f"BM_DualPrefixFlightRecorder/8: always-on flight recorder "
+            f"costs {ratio:.3f}x the bare run (gate: <= "
+            f"{FLIGHT_RECORDER_MAX_RATIO:.2f}x)"]
+    print(f"flight-recorder overhead (n=8): {ratio:.3f}x the bare median")
+    return []
+
+
 def main() -> int:
     if len(sys.argv) > 1 and sys.argv[1] == "trace-validate":
         if len(sys.argv) != 3:
@@ -511,6 +661,12 @@ def main() -> int:
                   file=sys.stderr)
             return 2
         return pipeline_fusion_validate(sys.argv[2])
+    if len(sys.argv) > 1 and sys.argv[1] == "report-validate":
+        if len(sys.argv) != 3:
+            print("usage: check_bench_json.py report-validate REPORT.json",
+                  file=sys.stderr)
+            return 2
+        return report_validate(sys.argv[2])
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sim.json"
     try:
         with open(path, encoding="utf-8") as f:
@@ -530,6 +686,7 @@ def main() -> int:
         errors += check_block_family(names)
         errors += check_shard_scaling(rows)
         errors += check_warm_cold(rows)
+        errors += check_flight_recorder_overhead(rows)
         ratios = []
         errors += check_median_regressions(rows, ratios)
         report_family_ratios(ratios)
